@@ -1,0 +1,284 @@
+//! Maximum-weight bipartite matching (Kuhn–Munkres).
+//!
+//! The exact-matching substrate used by the worker-centric policy. This is
+//! the O(n³) potentials-and-augmenting-paths formulation of the Hungarian
+//! algorithm, adapted to **maximise** total weight on a possibly
+//! rectangular weight matrix. Unmatchable pairs are expressed with
+//! `f64::NEG_INFINITY` and the algorithm leaves such rows unmatched rather
+//! than taking a forbidden edge.
+
+/// Result of a matching run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matching {
+    /// `row_to_col[r]` is the column matched to row `r`, if any.
+    pub row_to_col: Vec<Option<usize>>,
+    /// Total weight of the matching (excluding unmatched rows).
+    pub total: f64,
+}
+
+/// Maximum-weight assignment on an `n_rows × n_cols` weight matrix
+/// (`weights[r][c]`). Every finite-weight edge is eligible; entries of
+/// `f64::NEG_INFINITY` are forbidden. Rows/columns in excess stay
+/// unmatched. Weights may be negative; a negative-weight match is still
+/// taken if the row could otherwise not be matched — callers who want
+/// "skip rather than lose money" should clamp negatives to forbidden.
+pub fn max_weight_matching(weights: &[Vec<f64>]) -> Matching {
+    let n_rows = weights.len();
+    let n_cols = weights.first().map_or(0, Vec::len);
+    debug_assert!(
+        weights.iter().all(|row| row.len() == n_cols),
+        "ragged weight matrix"
+    );
+    if n_rows == 0 || n_cols == 0 {
+        return Matching {
+            row_to_col: vec![None; n_rows],
+            total: 0.0,
+        };
+    }
+
+    // Square the matrix with padding; padded cells get weight 0 (matching
+    // to a padded column = staying unmatched at no gain/loss). Forbidden
+    // real cells keep NEG_INFINITY.
+    let n = n_rows.max(n_cols);
+    let big_forbidden = f64::NEG_INFINITY;
+    let cost = |r: usize, c: usize| -> f64 {
+        if r < n_rows && c < n_cols {
+            weights[r][c]
+        } else {
+            0.0
+        }
+    };
+
+    // Kuhn–Munkres with potentials, minimisation form on negated weights.
+    // u[r], v[c] potentials; match_col[c] = row matched to column c.
+    // Index 0 is a virtual root; internal arrays are 1-based.
+    let inf = f64::INFINITY;
+    let neg = |r: usize, c: usize| -> f64 {
+        let w = cost(r, c);
+        if w == big_forbidden {
+            inf
+        } else {
+            -w
+        }
+    };
+
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut match_col = vec![0usize; n + 1]; // 0 = unmatched
+
+    for r in 1..=n {
+        // Find an augmenting path for row r (1-based).
+        let mut links = vec![0usize; n + 1];
+        let mut mins = vec![inf; n + 1];
+        let mut visited = vec![false; n + 1];
+        let mut marked_col = 0usize;
+        match_col[0] = r;
+
+        loop {
+            visited[marked_col] = true;
+            let row = match_col[marked_col];
+            let mut delta = inf;
+            let mut next_col = 0usize;
+            for c in 1..=n {
+                if visited[c] {
+                    continue;
+                }
+                let reduced = neg(row - 1, c - 1) - u[row] - v[c];
+                if reduced < mins[c] {
+                    mins[c] = reduced;
+                    links[c] = marked_col;
+                }
+                if mins[c] < delta {
+                    delta = mins[c];
+                    next_col = c;
+                }
+            }
+            // delta can stay inf only if every remaining edge is
+            // forbidden *and* padding is exhausted, which cannot happen
+            // because padded columns always cost 0. Guard anyway.
+            if next_col == 0 {
+                break;
+            }
+            for c in 0..=n {
+                if visited[c] {
+                    u[match_col[c]] += delta;
+                    v[c] -= delta;
+                } else {
+                    mins[c] -= delta;
+                }
+            }
+            marked_col = next_col;
+            if match_col[marked_col] == 0 {
+                break;
+            }
+        }
+        // Augment along the path.
+        while marked_col != 0 {
+            let prev = links[marked_col];
+            match_col[marked_col] = match_col[prev];
+            marked_col = prev;
+        }
+    }
+
+    let mut row_to_col = vec![None; n_rows];
+    let mut total = 0.0;
+    for c in 1..=n {
+        let r = match_col[c];
+        if r >= 1 && r <= n_rows && c <= n_cols {
+            let w = weights[r - 1][c - 1];
+            if w != big_forbidden {
+                row_to_col[r - 1] = Some(c - 1);
+                total += w;
+            }
+        }
+    }
+    Matching { row_to_col, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force optimum by permutation enumeration (rows ≤ cols ≤ 7).
+    fn brute_force(weights: &[Vec<f64>]) -> f64 {
+        let n_rows = weights.len();
+        let n_cols = weights.first().map_or(0, Vec::len);
+        let cols: Vec<usize> = (0..n_cols).collect();
+        let mut best = 0.0f64;
+        // choose an injection rows -> cols maximizing finite weight sum;
+        // rows may stay unmatched (weight 0 contribution).
+        fn rec(
+            weights: &[Vec<f64>],
+            row: usize,
+            used: &mut Vec<bool>,
+            acc: f64,
+            best: &mut f64,
+        ) {
+            if row == weights.len() {
+                *best = best.max(acc);
+                return;
+            }
+            // leave row unmatched
+            rec(weights, row + 1, used, acc, best);
+            for c in 0..used.len() {
+                if !used[c] && weights[row][c].is_finite() {
+                    used[c] = true;
+                    rec(weights, row + 1, used, acc + weights[row][c], best);
+                    used[c] = false;
+                }
+            }
+        }
+        let mut used = vec![false; cols.len()];
+        rec(weights, 0, &mut used, 0.0, &mut best);
+        let _ = n_rows;
+        best
+    }
+
+    #[test]
+    fn simple_2x2() {
+        let w = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+        let m = max_weight_matching(&w);
+        assert_eq!(m.total, 4.0);
+        assert_eq!(m.row_to_col, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn diagonal_trap() {
+        // row-greedy takes 9 then is stuck with 1 (total 10); the optimum
+        // crosses over: 8 + 8 = 16
+        let w = vec![vec![9.0, 8.0], vec![8.0, 1.0]];
+        let m = max_weight_matching(&w);
+        assert_eq!(m.total, 16.0);
+        assert_eq!(m.row_to_col, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn rectangular_more_cols() {
+        let w = vec![vec![1.0, 5.0, 3.0]];
+        let m = max_weight_matching(&w);
+        assert_eq!(m.total, 5.0);
+        assert_eq!(m.row_to_col, vec![Some(1)]);
+    }
+
+    #[test]
+    fn rectangular_more_rows() {
+        let w = vec![vec![4.0], vec![9.0], vec![1.0]];
+        let m = max_weight_matching(&w);
+        assert_eq!(m.total, 9.0);
+        assert_eq!(m.row_to_col.iter().filter(|c| c.is_some()).count(), 1);
+        assert_eq!(m.row_to_col[1], Some(0));
+    }
+
+    #[test]
+    fn forbidden_edges_skipped() {
+        let neg = f64::NEG_INFINITY;
+        let w = vec![vec![neg, 3.0], vec![neg, neg]];
+        let m = max_weight_matching(&w);
+        assert_eq!(m.total, 3.0);
+        assert_eq!(m.row_to_col, vec![Some(1), None]);
+    }
+
+    #[test]
+    fn all_forbidden_matches_nothing() {
+        let neg = f64::NEG_INFINITY;
+        let w = vec![vec![neg, neg], vec![neg, neg]];
+        let m = max_weight_matching(&w);
+        assert_eq!(m.total, 0.0);
+        assert_eq!(m.row_to_col, vec![None, None]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(max_weight_matching(&[]).total, 0.0);
+        let w: Vec<Vec<f64>> = vec![vec![]];
+        let m = max_weight_matching(&w);
+        assert_eq!(m.row_to_col, vec![None]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..50 {
+            let rows = rng.gen_range(1..=5);
+            let cols = rng.gen_range(1..=5);
+            let w: Vec<Vec<f64>> = (0..rows)
+                .map(|_| {
+                    (0..cols)
+                        .map(|_| {
+                            if rng.gen_bool(0.15) {
+                                f64::NEG_INFINITY
+                            } else {
+                                // round to avoid float-ordering ambiguity
+                                (rng.gen_range(0.0..10.0f64) * 4.0).round() / 4.0
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let fast = max_weight_matching(&w);
+            let slow = brute_force(&w);
+            assert!(
+                (fast.total - slow).abs() < 1e-9,
+                "trial {trial}: fast {} vs brute {slow} on {w:?}",
+                fast.total
+            );
+        }
+    }
+
+    #[test]
+    fn matching_is_injective() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let w: Vec<Vec<f64>> = (0..8)
+            .map(|_| (0..6).map(|_| rng.gen_range(0.0..5.0)).collect())
+            .collect();
+        let m = max_weight_matching(&w);
+        let mut used = std::collections::HashSet::new();
+        for c in m.row_to_col.iter().flatten() {
+            assert!(used.insert(*c), "column {c} used twice");
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # faircrowd-assign
+//!
+//! Task-assignment policies and the matching machinery beneath them.
+//!
+//! §3.1.1 of the paper frames the fairness question: self-appointment
+//! "could be characterised as fair because workers have access to the same
+//! set of tasks", while optimising algorithms "can be discriminatory" —
+//! requester-centric assignment maximises requester gain at workers'
+//! expense, worker-centric assignment favours workers. §4.2 sets the
+//! agenda this crate serves: *review existing algorithms for task
+//! assignment … to assess their discriminatory power*.
+//!
+//! Every policy implements [`AssignmentPolicy`] and returns both an
+//! assignment and the **visibility sets** (which tasks each worker was
+//! shown) — the object Axioms 1–2 quantify over.
+//!
+//! Policies:
+//! * [`self_selection`] — post-and-browse (the AMT/CrowdFlower default);
+//! * [`round_robin`] — equitable rotation;
+//! * [`requester_centric`] — greedy requester-utility maximisation;
+//! * [`online_matching`] — Ho–Vaughan-style online assignment (cited as \[8\]);
+//! * [`worker_centric`] — optimal matching on worker preference;
+//! * [`kos`] — Karger–Oh–Shah (l,r)-regular allocation (cited as \[11\]);
+//! * [`fair`] — enforcement wrappers (exposure parity, exposure floor)
+//!   that repair a base policy's Axiom-1 violations;
+//! * [`hungarian`] — exact max-weight bipartite matching substrate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fair;
+pub mod hungarian;
+pub mod kos;
+pub mod mcmf;
+pub mod online_matching;
+pub mod policy;
+pub mod requester_centric;
+pub mod round_robin;
+pub mod self_selection;
+pub mod worker_centric;
+
+pub use fair::{ExposureFloor, ExposureParity};
+pub use kos::KosAllocation;
+pub use online_matching::OnlineMatching;
+pub use policy::{
+    preference_score, AssignInput, AssignmentOutcome, AssignmentPolicy, TaskView, WorkerView,
+};
+pub use requester_centric::RequesterCentric;
+pub use round_robin::RoundRobin;
+pub use self_selection::SelfSelection;
+pub use worker_centric::WorkerCentric;

@@ -1,0 +1,362 @@
+//! The assignment-policy interface.
+//!
+//! A policy receives a snapshot of the open marketplace — tasks with
+//! remaining slots, workers with remaining capacity — and returns (a) the
+//! **visibility sets**: which tasks each worker gets to see, and (b) the
+//! assignments made. Axioms 1–2 judge the visibility sets; utilities judge
+//! the assignments. Splitting the two is the point: a policy can be
+//! utility-optimal and exposure-discriminatory at the same time, which is
+//! exactly the §3.1.1 critique.
+
+use faircrowd_model::ids::{RequesterId, TaskId, WorkerId};
+use faircrowd_model::money::Credits;
+use faircrowd_model::skills::SkillVector;
+use faircrowd_model::time::SimDuration;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A task as a policy sees it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskView {
+    /// Task id.
+    pub id: TaskId,
+    /// Posting requester.
+    pub requester: RequesterId,
+    /// Required skills.
+    pub skills: SkillVector,
+    /// Advertised reward.
+    pub reward: Credits,
+    /// Assignments still wanted.
+    pub slots: u32,
+    /// Estimated honest completion time.
+    pub est_duration: SimDuration,
+}
+
+/// A worker as a policy sees her.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerView {
+    /// Worker id.
+    pub id: WorkerId,
+    /// Skill/interest vector.
+    pub skills: SkillVector,
+    /// Platform quality estimate in `[0, 1]`.
+    pub quality: f64,
+    /// Tasks this worker can still take this round.
+    pub capacity: u32,
+}
+
+impl WorkerView {
+    /// The paper's qualification test against a task.
+    pub fn qualifies(&self, task: &TaskView) -> bool {
+        self.skills.covers(&task.skills)
+    }
+}
+
+/// A marketplace snapshot handed to a policy.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AssignInput {
+    /// Open tasks.
+    pub tasks: Vec<TaskView>,
+    /// Available workers.
+    pub workers: Vec<WorkerView>,
+}
+
+impl AssignInput {
+    /// Total open slots.
+    pub fn total_slots(&self) -> u64 {
+        self.tasks.iter().map(|t| u64::from(t.slots)).sum()
+    }
+
+    /// Total worker capacity.
+    pub fn total_capacity(&self) -> u64 {
+        self.workers.iter().map(|w| u64::from(w.capacity)).sum()
+    }
+}
+
+/// What a policy decided.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AssignmentOutcome {
+    /// Which tasks each worker was shown (exposure).
+    pub visibility: BTreeMap<WorkerId, BTreeSet<TaskId>>,
+    /// Assignments made, in decision order.
+    pub assignments: Vec<(WorkerId, TaskId)>,
+}
+
+impl AssignmentOutcome {
+    /// Record that `worker` was shown `task`.
+    pub fn show(&mut self, worker: WorkerId, task: TaskId) {
+        self.visibility.entry(worker).or_default().insert(task);
+    }
+
+    /// Record an assignment; an assignment implies visibility (a worker
+    /// cannot take a task she never saw).
+    pub fn assign(&mut self, worker: WorkerId, task: TaskId) {
+        self.show(worker, task);
+        self.assignments.push((worker, task));
+    }
+
+    /// Every outcome must satisfy these structural invariants:
+    /// assignments ⊆ visibility, per-task slot limits, per-worker
+    /// capacities, and qualification. Returns human-readable violations.
+    pub fn check_feasible(&self, input: &AssignInput) -> Vec<String> {
+        let mut problems = Vec::new();
+        let tasks: BTreeMap<TaskId, &TaskView> =
+            input.tasks.iter().map(|t| (t.id, t)).collect();
+        let workers: BTreeMap<WorkerId, &WorkerView> =
+            input.workers.iter().map(|w| (w.id, w)).collect();
+        let mut per_task: BTreeMap<TaskId, u32> = BTreeMap::new();
+        let mut per_worker: BTreeMap<WorkerId, u32> = BTreeMap::new();
+        let mut seen_pairs: BTreeSet<(WorkerId, TaskId)> = BTreeSet::new();
+
+        for &(w, t) in &self.assignments {
+            if !seen_pairs.insert((w, t)) {
+                problems.push(format!("{w} assigned to {t} more than once"));
+            }
+            match (workers.get(&w), tasks.get(&t)) {
+                (Some(wv), Some(tv)) => {
+                    if !wv.qualifies(tv) {
+                        problems.push(format!("{w} not qualified for {t}"));
+                    }
+                }
+                _ => problems.push(format!("assignment ({w}, {t}) references unknown entity")),
+            }
+            *per_task.entry(t).or_insert(0) += 1;
+            *per_worker.entry(w).or_insert(0) += 1;
+            let visible = self
+                .visibility
+                .get(&w)
+                .map(|v| v.contains(&t))
+                .unwrap_or(false);
+            if !visible {
+                problems.push(format!("{w} assigned {t} without visibility"));
+            }
+        }
+        for (t, n) in per_task {
+            if let Some(tv) = tasks.get(&t) {
+                if n > tv.slots {
+                    problems.push(format!("{t} over-assigned: {n} > {}", tv.slots));
+                }
+            }
+        }
+        for (w, n) in per_worker {
+            if let Some(wv) = workers.get(&w) {
+                if n > wv.capacity {
+                    problems.push(format!("{w} over-capacity: {n} > {}", wv.capacity));
+                }
+            }
+        }
+        problems
+    }
+}
+
+/// A task-assignment policy. Policies take `&mut self` so online
+/// algorithms can carry state between rounds; the RNG is injected for
+/// determinism.
+pub trait AssignmentPolicy {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Decide visibility and assignments for one round.
+    fn assign(&mut self, input: &AssignInput, rng: &mut dyn RngCore) -> AssignmentOutcome;
+}
+
+/// A worker's preference for a task: reward (in dollars) scaled by skill
+/// affinity. Workers like well-paid tasks that match their interests —
+/// the §3.1.1 description of worker-centric assignment ("allocates tasks
+/// based on workers' preferences … favoring their expected compensation").
+pub fn preference_score(worker: &WorkerView, task: &TaskView) -> f64 {
+    let reward = task.reward.as_dollars_f64();
+    let affinity = worker.skills.cosine(&task.skills);
+    reward * (1.0 + affinity)
+}
+
+/// Requester utility of an assignment: expected value = worker quality ×
+/// task reward (the requester pays `reward` hoping for usable work, so a
+/// quality-q worker yields q·reward of expected value).
+pub fn requester_utility(input: &AssignInput, outcome: &AssignmentOutcome) -> f64 {
+    let tasks: BTreeMap<TaskId, &TaskView> = input.tasks.iter().map(|t| (t.id, t)).collect();
+    let workers: BTreeMap<WorkerId, &WorkerView> =
+        input.workers.iter().map(|w| (w.id, w)).collect();
+    outcome
+        .assignments
+        .iter()
+        .filter_map(|(w, t)| {
+            let wv = workers.get(w)?;
+            let tv = tasks.get(t)?;
+            Some(wv.quality * tv.reward.as_dollars_f64())
+        })
+        .sum()
+}
+
+/// Total worker utility of an assignment (sum of preference scores).
+pub fn worker_utility(input: &AssignInput, outcome: &AssignmentOutcome) -> f64 {
+    let tasks: BTreeMap<TaskId, &TaskView> = input.tasks.iter().map(|t| (t.id, t)).collect();
+    let workers: BTreeMap<WorkerId, &WorkerView> =
+        input.workers.iter().map(|w| (w.id, w)).collect();
+    outcome
+        .assignments
+        .iter()
+        .filter_map(|(w, t)| {
+            let wv = workers.get(w)?;
+            let tv = tasks.get(t)?;
+            Some(preference_score(wv, tv))
+        })
+        .sum()
+}
+
+#[cfg(test)]
+pub(crate) mod testkit {
+    //! Shared fixtures for policy tests.
+    use super::*;
+
+    /// Bits → skill vector.
+    pub fn sv(bits: &[u8]) -> SkillVector {
+        SkillVector::from_bools(bits.iter().map(|&b| b == 1))
+    }
+
+    /// A small market: 3 tasks × 4 workers, everyone qualified for t0,
+    /// specialists for t1/t2.
+    pub fn small_market() -> AssignInput {
+        AssignInput {
+            tasks: vec![
+                TaskView {
+                    id: TaskId::new(0),
+                    requester: RequesterId::new(0),
+                    skills: sv(&[0, 0]),
+                    reward: Credits::from_cents(10),
+                    slots: 2,
+                    est_duration: SimDuration::from_mins(5),
+                },
+                TaskView {
+                    id: TaskId::new(1),
+                    requester: RequesterId::new(0),
+                    skills: sv(&[1, 0]),
+                    reward: Credits::from_cents(20),
+                    slots: 1,
+                    est_duration: SimDuration::from_mins(5),
+                },
+                TaskView {
+                    id: TaskId::new(2),
+                    requester: RequesterId::new(1),
+                    skills: sv(&[0, 1]),
+                    reward: Credits::from_cents(30),
+                    slots: 1,
+                    est_duration: SimDuration::from_mins(5),
+                },
+            ],
+            workers: vec![
+                WorkerView {
+                    id: WorkerId::new(0),
+                    skills: sv(&[1, 1]),
+                    quality: 0.95,
+                    capacity: 2,
+                },
+                WorkerView {
+                    id: WorkerId::new(1),
+                    skills: sv(&[1, 0]),
+                    quality: 0.8,
+                    capacity: 1,
+                },
+                WorkerView {
+                    id: WorkerId::new(2),
+                    skills: sv(&[0, 1]),
+                    quality: 0.6,
+                    capacity: 1,
+                },
+                WorkerView {
+                    id: WorkerId::new(3),
+                    skills: sv(&[0, 0]),
+                    quality: 0.4,
+                    capacity: 1,
+                },
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testkit::*;
+    use super::*;
+
+    #[test]
+    fn qualification_follows_cover() {
+        let m = small_market();
+        // w3 has no skills: qualifies only for t0
+        assert!(m.workers[3].qualifies(&m.tasks[0]));
+        assert!(!m.workers[3].qualifies(&m.tasks[1]));
+        // w0 has both skills: qualifies for all
+        for t in &m.tasks {
+            assert!(m.workers[0].qualifies(t));
+        }
+    }
+
+    #[test]
+    fn outcome_assign_implies_visibility() {
+        let mut o = AssignmentOutcome::default();
+        o.assign(WorkerId::new(0), TaskId::new(1));
+        assert!(o.visibility[&WorkerId::new(0)].contains(&TaskId::new(1)));
+    }
+
+    #[test]
+    fn feasibility_catches_violations() {
+        let m = small_market();
+        let mut o = AssignmentOutcome::default();
+        // unqualified assignment
+        o.assign(WorkerId::new(3), TaskId::new(1));
+        // over-capacity for w2 (capacity 1)
+        o.assign(WorkerId::new(2), TaskId::new(0));
+        o.assign(WorkerId::new(2), TaskId::new(2));
+        let problems = o.check_feasible(&m);
+        assert!(problems.iter().any(|p| p.contains("not qualified")));
+        assert!(problems.iter().any(|p| p.contains("over-capacity")));
+    }
+
+    #[test]
+    fn feasibility_catches_assignment_without_visibility() {
+        let m = small_market();
+        let mut o = AssignmentOutcome::default();
+        o.assignments.push((WorkerId::new(0), TaskId::new(0)));
+        let problems = o.check_feasible(&m);
+        assert!(problems.iter().any(|p| p.contains("without visibility")));
+    }
+
+    #[test]
+    fn feasibility_catches_duplicates_and_overassignment() {
+        let m = small_market();
+        let mut o = AssignmentOutcome::default();
+        o.assign(WorkerId::new(0), TaskId::new(1));
+        o.assign(WorkerId::new(0), TaskId::new(1));
+        let problems = o.check_feasible(&m);
+        assert!(problems.iter().any(|p| p.contains("more than once")));
+        assert!(problems.iter().any(|p| p.contains("over-assigned")));
+    }
+
+    #[test]
+    fn utilities_sum_over_assignments() {
+        let m = small_market();
+        let mut o = AssignmentOutcome::default();
+        o.assign(WorkerId::new(0), TaskId::new(2)); // quality .95 * $0.30
+        o.assign(WorkerId::new(1), TaskId::new(1)); // quality .80 * $0.20
+        let ru = requester_utility(&m, &o);
+        assert!((ru - (0.95 * 0.30 + 0.80 * 0.20)).abs() < 1e-12);
+        let wu = worker_utility(&m, &o);
+        assert!(wu > 0.0);
+    }
+
+    #[test]
+    fn preference_prefers_reward_and_affinity() {
+        let m = small_market();
+        let w0 = &m.workers[0];
+        // t2 pays more than t1 and matches w0 equally -> preferred
+        assert!(preference_score(w0, &m.tasks[2]) > preference_score(w0, &m.tasks[1]));
+    }
+
+    #[test]
+    fn input_totals() {
+        let m = small_market();
+        assert_eq!(m.total_slots(), 4);
+        assert_eq!(m.total_capacity(), 5);
+    }
+}

@@ -1,0 +1,140 @@
+//! E1 — Discriminatory power of task-assignment policies.
+//!
+//! Paper source: §3.1.1 ("requester-centric task assignment … could be
+//! discriminatory to workers; worker-centric assignment is more likely to
+//! be fair to workers but may be unfavorable to requesters"), §4.2
+//! (research agenda: "review existing algorithms for task assignment …
+//! to assess their discriminatory power"), Axioms 1–2.
+//!
+//! For each policy we run the same labeling market (3 seeds) and report
+//! the Axiom-1/2 audit scores, exposure inequality, and both sides'
+//! outcomes. The fairness-enforcement wrappers (§3.3.1 "fair by design")
+//! appear as additional rows over the most discriminatory base policy.
+
+use faircrowd_bench::{banner, f2, f3, mean, presets, run_seeds, TextTable};
+use faircrowd_core::{metrics, AuditConfig, AuditEngine, AxiomId, SimilarityConfig};
+use faircrowd_sim::PolicyChoice;
+
+fn main() {
+    banner(
+        "E1",
+        "discriminatory power of assignment policies",
+        "paper §3.1.1, §4.2; Axioms 1-2",
+    );
+
+    let policies = vec![
+        PolicyChoice::SelfSelection,
+        PolicyChoice::RoundRobin,
+        PolicyChoice::RequesterCentric,
+        PolicyChoice::OnlineGreedy,
+        PolicyChoice::WorkerCentric,
+        PolicyChoice::Kos { l: 3, r: 5 },
+        PolicyChoice::ParityOver(Box::new(PolicyChoice::RequesterCentric)),
+        PolicyChoice::FloorOver(Box::new(PolicyChoice::RequesterCentric), 8),
+    ];
+
+    let engine = AuditEngine::with_defaults();
+    let mut table = TextTable::new([
+        "policy",
+        "A1",
+        "A2",
+        "exposure-gini",
+        "disparity",
+        "quality",
+        "paid/$",
+        "retention",
+    ])
+    .numeric();
+
+    for policy in policies {
+        let traces = run_seeds(|seed| presets::labeling_market(seed, policy.clone()));
+        let reports: Vec<_> = traces
+            .iter()
+            .map(|t| {
+                engine.run_axioms(
+                    t,
+                    &[AxiomId::A1WorkerAssignment, AxiomId::A2RequesterAssignment],
+                )
+            })
+            .collect();
+        let a1 = mean(reports.iter().map(|r| r.score_of(AxiomId::A1WorkerAssignment)));
+        let a2 = mean(
+            reports
+                .iter()
+                .map(|r| r.score_of(AxiomId::A2RequesterAssignment)),
+        );
+        let gini = mean(traces.iter().map(metrics::exposure_gini));
+        let disparity = mean(
+            traces
+                .iter()
+                .map(|t| metrics::access_disparity(t, &engine.config().similarity)),
+        );
+        let quality = mean(
+            traces
+                .iter()
+                .map(|t| metrics::label_quality(t).unwrap_or(0.0)),
+        );
+        let paid = mean(
+            traces
+                .iter()
+                .map(|t| metrics::total_payout(t).as_dollars_f64()),
+        );
+        let retention = mean(traces.iter().map(metrics::retention));
+
+        table.row([
+            policy.label(),
+            f3(a1),
+            f3(a2),
+            f3(gini),
+            f3(disparity),
+            f3(quality),
+            f2(paid),
+            f3(retention),
+        ]);
+    }
+
+    print!("{}", table.render());
+    println!(
+        "\nreading: self-selection/round-robin are the fair anchors (A1≈1); \
+         requester-centric discriminates hardest (lowest A1, highest gini); \
+         parity/floor wrappers repair exposure while keeping the base policy's \
+         assignments."
+    );
+
+    // Ablation: the paper makes similarity a *parameter* of the axioms
+    // ("from perfect equality to threshold-based"). The same
+    // requester-centric trace is audited under three regimes; stricter
+    // similarity shrinks the quantifier domain and can hide
+    // discrimination entirely.
+    println!("\nablation: similarity regime on the requester-centric trace");
+    let traces = run_seeds(|seed| presets::labeling_market(seed, PolicyChoice::RequesterCentric));
+    let regimes: Vec<(&str, SimilarityConfig)> = vec![
+        ("exact (perfect equality)", SimilarityConfig::exact()),
+        ("default (threshold 0.9)", SimilarityConfig::default()),
+        ("lenient (threshold 0.7)", SimilarityConfig::lenient()),
+    ];
+    let mut ablation = TextTable::new(["similarity regime", "A1", "pairs-checked", "violations"])
+        .numeric();
+    for (name, similarity) in regimes {
+        let engine = AuditEngine::new(AuditConfig {
+            similarity,
+            max_witnesses: 0,
+        });
+        let reports: Vec<_> = traces
+            .iter()
+            .map(|t| engine.run_axioms(t, &[AxiomId::A1WorkerAssignment]))
+            .collect();
+        let a1 = mean(reports.iter().map(|r| r.score_of(AxiomId::A1WorkerAssignment)));
+        let pairs = mean(reports.iter().map(|r| {
+            r.axiom(AxiomId::A1WorkerAssignment).unwrap().checked as f64
+        }));
+        let violations = mean(reports.iter().map(|r| r.total_violations() as f64));
+        ablation.row([name.to_owned(), f3(a1), f2(pairs), f2(violations)]);
+    }
+    print!("{}", ablation.render());
+    println!(
+        "\nablation reading: under perfect-equality similarity almost no worker \
+         pairs qualify as 'similar', so the same discriminatory trace audits \
+         clean — threshold choice is where the teeth of Axiom 1 live."
+    );
+}

@@ -1,0 +1,179 @@
+//! E2 — Fairness in worker compensation.
+//!
+//! Paper source: §3.1.1 "In Worker Compensation" (wrongful rejection,
+//! reneged bonuses, unequal pay for equal contributions), §2.1
+//! (quality-based reward schemes, Wang–Ipeirotis–Provost [21]), Axiom 3.
+//!
+//! The same labeling market runs under different compensation regimes.
+//! Fixed-price with fair approval is the Axiom-3 anchor; noisy
+//! quality-based pricing pays objectively identical contributions
+//! differently; wrongful rejection leaves identical work unpaid; a
+//! reneging requester shows up in retention, not in Axiom 3 — exactly the
+//! distinction the axioms are designed to draw.
+
+use faircrowd_bench::{banner, f2, f3, mean, run_seeds, TextTable};
+use faircrowd_core::{metrics, AuditEngine, AxiomId};
+use faircrowd_model::disclosure::DisclosureSet;
+use faircrowd_model::money::Credits;
+use faircrowd_pay::scheme::BonusPolicy;
+use faircrowd_quality::spam::WorkerArchetype;
+use faircrowd_sim::{
+    ApprovalPolicy, CampaignSpec, PaymentSchemeChoice, PolicyChoice, ScenarioConfig,
+    WorkerPopulation,
+};
+
+struct Regime {
+    label: &'static str,
+    payment: PaymentSchemeChoice,
+    approval: ApprovalPolicy,
+    bonus: Option<BonusPolicy>,
+}
+
+fn base(seed: u64, regime: &Regime) -> ScenarioConfig {
+    ScenarioConfig {
+        seed,
+        rounds: 48,
+        n_skills: 0,
+        workers: vec![
+            WorkerPopulation::diligent(30),
+            WorkerPopulation::of(WorkerArchetype::Sloppy, 6),
+        ],
+        campaigns: vec![CampaignSpec {
+            assignments_per_task: 4,
+            bonus: regime.bonus,
+            ..CampaignSpec::labeling("acme", 80, 10)
+        }],
+        policy: PolicyChoice::SelfSelection,
+        disclosure: DisclosureSet::fully_transparent(),
+        approval: regime.approval,
+        payment: regime.payment,
+        ..Default::default()
+    }
+}
+
+fn main() {
+    banner(
+        "E2",
+        "compensation schemes vs Axiom 3",
+        "paper §3.1.1 worker compensation, §2.1 [21]; Axiom 3",
+    );
+
+    let fair_approval = ApprovalPolicy::QualityThreshold {
+        threshold: 0.5,
+        noise: 0.1,
+        give_feedback: true,
+    };
+    let regimes = vec![
+        Regime {
+            label: "fixed + fair approval",
+            payment: PaymentSchemeChoice::Fixed,
+            approval: fair_approval,
+            bonus: None,
+        },
+        Regime {
+            label: "fixed + wrongful rejection (p=.3, no feedback)",
+            payment: PaymentSchemeChoice::Fixed,
+            approval: ApprovalPolicy::RandomReject {
+                reject_prob: 0.3,
+                give_feedback: false,
+            },
+            bonus: None,
+        },
+        Regime {
+            label: "quality-based saturating (.5/.9) + fair approval",
+            payment: PaymentSchemeChoice::QualityBased {
+                floor: 0.5,
+                full_quality: 0.9,
+            },
+            approval: fair_approval,
+            bonus: None,
+        },
+        Regime {
+            label: "quality-based ramp (.5/1.0) + fair approval",
+            payment: PaymentSchemeChoice::QualityBased {
+                floor: 0.5,
+                full_quality: 1.0,
+            },
+            approval: fair_approval,
+            bonus: None,
+        },
+        Regime {
+            label: "quality-based strict (.8/1.0) + fair approval",
+            payment: PaymentSchemeChoice::QualityBased {
+                floor: 0.8,
+                full_quality: 1.0,
+            },
+            approval: fair_approval,
+            bonus: None,
+        },
+        Regime {
+            label: "fixed + honoured bonus",
+            payment: PaymentSchemeChoice::Fixed,
+            approval: fair_approval,
+            bonus: Some(BonusPolicy {
+                amount: Credits::from_cents(5),
+                quality_threshold: 0.9,
+                honoured: true,
+            }),
+        },
+        Regime {
+            label: "fixed + RENEGED bonus",
+            payment: PaymentSchemeChoice::Fixed,
+            approval: fair_approval,
+            bonus: Some(BonusPolicy {
+                amount: Credits::from_cents(5),
+                quality_threshold: 0.9,
+                honoured: false,
+            }),
+        },
+    ];
+
+    let engine = AuditEngine::with_defaults();
+    let mut table = TextTable::new([
+        "regime",
+        "A3",
+        "wage-gini",
+        "hourly/$",
+        "cost/$",
+        "retention",
+    ])
+    .numeric();
+
+    for regime in &regimes {
+        let traces = run_seeds(|seed| base(seed, regime));
+        let a3 = mean(traces.iter().map(|t| {
+            engine
+                .run_axioms(t, &[AxiomId::A3Compensation])
+                .score_of(AxiomId::A3Compensation)
+        }));
+        let wages: Vec<_> = traces.iter().map(metrics::wage_stats).collect();
+        let gini = mean(wages.iter().map(|w| w.gini));
+        let hourly = mean(wages.iter().map(|w| w.mean));
+        let cost = mean(
+            traces
+                .iter()
+                .map(|t| metrics::total_payout(t).as_dollars_f64()),
+        );
+        let retention = mean(traces.iter().map(metrics::retention));
+        table.row([
+            regime.label.to_owned(),
+            f3(a3),
+            f3(gini),
+            f2(hourly),
+            f2(cost),
+            f3(retention),
+        ]);
+    }
+
+    print!("{}", table.render());
+    println!(
+        "\nreading: fixed-price is the Axiom-3 anchor. The saturating \
+         quality scheme (.5/.9) is de-facto fixed-price for approved work \
+         (every accepted label clears the full-pay knee) and stays fair; \
+         non-saturating ramps pay noisy estimates of identical work \
+         differently and A3 collapses. Wrongful rejection leaves identical \
+         contributions unpaid (A3 and retention both drop). Bonus reneging \
+         is invisible to A3 but devastates retention — the harm the \
+         compensation axiom alone cannot see."
+    );
+}

@@ -1,0 +1,170 @@
+//! E3 — Malicious-worker detection.
+//!
+//! Paper source: §2.1 (Vuurens et al. [20]: "nearly 40% of the answers
+//! they received from AMT were from malicious users"), Axiom 4.
+//!
+//! A labeling market runs with increasing malicious fractions (including
+//! the paper's 40% point). For each trace we evaluate four detectors
+//! offline against the simulator's ground truth — agreement/repetition
+//! scoring (Vuurens-style), the same plus the speed signal, Dawid–Skene
+//! reliability thresholding, and gold-question screening — and measure
+//! precision/recall/F1 plus the aggregated-answer accuracy before and
+//! after filtering the flagged workers out of the majority vote.
+
+use faircrowd_bench::{banner, f3, mean, presets, run_seeds, TextTable};
+use faircrowd_model::contribution::Contribution;
+use faircrowd_model::ids::WorkerId;
+use faircrowd_model::task::TaskKind;
+use faircrowd_model::trace::Trace;
+use faircrowd_quality::answers::AnswerSet;
+use faircrowd_quality::dawid_skene::DawidSkene;
+use faircrowd_quality::gold::GoldSet;
+use faircrowd_quality::majority::{majority_vote, weighted_majority_vote};
+use faircrowd_quality::metrics::{label_accuracy, DetectionCounts};
+use faircrowd_quality::spam::SpamDetector;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Rebuild the detection inputs from a trace.
+fn answers_of(trace: &Trace) -> (AnswerSet, BTreeMap<WorkerId, Vec<(faircrowd_model::time::SimDuration, faircrowd_model::time::SimDuration)>>) {
+    let mut set = AnswerSet::new(2);
+    let mut durations: BTreeMap<WorkerId, Vec<_>> = BTreeMap::new();
+    for s in &trace.submissions {
+        if let Contribution::Label(l) = s.contribution {
+            if let Some(task) = trace.task(s.task) {
+                if matches!(task.kind, TaskKind::Labeling { .. }) {
+                    set.record(s.worker, s.task, l);
+                    durations
+                        .entry(s.worker)
+                        .or_default()
+                        .push((s.work_duration(), task.est_duration));
+                }
+            }
+        }
+    }
+    (set, durations)
+}
+
+struct DetectorRun {
+    name: &'static str,
+    flagged: BTreeSet<WorkerId>,
+}
+
+fn run_detectors(trace: &Trace) -> Vec<DetectorRun> {
+    let (answers, durations) = answers_of(trace);
+    let mut out = Vec::new();
+
+    let agreement_only = SpamDetector {
+        w_speed: 0.0,
+        ..SpamDetector::default()
+    };
+    out.push(DetectorRun {
+        name: "agreement+repetition",
+        flagged: agreement_only.flag(&answers, None).into_iter().collect(),
+    });
+    out.push(DetectorRun {
+        name: "agreement+rep+speed",
+        flagged: SpamDetector::default()
+            .flag(&answers, Some(&durations))
+            .into_iter()
+            .collect(),
+    });
+
+    // Dawid–Skene reliability threshold.
+    let ds = DawidSkene::default().run(&answers);
+    out.push(DetectorRun {
+        name: "dawid-skene (rel<.6)",
+        flagged: ds
+            .reliability
+            .iter()
+            .filter(|(_, &r)| r < 0.6)
+            .map(|(&w, _)| w)
+            .collect(),
+    });
+
+    // Gold screening: every 5th task doubles as a gold question (20%
+    // gold is the high end of realistic honeypot budgets).
+    let mut gold = GoldSet::new();
+    for (i, (&task, &label)) in trace.ground_truth.true_labels.iter().enumerate() {
+        if i % 5 == 0 {
+            gold.insert(task, label);
+        }
+    }
+    out.push(DetectorRun {
+        name: "gold 20% (acc<.6)",
+        flagged: gold.flag_workers(&answers, 0.6, 3).into_iter().collect(),
+    });
+
+    out
+}
+
+fn main() {
+    banner(
+        "E3",
+        "malicious-worker detection across spam levels",
+        "paper §2.1 [20] (the 40% observation); Axiom 4",
+    );
+
+    let mut table = TextTable::new([
+        "spam-frac",
+        "detector",
+        "precision",
+        "recall",
+        "F1",
+        "acc-raw",
+        "acc-filtered",
+    ])
+    .numeric();
+
+    for fraction in [0.1, 0.2, 0.4, 0.6] {
+        let traces = run_seeds(|seed| presets::spam_market(seed, fraction));
+        // detector name -> per-seed measurements
+        let mut rows: BTreeMap<&'static str, Vec<[f64; 5]>> = BTreeMap::new();
+        for trace in &traces {
+            let (answers, _) = answers_of(trace);
+            let universe: BTreeSet<WorkerId> =
+                trace.submissions.iter().map(|s| s.worker).collect();
+            let malicious: BTreeSet<WorkerId> = trace
+                .ground_truth
+                .malicious_workers
+                .intersection(&universe)
+                .copied()
+                .collect();
+            let raw_acc = label_accuracy(&majority_vote(&answers), &trace.ground_truth.true_labels);
+            for run in run_detectors(trace) {
+                let counts = DetectionCounts::evaluate(&run.flagged, &malicious, &universe);
+                // silence flagged workers, re-aggregate
+                let weights: BTreeMap<WorkerId, f64> =
+                    run.flagged.iter().map(|&w| (w, 0.0)).collect();
+                let filtered = weighted_majority_vote(&answers, &weights);
+                let filtered_acc = label_accuracy(&filtered, &trace.ground_truth.true_labels);
+                rows.entry(run.name).or_default().push([
+                    counts.precision(),
+                    counts.recall(),
+                    counts.f1(),
+                    raw_acc,
+                    filtered_acc,
+                ]);
+            }
+        }
+        for (name, samples) in rows {
+            let avg = |k: usize| mean(samples.iter().map(|s| s[k]));
+            table.row([
+                format!("{:.0}%", fraction * 100.0),
+                name.to_owned(),
+                f3(avg(0)),
+                f3(avg(1)),
+                f3(avg(2)),
+                f3(avg(3)),
+                f3(avg(4)),
+            ]);
+        }
+    }
+
+    print!("{}", table.render());
+    println!(
+        "\nreading: detection holds up through the paper's 40% spam point \
+         (filtered accuracy > raw accuracy); at 60% the majority itself is \
+         compromised and agreement-based detection degrades — gold questions, \
+         which do not rely on peer agreement, degrade most gracefully."
+    );
+}

@@ -1,0 +1,95 @@
+//! E5 — The transparency language across platforms.
+//!
+//! Paper source: §3.3.2 ("declarative high-level language … rules can be
+//! translated into human-readable descriptions … easy comparison across
+//! platforms"), §1/§2.2 (the platform and plug-in landscape the catalog
+//! encodes), Axioms 6–7.
+//!
+//! Table 1: per catalog policy — rule counts, effective grants, Axiom-6/7
+//! coverage, rendered description length, and parse+compile time.
+//! Table 2: the pairwise grant-similarity matrix (the cross-platform
+//! comparison the paper calls for).
+
+use faircrowd_bench::{banner, f2, f3, TextTable};
+use faircrowd_lang::{catalog, compare, compile, render};
+use std::time::Instant;
+
+fn main() {
+    banner(
+        "E5",
+        "transparency policies across platforms",
+        "paper §3.3.2 declarative language; Axioms 6-7",
+    );
+
+    let sources = catalog::sources();
+    let policies: Vec<_> = sources
+        .iter()
+        .map(|(_, src)| faircrowd_lang::compile_one(src).expect("catalog compiles"))
+        .collect();
+
+    let mut table = TextTable::new([
+        "policy",
+        "rules",
+        "grants",
+        "axiom6",
+        "axiom7",
+        "desc-lines",
+        "compile-us",
+    ])
+    .numeric();
+
+    for (policy, (_, src)) in policies.iter().zip(&sources) {
+        let set = policy.disclosure_set();
+        let description = render::render_policy(policy);
+        // compile time over enough repetitions to be measurable
+        let reps = 200;
+        let start = Instant::now();
+        for _ in 0..reps {
+            let _ = compile(src).expect("compiles");
+        }
+        let micros = start.elapsed().as_micros() as f64 / reps as f64;
+        table.row([
+            policy.name.clone(),
+            policy.rule_count().to_string(),
+            set.len().to_string(),
+            f2(set.axiom6_coverage()),
+            f2(set.axiom7_coverage()),
+            (description.lines().count() - 1).to_string(),
+            f2(micros),
+        ]);
+    }
+    print!("{}", table.render());
+
+    // Pairwise comparison matrix.
+    println!("\npairwise grant similarity (Jaccard of effective grants):");
+    let mut matrix = TextTable::new(
+        std::iter::once("policy".to_owned()).chain(policies.iter().map(|p| p.name.clone())),
+    )
+    .numeric();
+    for a in &policies {
+        let mut row = vec![a.name.clone()];
+        for b in &policies {
+            row.push(f3(compare(a, b).grant_similarity()));
+        }
+        matrix.row(row);
+    }
+    print!("{}", matrix.render());
+
+    // One rendered example and one full diff, as the paper's worker-facing
+    // and analyst-facing outputs.
+    println!();
+    print!(
+        "{}",
+        render::render_policy(catalog::by_name("crowdflower").as_ref().unwrap())
+    );
+    println!();
+    let amt = catalog::by_name("amt").unwrap();
+    let full = catalog::by_name("faircrowd-full").unwrap();
+    print!("{}", compare(&amt, &full).render());
+    println!(
+        "\nreading: the worker-tool ecosystem (turkopticon row) lifts stock AMT's \
+         axiom-6 coverage without platform cooperation; only the fair-by-design \
+         policy reaches 1.0 on both axioms; compile cost is microseconds, so \
+         policies can be evaluated per page-load."
+    );
+}

@@ -1,0 +1,90 @@
+//! P2 — Assignment-policy scaling.
+//!
+//! Criterion micro-benchmark: one assignment round on markets of
+//! increasing size for every policy, including the enforcement wrappers.
+//! Worker-centric (Hungarian, O(n³) on the capacity-expanded matrix) is
+//! the expensive one; the rest are near-linear in edges.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faircrowd_assign::{
+    AssignInput, AssignmentPolicy, ExposureParity, KosAllocation, OnlineMatching,
+    RequesterCentric, RoundRobin, SelfSelection, TaskView, WorkerCentric, WorkerView,
+};
+use faircrowd_model::ids::{RequesterId, TaskId, WorkerId};
+use faircrowd_model::money::Credits;
+use faircrowd_model::skills::SkillVector;
+use faircrowd_model::time::SimDuration;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn market(n_workers: u32, n_tasks: u32, seed: u64) -> AssignInput {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let skills = |rng: &mut StdRng| {
+        SkillVector::from_bools((0..8).map(|_| rng.gen_bool(0.5)))
+    };
+    AssignInput {
+        tasks: (0..n_tasks)
+            .map(|i| TaskView {
+                id: TaskId::new(i),
+                requester: RequesterId::new(i % 3),
+                skills: SkillVector::from_bools((0..8).map(|_| rng.gen_bool(0.15))),
+                reward: Credits::from_cents(rng.gen_range(5..30)),
+                slots: rng.gen_range(1..4),
+                est_duration: SimDuration::from_mins(5),
+            })
+            .collect(),
+        workers: (0..n_workers)
+            .map(|i| WorkerView {
+                id: WorkerId::new(i),
+                skills: skills(&mut rng),
+                quality: rng.gen_range(0.3..1.0),
+                capacity: rng.gen_range(1..4),
+            })
+            .collect(),
+    }
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assign_round");
+    group.sample_size(10);
+    let sizes = [(50u32, 50u32), (150, 100), (300, 200)];
+    for (nw, nt) in sizes {
+        let input = market(nw, nt, 42);
+        let run = |policy: &mut dyn AssignmentPolicy| {
+            let mut rng = StdRng::seed_from_u64(7);
+            black_box(policy.assign(black_box(&input), &mut rng))
+        };
+        group.bench_function(BenchmarkId::new("self-selection", format!("{nw}x{nt}")), |b| {
+            b.iter(|| run(&mut SelfSelection))
+        });
+        group.bench_function(BenchmarkId::new("round-robin", format!("{nw}x{nt}")), |b| {
+            b.iter(|| run(&mut RoundRobin))
+        });
+        group.bench_function(
+            BenchmarkId::new("requester-centric", format!("{nw}x{nt}")),
+            |b| b.iter(|| run(&mut RequesterCentric)),
+        );
+        group.bench_function(BenchmarkId::new("online-greedy", format!("{nw}x{nt}")), |b| {
+            b.iter(|| run(&mut OnlineMatching))
+        });
+        group.bench_function(BenchmarkId::new("kos(3,5)", format!("{nw}x{nt}")), |b| {
+            b.iter(|| run(&mut KosAllocation { l: 3, r: 5 }))
+        });
+        group.bench_function(
+            BenchmarkId::new("parity[req-centric]", format!("{nw}x{nt}")),
+            |b| b.iter(|| run(&mut ExposureParity::new(RequesterCentric))),
+        );
+        // Hungarian only on the smaller instances (cubic).
+        if nw <= 150 {
+            group.bench_function(
+                BenchmarkId::new("worker-centric", format!("{nw}x{nt}")),
+                |b| b.iter(|| run(&mut WorkerCentric)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

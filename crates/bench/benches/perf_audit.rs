@@ -1,0 +1,54 @@
+//! P1 — Audit-engine throughput.
+//!
+//! Criterion micro-benchmark: full seven-axiom audits over traces of
+//! increasing size. The axiom checkers are quadratic in worker/task pairs
+//! (the quantifier domains), so this is the scaling knob that matters for
+//! auditing a real platform's day of logs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faircrowd_bench::presets;
+use faircrowd_core::AuditEngine;
+use faircrowd_model::trace::Trace;
+use faircrowd_sim::{PolicyChoice, Simulation, WorkerPopulation};
+use std::hint::black_box;
+
+fn trace_of_size(workers: u32, tasks: u32) -> Trace {
+    let mut cfg = presets::labeling_market(7, PolicyChoice::SelfSelection);
+    cfg.workers = vec![WorkerPopulation::diligent(workers)];
+    cfg.campaigns[0].n_tasks = tasks;
+    cfg.campaigns[1].n_tasks = tasks;
+    cfg.rounds = 24;
+    Simulation::new(cfg).run()
+}
+
+fn bench_audit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("audit_full");
+    group.sample_size(10);
+    for (workers, tasks) in [(25u32, 40u32), (50, 80), (100, 160)] {
+        let trace = trace_of_size(workers, tasks);
+        let engine = AuditEngine::with_defaults();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{workers}w-{}t", tasks * 2)),
+            &trace,
+            |b, trace| b.iter(|| black_box(engine.run(black_box(trace)))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_single_axioms(c: &mut Criterion) {
+    use faircrowd_core::AxiomId;
+    let trace = trace_of_size(50, 80);
+    let engine = AuditEngine::with_defaults();
+    let mut group = c.benchmark_group("audit_single_axiom");
+    group.sample_size(10);
+    for id in AxiomId::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(id.label()), &id, |b, &id| {
+            b.iter(|| black_box(engine.run_axioms(black_box(&trace), &[id])))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_audit, bench_single_axioms);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! P4 — Transparency-language pipeline cost.
+//!
+//! Criterion micro-benchmark: lexing+parsing+checking the largest catalog
+//! policy, rendering it to human-readable text, computing its disclosure
+//! set, and comparing two policies. Policies must be cheap enough to
+//! evaluate on every page load; this bench demonstrates they are.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use faircrowd_lang::{catalog, compare, compile, render};
+use faircrowd_model::similarity::SimilarityConfig;
+use faircrowd_model::skills::SkillVector;
+use faircrowd_model::text::ngram_cosine;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let source = catalog::FAIRCROWD_FULL;
+    let policy = faircrowd_lang::compile_one(source).unwrap();
+    let other = catalog::by_name("crowdflower").unwrap();
+    let mut group = c.benchmark_group("tpl");
+    group.bench_function("compile_faircrowd_full", |b| {
+        b.iter(|| black_box(compile(black_box(source)).unwrap()))
+    });
+    group.bench_function("render_policy", |b| {
+        b.iter(|| black_box(render::render_policy(black_box(&policy))))
+    });
+    group.bench_function("disclosure_set", |b| {
+        b.iter(|| black_box(black_box(&policy).disclosure_set()))
+    });
+    group.bench_function("compare_policies", |b| {
+        b.iter(|| black_box(compare(black_box(&policy), black_box(&other))))
+    });
+    group.finish();
+}
+
+fn bench_similarity_kernels(c: &mut Criterion) {
+    // The similarity kernels the axioms hammer: 256-bit skill cosine and
+    // trigram text cosine on realistic contribution sizes.
+    let a = SkillVector::from_bools((0..256).map(|i| i % 3 == 0));
+    let b = SkillVector::from_bools((0..256).map(|i| i % 5 == 0));
+    let text_a = "the committee approved the annual budget proposal after a long debate \
+                  about infrastructure spending priorities for the coming fiscal year";
+    let text_b = "the committee approved an annual budget proposal after long debates \
+                  about infrastructure spending priorities for the next fiscal year";
+    let cfg = SimilarityConfig::default();
+    let mut group = c.benchmark_group("similarity_kernels");
+    group.bench_function("skill_cosine_256", |b_| {
+        b_.iter(|| black_box(black_box(&a).cosine(black_box(&b))))
+    });
+    group.bench_function("skill_measure_dispatch", |b_| {
+        b_.iter(|| black_box(cfg.skill_measure.score(black_box(&a), black_box(&b))))
+    });
+    group.bench_function("trigram_cosine_140chars", |b_| {
+        b_.iter(|| black_box(ngram_cosine(black_box(text_a), black_box(text_b), 3)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_similarity_kernels);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! P3 — Truth-inference and detection kernels.
+//!
+//! Criterion micro-benchmark: majority vote, Dawid–Skene EM, KOS
+//! message-passing decoding and the spam detector on a synthetic answer
+//! matrix (50 workers × 300 binary tasks, 5 answers per task).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use faircrowd_model::ids::{TaskId, WorkerId};
+use faircrowd_quality::answers::AnswerSet;
+use faircrowd_quality::dawid_skene::DawidSkene;
+use faircrowd_quality::kos;
+use faircrowd_quality::majority::majority_vote;
+use faircrowd_quality::spam::SpamDetector;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn synthetic_answers(workers: u32, tasks: u32, per_task: usize, seed: u64) -> AnswerSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set = AnswerSet::new(2);
+    let mut pool: Vec<u32> = (0..workers).collect();
+    for t in 0..tasks {
+        let truth: u8 = rng.gen_range(0..2);
+        pool.shuffle(&mut rng);
+        for &w in pool.iter().take(per_task) {
+            // workers 0..80% are 85% accurate, the rest random
+            let label = if w < workers * 4 / 5 {
+                if rng.gen_bool(0.85) {
+                    truth
+                } else {
+                    1 - truth
+                }
+            } else {
+                rng.gen_range(0..2)
+            };
+            set.record(WorkerId::new(w), TaskId::new(t), label);
+        }
+    }
+    set
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let answers = synthetic_answers(50, 300, 5, 11);
+    let mut group = c.benchmark_group("truth_inference");
+    group.sample_size(10);
+    group.bench_function("majority_vote", |b| {
+        b.iter(|| black_box(majority_vote(black_box(&answers))))
+    });
+    group.bench_function("dawid_skene_em", |b| {
+        b.iter(|| black_box(DawidSkene::default().run(black_box(&answers))))
+    });
+    group.bench_function("kos_decode_10iters", |b| {
+        b.iter(|| black_box(kos::decode(black_box(&answers), 10)))
+    });
+    group.bench_function("spam_detector", |b| {
+        b.iter(|| black_box(SpamDetector::default().score(black_box(&answers), None)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! The seven axiom checkers.
+//!
+//! One module per axiom, in the paper's numbering. All checkers are pure
+//! functions of `(trace, similarity config)` and can be run individually
+//! or through the [`crate::audit::AuditEngine`].
+
+pub mod a1;
+pub mod a2;
+pub mod a3;
+pub mod a4;
+pub mod a5;
+pub mod a6;
+pub mod a7;
+
+#[cfg(test)]
+pub(crate) mod fixtures;
+
+pub use a1::WorkerAssignmentFairness;
+pub use a2::RequesterAssignmentFairness;
+pub use a3::CompensationFairness;
+pub use a4::MaliceDetection;
+pub use a5::NoInterruption;
+pub use a6::RequesterTransparency;
+pub use a7::PlatformTransparency;
+
+use crate::axiom::Axiom;
+use crate::axiom::AxiomId;
+
+/// Instantiate the checker for an axiom id.
+pub fn checker_for(id: AxiomId) -> Box<dyn Axiom> {
+    match id {
+        AxiomId::A1WorkerAssignment => Box::new(WorkerAssignmentFairness),
+        AxiomId::A2RequesterAssignment => Box::new(RequesterAssignmentFairness),
+        AxiomId::A3Compensation => Box::new(CompensationFairness),
+        AxiomId::A4MaliceDetection => Box::new(MaliceDetection),
+        AxiomId::A5NoInterruption => Box::new(NoInterruption),
+        AxiomId::A6RequesterTransparency => Box::new(RequesterTransparency),
+        AxiomId::A7PlatformTransparency => Box::new(PlatformTransparency),
+    }
+}
+
+/// Composite worker-to-worker similarity under a configurable skill
+/// kernel: the minimum of the declared-attribute, computed-attribute and
+/// skill similarities (Axiom 1 requires **all three** to be similar).
+pub(crate) fn worker_similarity(
+    a: &faircrowd_model::worker::Worker,
+    b: &faircrowd_model::worker::Worker,
+    cfg: &faircrowd_model::similarity::SimilarityConfig,
+) -> f64 {
+    let declared = a.declared.similarity(&b.declared);
+    let computed = a.computed.similarity(&b.computed);
+    let skills = cfg.skill_measure.score(&a.skills, &b.skills);
+    declared.min(computed).min(skills)
+}
+
+/// Jaccard overlap of two id sets; 1.0 when both are empty.
+pub(crate) fn set_jaccard<T: Ord>(
+    a: &std::collections::BTreeSet<T>,
+    b: &std::collections::BTreeSet<T>,
+) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn checker_for_every_axiom() {
+        for id in AxiomId::ALL {
+            assert_eq!(checker_for(id).id(), id);
+        }
+    }
+
+    #[test]
+    fn jaccard_edges() {
+        let empty: BTreeSet<u32> = BTreeSet::new();
+        assert_eq!(set_jaccard(&empty, &empty), 1.0);
+        let a: BTreeSet<u32> = [1, 2].into_iter().collect();
+        let b: BTreeSet<u32> = [2, 3].into_iter().collect();
+        assert!((set_jaccard(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(set_jaccard(&a, &empty), 0.0);
+    }
+}

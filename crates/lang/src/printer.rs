@@ -1,0 +1,108 @@
+//! Canonical TPL pretty-printing.
+//!
+//! The paper's sharing story (§3.3.2 — "the declarative nature of those
+//! rules will allow easy comparison across platforms") needs policies to
+//! travel: a platform exports its policy, another tool re-imports it.
+//! [`print_policy`] emits canonical TPL source for a compiled policy, and
+//! the round-trip law `compile(print(p)) ≡ p` (same rules, same grants)
+//! is enforced by property tests.
+
+use crate::sema::{CompiledCondition, CompiledPolicy};
+use std::fmt::Write as _;
+
+/// Escape a policy name for a TPL string literal.
+fn escape(name: &str) -> String {
+    name.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Emit canonical TPL source for a compiled policy.
+///
+/// Canonical form: no audience definitions (built-in audience names are
+/// used directly), one `disclose` line per rule in rule order, then one
+/// `require` line per requirement; `always` conditions are implicit.
+pub fn print_policy(policy: &CompiledPolicy) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "policy \"{}\" {{", escape(&policy.name));
+    for rule in &policy.rules {
+        let _ = write!(
+            out,
+            "    disclose {} to {}",
+            rule.item.name(),
+            rule.audience.name()
+        );
+        if let CompiledCondition::When(ctx) = rule.condition {
+            let _ = write!(out, " when {}", ctx.name());
+        }
+        let _ = writeln!(out, ";");
+    }
+    for req in &policy.requirements {
+        // `require` accepts the full dotted item name, so canonical form
+        // uses it rather than the short aliases.
+        let _ = write!(out, "    require requester discloses {}", req.item.name());
+        if let Some(ctx) = req.before {
+            let _ = write!(out, " before {}", ctx.name());
+        }
+        let _ = writeln!(out, ";");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::compile_one;
+
+    #[test]
+    fn roundtrip_preserves_catalog_policies() {
+        for (name, source) in catalog::sources() {
+            let original = compile_one(source).unwrap();
+            let printed = print_policy(&original);
+            let reparsed = compile_one(&printed)
+                .unwrap_or_else(|e| panic!("printed `{name}` must re-compile:\n{printed}\n{e}"));
+            assert_eq!(original.rules, reparsed.rules, "{name}: rules differ");
+            assert_eq!(
+                original.requirements, reparsed.requirements,
+                "{name}: requirements differ"
+            );
+            assert_eq!(
+                original.disclosure_set(),
+                reparsed.disclosure_set(),
+                "{name}: grants differ"
+            );
+        }
+    }
+
+    #[test]
+    fn printing_is_canonical_fixed_point() {
+        let p = compile_one(catalog::CROWDFLOWER).unwrap();
+        let once = print_policy(&p);
+        let twice = print_policy(&compile_one(&once).unwrap());
+        assert_eq!(once, twice, "printing must be a fixed point");
+    }
+
+    #[test]
+    fn escapes_hostile_names() {
+        let mut p = compile_one(r#"policy "x" { disclose task.rating to public; }"#).unwrap();
+        p.name = "evil \"quote\" \\slash".into();
+        let printed = print_policy(&p);
+        let reparsed = compile_one(&printed).unwrap();
+        assert_eq!(reparsed.name, p.name);
+    }
+
+    #[test]
+    fn always_condition_is_implicit() {
+        let p = compile_one(r#"policy "p" { disclose task.rating to public always; }"#).unwrap();
+        let printed = print_policy(&p);
+        assert!(!printed.contains("always"), "{printed}");
+        assert!(printed.contains("disclose task.rating to public;"));
+    }
+
+    #[test]
+    fn when_condition_is_printed() {
+        let p = compile_one(r#"policy "p" { disclose task.rating to workers when browsing; }"#)
+            .unwrap();
+        assert!(print_policy(&p).contains("to workers when browsing;"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Contributions and submissions.
+//!
+//! Axiom 3 (fairness in worker compensation) compares **contributions** to
+//! the same task: "if their contributions are similar, they should receive
+//! the same reward". The paper prescribes kind-specific similarity
+//! measures: n-grams for textual contributions [Damashek 95], Discounted
+//! Cumulative Gain for ranked lists [Järvelin–Kekäläinen 02]. This module
+//! ties those measures (implemented in [`crate::text`] and
+//! [`crate::ranking`]) to a contribution enum.
+
+use crate::ids::{SubmissionId, TaskId, WorkerId};
+use crate::ranking;
+use crate::text;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One worker's answer to one task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Contribution {
+    /// A categorical label (image class, sentiment, …).
+    Label(u8),
+    /// Free text (summary, translation, …).
+    Text(String),
+    /// A ranked list of item indices, best first.
+    Ranking(Vec<u16>),
+    /// A numeric estimate.
+    Numeric(f64),
+}
+
+impl Contribution {
+    /// Similarity between two contributions in `[0, 1]`, using the
+    /// kind-appropriate measure from the paper:
+    ///
+    /// * labels — exact equality;
+    /// * text — cosine over character n-gram profiles (Damashek);
+    /// * rankings — normalised-DCG agreement, symmetrised;
+    /// * numerics — relative closeness.
+    ///
+    /// Contributions of different kinds have similarity 0.
+    pub fn similarity(&self, other: &Contribution) -> f64 {
+        match (self, other) {
+            (Contribution::Label(a), Contribution::Label(b)) => f64::from(a == b),
+            (Contribution::Text(a), Contribution::Text(b)) => text::ngram_cosine(a, b, 3),
+            (Contribution::Ranking(a), Contribution::Ranking(b)) => {
+                ranking::ranking_similarity(a, b)
+            }
+            (Contribution::Numeric(a), Contribution::Numeric(b)) => {
+                if a == b {
+                    1.0
+                } else {
+                    let denom = a.abs().max(b.abs());
+                    if denom == 0.0 {
+                        1.0
+                    } else {
+                        (1.0 - (a - b).abs() / denom).clamp(0.0, 1.0)
+                    }
+                }
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Short kind name for reports.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Contribution::Label(_) => "label",
+            Contribution::Text(_) => "text",
+            Contribution::Ranking(_) => "ranking",
+            Contribution::Numeric(_) => "numeric",
+        }
+    }
+}
+
+/// A submission: a contribution with its provenance and timing. The
+/// interval `started_at..submitted_at` is the worker's invested time, which
+/// wage fairness (effective hourly wage) and Axiom 5 (interruption) care
+/// about.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Submission {
+    /// Unique submission id.
+    pub id: SubmissionId,
+    /// The task answered.
+    pub task: TaskId,
+    /// The answering worker.
+    pub worker: WorkerId,
+    /// The answer.
+    pub contribution: Contribution,
+    /// When the worker started working.
+    pub started_at: SimTime,
+    /// When the work was submitted.
+    pub submitted_at: SimTime,
+}
+
+impl Submission {
+    /// Time the worker invested in this submission.
+    pub fn work_duration(&self) -> crate::time::SimDuration {
+        self.submitted_at.since(self.started_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn label_similarity_is_equality() {
+        assert_eq!(Contribution::Label(1).similarity(&Contribution::Label(1)), 1.0);
+        assert_eq!(Contribution::Label(1).similarity(&Contribution::Label(2)), 0.0);
+    }
+
+    #[test]
+    fn text_similarity_uses_ngrams() {
+        let a = Contribution::Text("the quick brown fox jumps over the lazy dog".into());
+        let b = Contribution::Text("the quick brown fox jumped over the lazy dog".into());
+        let c = Contribution::Text("completely unrelated gibberish zzz qqq".into());
+        let sab = a.similarity(&b);
+        let sac = a.similarity(&c);
+        assert!(sab > 0.8, "near-identical texts should be similar: {sab}");
+        assert!(sac < 0.3, "unrelated texts should differ: {sac}");
+        assert!((a.similarity(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranking_similarity_monotone() {
+        let truth = Contribution::Ranking(vec![0, 1, 2, 3, 4]);
+        let close = Contribution::Ranking(vec![0, 1, 2, 4, 3]);
+        let far = Contribution::Ranking(vec![4, 3, 2, 1, 0]);
+        let sc = truth.similarity(&close);
+        let sf = truth.similarity(&far);
+        assert!(sc > sf);
+        assert!((truth.similarity(&truth) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn numeric_similarity() {
+        let a = Contribution::Numeric(100.0);
+        let b = Contribution::Numeric(90.0);
+        assert!((a.similarity(&b) - 0.9).abs() < 1e-12);
+        assert_eq!(
+            Contribution::Numeric(0.0).similarity(&Contribution::Numeric(0.0)),
+            1.0
+        );
+    }
+
+    #[test]
+    fn cross_kind_similarity_is_zero() {
+        assert_eq!(
+            Contribution::Label(0).similarity(&Contribution::Text("x".into())),
+            0.0
+        );
+        assert_eq!(
+            Contribution::Ranking(vec![0]).similarity(&Contribution::Numeric(1.0)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn submission_duration() {
+        let s = Submission {
+            id: SubmissionId::new(0),
+            task: TaskId::new(0),
+            worker: WorkerId::new(0),
+            contribution: Contribution::Label(1),
+            started_at: SimTime::from_secs(100),
+            submitted_at: SimTime::from_secs(400),
+        };
+        assert_eq!(s.work_duration(), SimDuration::from_secs(300));
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(Contribution::Label(0).kind_name(), "label");
+        assert_eq!(Contribution::Text(String::new()).kind_name(), "text");
+        assert_eq!(Contribution::Ranking(vec![]).kind_name(), "ranking");
+        assert_eq!(Contribution::Numeric(0.0).kind_name(), "numeric");
+    }
+}

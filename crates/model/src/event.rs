@@ -1,0 +1,433 @@
+//! The audit-log event vocabulary.
+//!
+//! Every fairness axiom in the paper quantifies over *observable platform
+//! behaviour*: which tasks were shown to whom (Axioms 1–2), who was paid
+//! what for which contribution (Axiom 3), whether malicious behaviour could
+//! be detected (Axiom 4), who was interrupted mid-task (Axiom 5), and what
+//! was disclosed (Axioms 6–7). The simulator emits this log; the audit
+//! engine replays it. An auditable platform is precisely one that keeps
+//! such a log.
+
+use crate::disclosure::DisclosureItem;
+use crate::ids::{RequesterId, SubmissionId, TaskId, WorkerId};
+use crate::money::Credits;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Why a task was cancelled before all assignments completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CancelReason {
+    /// The requester reached the target number of acceptable responses
+    /// (the survey-overposting scenario of §3.1.1).
+    TargetReached,
+    /// The campaign budget ran out.
+    BudgetExhausted,
+    /// The requester withdrew the task for other reasons.
+    Withdrawn,
+}
+
+/// Why a worker left the platform for good.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuitReason {
+    /// Accumulated frustration with unfair/opaque treatment (the retention
+    /// mechanism of §1 and §4.1).
+    Frustration,
+    /// Unrelated natural churn.
+    NaturalChurn,
+}
+
+/// One entry in the audit log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A requester posted a task.
+    TaskPosted {
+        /// The task.
+        task: TaskId,
+        /// The posting requester.
+        requester: RequesterId,
+    },
+    /// The platform made a task visible to a worker (exposure). Axioms 1–2
+    /// quantify over exactly these events.
+    TaskVisible {
+        /// The task shown.
+        task: TaskId,
+        /// The worker it was shown to.
+        worker: WorkerId,
+    },
+    /// A worker accepted (claimed) a task assignment.
+    TaskAccepted {
+        /// The task.
+        task: TaskId,
+        /// The accepting worker.
+        worker: WorkerId,
+    },
+    /// A worker began working.
+    WorkStarted {
+        /// The task.
+        task: TaskId,
+        /// The worker.
+        worker: WorkerId,
+    },
+    /// A worker submitted a contribution.
+    SubmissionReceived {
+        /// The submission.
+        submission: SubmissionId,
+        /// The task answered.
+        task: TaskId,
+        /// The submitting worker.
+        worker: WorkerId,
+    },
+    /// The requester approved a submission.
+    SubmissionApproved {
+        /// The submission.
+        submission: SubmissionId,
+        /// The task.
+        task: TaskId,
+        /// The worker.
+        worker: WorkerId,
+    },
+    /// The requester rejected a submission. `feedback` carries the
+    /// explanation if one was given — rejections without feedback are the
+    /// requester-opacity scenario of §3.1.2.
+    SubmissionRejected {
+        /// The submission.
+        submission: SubmissionId,
+        /// The task.
+        task: TaskId,
+        /// The worker.
+        worker: WorkerId,
+        /// The explanation given to the worker, if any.
+        feedback: Option<String>,
+    },
+    /// Money actually moved to a worker.
+    PaymentIssued {
+        /// The paid submission.
+        submission: SubmissionId,
+        /// The task.
+        task: TaskId,
+        /// The paid worker.
+        worker: WorkerId,
+        /// The amount paid.
+        amount: Credits,
+    },
+    /// A requester promised a bonus.
+    BonusPromised {
+        /// The worker promised to.
+        worker: WorkerId,
+        /// The promising requester.
+        requester: RequesterId,
+        /// The promised amount.
+        amount: Credits,
+    },
+    /// A promised bonus was paid.
+    BonusPaid {
+        /// The worker paid.
+        worker: WorkerId,
+        /// The paying requester.
+        requester: RequesterId,
+        /// The amount.
+        amount: Credits,
+    },
+    /// A promised bonus was *not* paid (the reneging scenario of §3.1.1).
+    BonusReneged {
+        /// The stiffed worker.
+        worker: WorkerId,
+        /// The reneging requester.
+        requester: RequesterId,
+        /// The amount promised but withheld.
+        amount: Credits,
+    },
+    /// A task was cancelled.
+    TaskCanceled {
+        /// The task.
+        task: TaskId,
+        /// Why.
+        reason: CancelReason,
+    },
+    /// A worker's in-progress work was cut off by a cancellation — the
+    /// Axiom 5 violation witness.
+    WorkInterrupted {
+        /// The task.
+        task: TaskId,
+        /// The interrupted worker.
+        worker: WorkerId,
+        /// Time the worker had already invested.
+        invested: SimDuration,
+        /// Whether the worker was compensated for the partial work.
+        compensated: bool,
+    },
+    /// A detection mechanism flagged a worker as suspicious (Axiom 4).
+    WorkerFlagged {
+        /// The flagged worker.
+        worker: WorkerId,
+        /// Suspicion score in `[0, 1]`.
+        score: f64,
+        /// Which detector fired.
+        detector: String,
+    },
+    /// The platform showed a disclosure item to a worker.
+    DisclosureShown {
+        /// The viewing worker.
+        worker: WorkerId,
+        /// What was shown.
+        item: DisclosureItem,
+    },
+    /// A worker came online.
+    SessionStarted {
+        /// The worker.
+        worker: WorkerId,
+    },
+    /// A worker went offline.
+    SessionEnded {
+        /// The worker.
+        worker: WorkerId,
+    },
+    /// A worker left the platform permanently.
+    WorkerQuit {
+        /// The worker.
+        worker: WorkerId,
+        /// Why.
+        reason: QuitReason,
+    },
+}
+
+impl EventKind {
+    /// Short tag for reports and counting.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::TaskPosted { .. } => "task_posted",
+            EventKind::TaskVisible { .. } => "task_visible",
+            EventKind::TaskAccepted { .. } => "task_accepted",
+            EventKind::WorkStarted { .. } => "work_started",
+            EventKind::SubmissionReceived { .. } => "submission_received",
+            EventKind::SubmissionApproved { .. } => "submission_approved",
+            EventKind::SubmissionRejected { .. } => "submission_rejected",
+            EventKind::PaymentIssued { .. } => "payment_issued",
+            EventKind::BonusPromised { .. } => "bonus_promised",
+            EventKind::BonusPaid { .. } => "bonus_paid",
+            EventKind::BonusReneged { .. } => "bonus_reneged",
+            EventKind::TaskCanceled { .. } => "task_canceled",
+            EventKind::WorkInterrupted { .. } => "work_interrupted",
+            EventKind::WorkerFlagged { .. } => "worker_flagged",
+            EventKind::DisclosureShown { .. } => "disclosure_shown",
+            EventKind::SessionStarted { .. } => "session_started",
+            EventKind::SessionEnded { .. } => "session_ended",
+            EventKind::WorkerQuit { .. } => "worker_quit",
+        }
+    }
+
+    /// The worker an event concerns, if any.
+    pub fn worker(&self) -> Option<WorkerId> {
+        match self {
+            EventKind::TaskVisible { worker, .. }
+            | EventKind::TaskAccepted { worker, .. }
+            | EventKind::WorkStarted { worker, .. }
+            | EventKind::SubmissionReceived { worker, .. }
+            | EventKind::SubmissionApproved { worker, .. }
+            | EventKind::SubmissionRejected { worker, .. }
+            | EventKind::PaymentIssued { worker, .. }
+            | EventKind::BonusPromised { worker, .. }
+            | EventKind::BonusPaid { worker, .. }
+            | EventKind::BonusReneged { worker, .. }
+            | EventKind::WorkInterrupted { worker, .. }
+            | EventKind::WorkerFlagged { worker, .. }
+            | EventKind::DisclosureShown { worker, .. }
+            | EventKind::SessionStarted { worker }
+            | EventKind::SessionEnded { worker }
+            | EventKind::WorkerQuit { worker, .. } => Some(*worker),
+            EventKind::TaskPosted { .. } | EventKind::TaskCanceled { .. } => None,
+        }
+    }
+
+    /// The task an event concerns, if any.
+    pub fn task(&self) -> Option<TaskId> {
+        match self {
+            EventKind::TaskPosted { task, .. }
+            | EventKind::TaskVisible { task, .. }
+            | EventKind::TaskAccepted { task, .. }
+            | EventKind::WorkStarted { task, .. }
+            | EventKind::SubmissionReceived { task, .. }
+            | EventKind::SubmissionApproved { task, .. }
+            | EventKind::SubmissionRejected { task, .. }
+            | EventKind::PaymentIssued { task, .. }
+            | EventKind::TaskCanceled { task, .. }
+            | EventKind::WorkInterrupted { task, .. } => Some(*task),
+            _ => None,
+        }
+    }
+}
+
+/// A timestamped, sequence-numbered audit-log entry. The sequence number
+/// makes ordering total even within one tick.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// When the event happened.
+    pub time: SimTime,
+    /// Monotonic sequence number within the log.
+    pub seq: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// An append-only audit log.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EventLog {
+    events: Vec<Event>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event; the log assigns the sequence number.
+    pub fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.events.len() as u64;
+        self.events.push(Event { time, seq, kind });
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterate in log order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.events.iter()
+    }
+
+    /// All events as a slice.
+    pub fn as_slice(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Count events whose kind matches a predicate.
+    pub fn count_where<F: Fn(&EventKind) -> bool>(&self, pred: F) -> usize {
+        self.events.iter().filter(|e| pred(&e.kind)).count()
+    }
+
+    /// Verify the log invariants: sequence numbers dense and timestamps
+    /// non-decreasing. Returns the first violated position, if any.
+    pub fn check_integrity(&self) -> Result<(), usize> {
+        let mut last_time = SimTime::ZERO;
+        for (i, e) in self.events.iter().enumerate() {
+            if e.seq != i as u64 || e.time < last_time {
+                return Err(i);
+            }
+            last_time = e.time;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a EventLog {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_with(kinds: Vec<EventKind>) -> EventLog {
+        let mut log = EventLog::new();
+        for (i, k) in kinds.into_iter().enumerate() {
+            log.push(SimTime::from_secs(i as u64), k);
+        }
+        log
+    }
+
+    #[test]
+    fn push_assigns_dense_seq() {
+        let log = log_with(vec![
+            EventKind::SessionStarted {
+                worker: WorkerId::new(0),
+            },
+            EventKind::SessionEnded {
+                worker: WorkerId::new(0),
+            },
+        ]);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.as_slice()[0].seq, 0);
+        assert_eq!(log.as_slice()[1].seq, 1);
+        assert!(log.check_integrity().is_ok());
+    }
+
+    #[test]
+    fn integrity_detects_time_regression() {
+        let mut log = EventLog::new();
+        log.push(
+            SimTime::from_secs(10),
+            EventKind::SessionStarted {
+                worker: WorkerId::new(0),
+            },
+        );
+        log.push(
+            SimTime::from_secs(5),
+            EventKind::SessionEnded {
+                worker: WorkerId::new(0),
+            },
+        );
+        assert_eq!(log.check_integrity(), Err(1));
+    }
+
+    #[test]
+    fn worker_and_task_extraction() {
+        let k = EventKind::PaymentIssued {
+            submission: SubmissionId::new(1),
+            task: TaskId::new(2),
+            worker: WorkerId::new(3),
+            amount: Credits::from_cents(10),
+        };
+        assert_eq!(k.worker(), Some(WorkerId::new(3)));
+        assert_eq!(k.task(), Some(TaskId::new(2)));
+        let p = EventKind::TaskPosted {
+            task: TaskId::new(0),
+            requester: RequesterId::new(0),
+        };
+        assert_eq!(p.worker(), None);
+        assert_eq!(p.task(), Some(TaskId::new(0)));
+    }
+
+    #[test]
+    fn count_where_filters() {
+        let log = log_with(vec![
+            EventKind::TaskVisible {
+                task: TaskId::new(0),
+                worker: WorkerId::new(0),
+            },
+            EventKind::TaskVisible {
+                task: TaskId::new(0),
+                worker: WorkerId::new(1),
+            },
+            EventKind::SessionStarted {
+                worker: WorkerId::new(0),
+            },
+        ]);
+        assert_eq!(
+            log.count_where(|k| matches!(k, EventKind::TaskVisible { .. })),
+            2
+        );
+        assert_eq!(log.count_where(|k| k.tag() == "session_started"), 1);
+    }
+
+    #[test]
+    fn tags_are_stable() {
+        let k = EventKind::WorkInterrupted {
+            task: TaskId::new(0),
+            worker: WorkerId::new(0),
+            invested: SimDuration::from_mins(3),
+            compensated: false,
+        };
+        assert_eq!(k.tag(), "work_interrupted");
+    }
+}

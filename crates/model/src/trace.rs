@@ -1,0 +1,337 @@
+//! Platform traces.
+//!
+//! A [`Trace`] is the complete observable record of a platform run: the
+//! entity tables (workers, tasks, requesters) in their final state, every
+//! submission, the audit [`EventLog`], the [`DisclosureSet`] the platform
+//! operated under, and — for *evaluation only* — the simulator's ground
+//! truth. The audit engine in `faircrowd-core` consumes traces; the
+//! simulator in `faircrowd-sim` produces them; hand-built traces drive the
+//! axiom unit tests.
+
+use crate::contribution::Submission;
+use crate::disclosure::DisclosureSet;
+use crate::event::{Event, EventKind, EventLog};
+use crate::ids::{RequesterId, SubmissionId, TaskId, WorkerId};
+use crate::money::Credits;
+use crate::requester::Requester;
+use crate::task::Task;
+use crate::time::SimTime;
+use crate::worker::Worker;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Evaluation-only ground truth carried alongside a trace.
+///
+/// A real platform does not know which workers are malicious or what the
+/// true labels are; the simulator does, and experiments use this to score
+/// detector precision/recall (E3) and contribution quality (E6). Axiom
+/// checkers never read it except where the experiment explicitly evaluates
+/// detection effectiveness.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Workers that behaved maliciously by construction.
+    pub malicious_workers: BTreeSet<WorkerId>,
+    /// True labels for labeling tasks.
+    pub true_labels: BTreeMap<TaskId, u8>,
+}
+
+/// The complete observable record of a platform run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Workers in their end-of-run state.
+    pub workers: Vec<Worker>,
+    /// All tasks ever posted.
+    pub tasks: Vec<Task>,
+    /// Requesters in their end-of-run state.
+    pub requesters: Vec<Requester>,
+    /// Every submission received.
+    pub submissions: Vec<Submission>,
+    /// The audit log.
+    pub events: EventLog,
+    /// The disclosure configuration the platform ran under.
+    pub disclosure: DisclosureSet,
+    /// Simulation end time.
+    pub horizon: SimTime,
+    /// Evaluation-only ground truth.
+    pub ground_truth: GroundTruth,
+}
+
+impl Trace {
+    /// Look up a worker by id.
+    pub fn worker(&self, id: WorkerId) -> Option<&Worker> {
+        self.workers.iter().find(|w| w.id == id)
+    }
+
+    /// Look up a task by id.
+    pub fn task(&self, id: TaskId) -> Option<&Task> {
+        self.tasks.iter().find(|t| t.id == id)
+    }
+
+    /// Look up a requester by id.
+    pub fn requester(&self, id: RequesterId) -> Option<&Requester> {
+        self.requesters.iter().find(|r| r.id == id)
+    }
+
+    /// Look up a submission by id.
+    pub fn submission(&self, id: SubmissionId) -> Option<&Submission> {
+        self.submissions.iter().find(|s| s.id == id)
+    }
+
+    /// The access map Axioms 1–2 quantify over: for every worker, the set
+    /// of tasks the platform made visible to her.
+    pub fn visibility_map(&self) -> BTreeMap<WorkerId, BTreeSet<TaskId>> {
+        let mut map: BTreeMap<WorkerId, BTreeSet<TaskId>> = BTreeMap::new();
+        // Every known worker appears, even with an empty access set —
+        // "no access at all" is the strongest discrimination signal.
+        for w in &self.workers {
+            map.entry(w.id).or_default();
+        }
+        for e in &self.events {
+            if let EventKind::TaskVisible { task, worker } = e.kind {
+                map.entry(worker).or_default().insert(task);
+            }
+        }
+        map
+    }
+
+    /// For every task, the set of workers it was shown to (the Axiom 2
+    /// view of the same events).
+    pub fn audience_map(&self) -> BTreeMap<TaskId, BTreeSet<WorkerId>> {
+        let mut map: BTreeMap<TaskId, BTreeSet<WorkerId>> = BTreeMap::new();
+        for t in &self.tasks {
+            map.entry(t.id).or_default();
+        }
+        for e in &self.events {
+            if let EventKind::TaskVisible { task, worker } = e.kind {
+                map.entry(task).or_default().insert(worker);
+            }
+        }
+        map
+    }
+
+    /// Total amount actually paid per submission.
+    pub fn payment_by_submission(&self) -> BTreeMap<SubmissionId, Credits> {
+        let mut map: BTreeMap<SubmissionId, Credits> = BTreeMap::new();
+        for e in &self.events {
+            if let EventKind::PaymentIssued {
+                submission, amount, ..
+            } = e.kind
+            {
+                *map.entry(submission).or_insert(Credits::ZERO) += amount;
+            }
+        }
+        map
+    }
+
+    /// Total earnings per worker (payments plus honoured bonuses).
+    pub fn earnings_by_worker(&self) -> BTreeMap<WorkerId, Credits> {
+        let mut map: BTreeMap<WorkerId, Credits> = BTreeMap::new();
+        for w in &self.workers {
+            map.entry(w.id).or_insert(Credits::ZERO);
+        }
+        for e in &self.events {
+            match e.kind {
+                EventKind::PaymentIssued { worker, amount, .. }
+                | EventKind::BonusPaid { worker, amount, .. } => {
+                    *map.entry(worker).or_insert(Credits::ZERO) += amount;
+                }
+                _ => {}
+            }
+        }
+        map
+    }
+
+    /// Submissions grouped by task, in submission order.
+    pub fn submissions_by_task(&self) -> BTreeMap<TaskId, Vec<&Submission>> {
+        let mut map: BTreeMap<TaskId, Vec<&Submission>> = BTreeMap::new();
+        for s in &self.submissions {
+            map.entry(s.task).or_default().push(s);
+        }
+        map
+    }
+
+    /// Events of one kind, via a filter-map projection.
+    pub fn events_where<'a, T, F>(&'a self, f: F) -> Vec<T>
+    where
+        F: Fn(&'a Event) -> Option<T> + 'a,
+    {
+        self.events.iter().filter_map(f).collect()
+    }
+
+    /// Workers who quit, with reasons.
+    pub fn quits(&self) -> Vec<(WorkerId, crate::event::QuitReason, SimTime)> {
+        self.events_where(|e| match e.kind {
+            EventKind::WorkerQuit { worker, reason } => Some((worker, reason, e.time)),
+            _ => None,
+        })
+    }
+
+    /// Internal consistency checks a well-formed trace must satisfy:
+    /// log integrity, submissions referencing known workers/tasks, and
+    /// payment events referencing known submissions. Returns a list of
+    /// human-readable problems (empty = consistent).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if let Err(i) = self.events.check_integrity() {
+            problems.push(format!("event log integrity violated at index {i}"));
+        }
+        let worker_ids: BTreeSet<WorkerId> = self.workers.iter().map(|w| w.id).collect();
+        let task_ids: BTreeSet<TaskId> = self.tasks.iter().map(|t| t.id).collect();
+        let sub_ids: BTreeSet<SubmissionId> = self.submissions.iter().map(|s| s.id).collect();
+        for s in &self.submissions {
+            if !worker_ids.contains(&s.worker) {
+                problems.push(format!("submission {} from unknown worker {}", s.id, s.worker));
+            }
+            if !task_ids.contains(&s.task) {
+                problems.push(format!("submission {} for unknown task {}", s.id, s.task));
+            }
+            if s.submitted_at < s.started_at {
+                problems.push(format!("submission {} finishes before it starts", s.id));
+            }
+        }
+        for e in &self.events {
+            if let EventKind::PaymentIssued { submission, .. } = e.kind {
+                if !sub_ids.contains(&submission) {
+                    problems.push(format!("payment for unknown submission {submission}"));
+                }
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::DeclaredAttrs;
+    use crate::contribution::Contribution;
+    use crate::skills::SkillVector;
+    use crate::task::TaskBuilder;
+
+    fn tiny_trace() -> Trace {
+        let mut trace = Trace::default();
+        let w0 = Worker::new(WorkerId::new(0), DeclaredAttrs::new(), SkillVector::with_len(2));
+        let w1 = Worker::new(WorkerId::new(1), DeclaredAttrs::new(), SkillVector::with_len(2));
+        trace.workers = vec![w0, w1];
+        trace.tasks = vec![TaskBuilder::new(
+            TaskId::new(0),
+            RequesterId::new(0),
+            SkillVector::with_len(2),
+            Credits::from_cents(10),
+        )
+        .build()];
+        trace.requesters = vec![Requester::new(RequesterId::new(0), "acme")];
+        trace.submissions = vec![Submission {
+            id: SubmissionId::new(0),
+            task: TaskId::new(0),
+            worker: WorkerId::new(0),
+            contribution: Contribution::Label(1),
+            started_at: SimTime::from_secs(10),
+            submitted_at: SimTime::from_secs(70),
+        }];
+        trace.events.push(
+            SimTime::from_secs(0),
+            EventKind::TaskPosted {
+                task: TaskId::new(0),
+                requester: RequesterId::new(0),
+            },
+        );
+        trace.events.push(
+            SimTime::from_secs(1),
+            EventKind::TaskVisible {
+                task: TaskId::new(0),
+                worker: WorkerId::new(0),
+            },
+        );
+        trace.events.push(
+            SimTime::from_secs(80),
+            EventKind::PaymentIssued {
+                submission: SubmissionId::new(0),
+                task: TaskId::new(0),
+                worker: WorkerId::new(0),
+                amount: Credits::from_cents(10),
+            },
+        );
+        trace.horizon = SimTime::from_secs(100);
+        trace
+    }
+
+    #[test]
+    fn visibility_map_includes_unexposed_workers() {
+        let trace = tiny_trace();
+        let vis = trace.visibility_map();
+        assert_eq!(vis.len(), 2);
+        assert_eq!(vis[&WorkerId::new(0)].len(), 1);
+        assert!(vis[&WorkerId::new(1)].is_empty(), "w1 saw nothing");
+    }
+
+    #[test]
+    fn audience_map_inverts_visibility() {
+        let trace = tiny_trace();
+        let aud = trace.audience_map();
+        assert!(aud[&TaskId::new(0)].contains(&WorkerId::new(0)));
+        assert!(!aud[&TaskId::new(0)].contains(&WorkerId::new(1)));
+    }
+
+    #[test]
+    fn payments_aggregate() {
+        let trace = tiny_trace();
+        let pay = trace.payment_by_submission();
+        assert_eq!(pay[&SubmissionId::new(0)], Credits::from_cents(10));
+        let earn = trace.earnings_by_worker();
+        assert_eq!(earn[&WorkerId::new(0)], Credits::from_cents(10));
+        assert_eq!(earn[&WorkerId::new(1)], Credits::ZERO);
+    }
+
+    #[test]
+    fn lookups_work() {
+        let trace = tiny_trace();
+        assert!(trace.worker(WorkerId::new(1)).is_some());
+        assert!(trace.worker(WorkerId::new(9)).is_none());
+        assert!(trace.task(TaskId::new(0)).is_some());
+        assert!(trace.requester(RequesterId::new(0)).is_some());
+        assert!(trace.submission(SubmissionId::new(0)).is_some());
+    }
+
+    #[test]
+    fn valid_trace_validates() {
+        assert!(tiny_trace().validate().is_empty());
+    }
+
+    #[test]
+    fn validation_catches_dangling_references() {
+        let mut trace = tiny_trace();
+        trace.submissions.push(Submission {
+            id: SubmissionId::new(9),
+            task: TaskId::new(42),
+            worker: WorkerId::new(42),
+            contribution: Contribution::Label(0),
+            started_at: SimTime::from_secs(5),
+            submitted_at: SimTime::from_secs(2),
+        });
+        let problems = trace.validate();
+        assert_eq!(problems.len(), 3, "{problems:?}");
+    }
+
+    #[test]
+    fn validation_catches_payment_to_unknown_submission() {
+        let mut trace = tiny_trace();
+        trace.events.push(
+            SimTime::from_secs(99),
+            EventKind::PaymentIssued {
+                submission: SubmissionId::new(77),
+                task: TaskId::new(0),
+                worker: WorkerId::new(0),
+                amount: Credits::from_cents(1),
+            },
+        );
+        assert_eq!(trace.validate().len(), 1);
+    }
+
+    #[test]
+    fn submissions_by_task_groups() {
+        let trace = tiny_trace();
+        let by_task = trace.submissions_by_task();
+        assert_eq!(by_task[&TaskId::new(0)].len(), 1);
+    }
+}

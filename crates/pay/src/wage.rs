@@ -1,0 +1,127 @@
+//! Effective wages and wage-inequality statistics.
+//!
+//! The transparency tools the paper surveys (Crowd-Workers \[3\], Turkbench
+//! \[6\]) exist to disclose **expected hourly wages**; the fairness
+//! literature it cites (\[2\], \[17\]) frames wage discrimination as the core
+//! harm. This module computes effective hourly wages from payments and
+//! invested time, and inequality indices over the resulting distribution.
+
+use faircrowd_model::money::Credits;
+use faircrowd_model::stats;
+use faircrowd_model::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Effective hourly wage: earnings divided by invested time. `None` when
+/// no time was invested (a wage is meaningless without work).
+pub fn hourly_wage(earned: Credits, worked: SimDuration) -> Option<Credits> {
+    let hours = worked.as_hours_f64();
+    if hours <= 0.0 {
+        return None;
+    }
+    Some(earned.mul_f64(1.0 / hours))
+}
+
+/// Distribution statistics over a set of wages (dollars/hour as `f64` for
+/// the indices; exact money stays in [`Credits`] upstream).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WageStats {
+    /// Number of workers measured.
+    pub n: usize,
+    /// Mean hourly wage in dollars.
+    pub mean: f64,
+    /// Median hourly wage in dollars.
+    pub median: f64,
+    /// 10th percentile (the "worst-off worker" view fairness cares about).
+    pub p10: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Gini coefficient of the wage distribution.
+    pub gini: f64,
+    /// Theil T index.
+    pub theil: f64,
+    /// Jain's fairness index.
+    pub jain: f64,
+}
+
+impl WageStats {
+    /// Compute statistics from per-worker hourly wages.
+    pub fn from_wages(wages: &[Credits]) -> WageStats {
+        let xs: Vec<f64> = wages.iter().map(|c| c.as_dollars_f64()).collect();
+        WageStats {
+            n: xs.len(),
+            mean: stats::mean(&xs),
+            median: stats::median(&xs),
+            p10: stats::percentile(&xs, 10.0),
+            p90: stats::percentile(&xs, 90.0),
+            gini: stats::gini(&xs),
+            theil: stats::theil(&xs),
+            jain: stats::jain_index(&xs),
+        }
+    }
+
+    /// Compute statistics from (earned, worked) pairs, skipping workers
+    /// with no invested time.
+    pub fn from_earnings(pairs: &[(Credits, SimDuration)]) -> WageStats {
+        let wages: Vec<Credits> = pairs
+            .iter()
+            .filter_map(|&(earned, worked)| hourly_wage(earned, worked))
+            .collect();
+        Self::from_wages(&wages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hourly_wage_basic() {
+        // 30 cents for 15 minutes -> $1.20/h
+        let w = hourly_wage(Credits::from_cents(30), SimDuration::from_mins(15)).unwrap();
+        assert_eq!(w, Credits::from_cents(120));
+        assert!(hourly_wage(Credits::from_cents(30), SimDuration::ZERO).is_none());
+    }
+
+    #[test]
+    fn stats_on_equal_wages() {
+        let wages = vec![Credits::from_dollars(6); 5];
+        let s = WageStats::from_wages(&wages);
+        assert_eq!(s.n, 5);
+        assert!((s.mean - 6.0).abs() < 1e-9);
+        assert!((s.gini).abs() < 1e-9);
+        assert!((s.jain - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_detect_inequality() {
+        let unequal = vec![
+            Credits::from_dollars(1),
+            Credits::from_dollars(1),
+            Credits::from_dollars(20),
+        ];
+        let s = WageStats::from_wages(&unequal);
+        assert!(s.gini > 0.3);
+        assert!(s.jain < 0.7);
+        assert!(s.theil > 0.0);
+        assert!(s.p90 > s.p10);
+    }
+
+    #[test]
+    fn from_earnings_skips_zero_time() {
+        let pairs = vec![
+            (Credits::from_cents(60), SimDuration::from_mins(30)), // $1.20/h
+            (Credits::from_cents(100), SimDuration::ZERO),         // skipped
+        ];
+        let s = WageStats::from_earnings(&pairs);
+        assert_eq!(s.n, 1);
+        assert!((s.mean - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_input() {
+        let s = WageStats::from_wages(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.jain, 1.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for reward splitting and wage statistics — the money
+//! paths where a single lost millicent would make audits lie.
+
+use faircrowd_model::money::Credits;
+use faircrowd_model::time::SimDuration;
+use faircrowd_pay::scheme::{split_equal, split_proportional, CompensationScheme, PayContext, QualityBased};
+use faircrowd_pay::wage::{hourly_wage, WageStats};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn proportional_split_is_exact_for_any_weights(
+        total in 0i64..5_000_000,
+        weights in prop::collection::vec(0.0f64..100.0, 1..20),
+    ) {
+        let total = Credits::from_millicents(total);
+        let shares = split_proportional(total, &weights);
+        prop_assert_eq!(shares.len(), weights.len());
+        prop_assert_eq!(shares.iter().copied().sum::<Credits>(), total);
+        prop_assert!(shares.iter().all(|s| s.millicents() >= 0));
+    }
+
+    #[test]
+    fn proportional_split_orders_by_weight(
+        total in 1000i64..1_000_000,
+        w_small in 0.1f64..5.0,
+        delta in 0.5f64..5.0,
+    ) {
+        let total = Credits::from_millicents(total);
+        let shares = split_proportional(total, &[w_small, w_small + delta]);
+        prop_assert!(
+            shares[0] <= shares[1],
+            "heavier weight must never earn less: {shares:?}"
+        );
+    }
+
+    #[test]
+    fn equal_split_equals_uniform_proportional(
+        total in 0i64..1_000_000,
+        n in 1usize..15,
+    ) {
+        let total = Credits::from_millicents(total);
+        let equal = split_equal(total, n);
+        let uniform = split_proportional(total, &vec![1.0; n]);
+        // both are exact and maximally even; totals must agree and the
+        // per-share spread of each stays within one millicent
+        prop_assert_eq!(
+            equal.iter().copied().sum::<Credits>(),
+            uniform.iter().copied().sum::<Credits>()
+        );
+        for shares in [&equal, &uniform] {
+            let max = shares.iter().map(|c| c.millicents()).max().unwrap();
+            let min = shares.iter().map(|c| c.millicents()).min().unwrap();
+            prop_assert!(max - min <= 1);
+        }
+    }
+
+    #[test]
+    fn quality_ramp_is_monotone_and_bounded(
+        reward in 0i64..100_000,
+        floor in 0.0f64..0.9,
+        width in 0.01f64..0.5,
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let scheme = QualityBased {
+            floor,
+            full_quality: (floor + width).min(1.0),
+        };
+        let ctx = |q: f64| PayContext {
+            task_reward: Credits::from_millicents(reward),
+            quality: q,
+            work_duration: SimDuration::from_mins(5),
+        };
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let pay_lo = scheme.payout(&ctx(lo));
+        let pay_hi = scheme.payout(&ctx(hi));
+        prop_assert!(pay_lo <= pay_hi, "quality pay must be monotone");
+        prop_assert!(pay_hi <= Credits::from_millicents(reward));
+        prop_assert!(pay_lo >= Credits::ZERO);
+    }
+
+    #[test]
+    fn hourly_wage_scales_linearly(
+        earned in 0i64..1_000_000,
+        minutes in 1u64..600,
+    ) {
+        let earned = Credits::from_millicents(earned);
+        let wage = hourly_wage(earned, SimDuration::from_mins(minutes)).unwrap();
+        // double the time, (about) half the wage — exact up to rounding
+        let half = hourly_wage(earned, SimDuration::from_mins(minutes * 2)).unwrap();
+        let expect = wage.millicents() / 2;
+        prop_assert!((half.millicents() - expect).abs() <= 1);
+    }
+
+    #[test]
+    fn wage_stats_are_bounded_and_consistent(
+        wages in prop::collection::vec(0i64..10_000_000, 0..30),
+    ) {
+        let wages: Vec<Credits> = wages.into_iter().map(Credits::from_millicents).collect();
+        let s = WageStats::from_wages(&wages);
+        prop_assert_eq!(s.n, wages.len());
+        prop_assert!((0.0..=1.0).contains(&s.gini));
+        prop_assert!(s.jain > 0.0 && s.jain <= 1.0 + 1e-9);
+        prop_assert!(s.p10 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.p90 + 1e-9);
+        if s.n > 0 {
+            prop_assert!(s.min() <= s.mean + 1e-9);
+        }
+    }
+}
+
+/// Tiny extension trait so the property above reads naturally.
+trait MinOfStats {
+    fn min(&self) -> f64;
+}
+impl MinOfStats for WageStats {
+    fn min(&self) -> f64 {
+        self.p10.min(self.median)
+    }
+}

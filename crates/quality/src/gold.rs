@@ -1,0 +1,185 @@
+//! Gold-question screening.
+//!
+//! The oldest detection mechanism in crowdsourcing: seed the task stream
+//! with questions whose answers are known ("gold" / honeypots) and score
+//! each worker by her accuracy on them. Workers below threshold are
+//! flagged. Gold screening is requester-side detection — exactly the
+//! capability Axiom 4 demands the platform support.
+
+use crate::answers::AnswerSet;
+use faircrowd_model::ids::{TaskId, WorkerId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A set of tasks with known answers.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GoldSet {
+    truth: BTreeMap<TaskId, u8>,
+}
+
+/// A worker's performance on gold questions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GoldScore {
+    /// Gold questions the worker answered.
+    pub answered: usize,
+    /// Of those, answered correctly.
+    pub correct: usize,
+}
+
+impl GoldScore {
+    /// Accuracy on gold; 1.0 when no gold was answered (no evidence).
+    pub fn accuracy(&self) -> f64 {
+        if self.answered == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.answered as f64
+        }
+    }
+}
+
+impl GoldSet {
+    /// An empty gold set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a gold task and its true label.
+    pub fn insert(&mut self, task: TaskId, label: u8) {
+        self.truth.insert(task, label);
+    }
+
+    /// Builder-style insert.
+    pub fn with(mut self, task: TaskId, label: u8) -> Self {
+        self.insert(task, label);
+        self
+    }
+
+    /// Is this task a gold question?
+    pub fn contains(&self, task: TaskId) -> bool {
+        self.truth.contains_key(&task)
+    }
+
+    /// The true label of a gold task.
+    pub fn label(&self, task: TaskId) -> Option<u8> {
+        self.truth.get(&task).copied()
+    }
+
+    /// Number of gold tasks.
+    pub fn len(&self) -> usize {
+        self.truth.len()
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.truth.is_empty()
+    }
+
+    /// Score every worker who answered at least one gold question.
+    pub fn score_workers(&self, answers: &AnswerSet) -> BTreeMap<WorkerId, GoldScore> {
+        let mut scores: BTreeMap<WorkerId, GoldScore> = BTreeMap::new();
+        for a in answers.answers() {
+            if let Some(truth) = self.label(a.task) {
+                let s = scores.entry(a.worker).or_insert(GoldScore {
+                    answered: 0,
+                    correct: 0,
+                });
+                s.answered += 1;
+                if a.label == truth {
+                    s.correct += 1;
+                }
+            }
+        }
+        scores
+    }
+
+    /// Workers flagged as suspicious: answered at least `min_answered`
+    /// gold questions with accuracy strictly below `threshold`.
+    pub fn flag_workers(
+        &self,
+        answers: &AnswerSet,
+        threshold: f64,
+        min_answered: usize,
+    ) -> Vec<WorkerId> {
+        self.score_workers(answers)
+            .into_iter()
+            .filter(|(_, s)| s.answered >= min_answered && s.accuracy() < threshold)
+            .map(|(w, _)| w)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(i: u32) -> WorkerId {
+        WorkerId::new(i)
+    }
+    fn t(i: u32) -> TaskId {
+        TaskId::new(i)
+    }
+
+    fn gold3() -> GoldSet {
+        GoldSet::new().with(t(0), 1).with(t(1), 0).with(t(2), 1)
+    }
+
+    #[test]
+    fn scores_count_correct_answers() {
+        let g = gold3();
+        let mut s = AnswerSet::new(2);
+        // worker 0: all correct; worker 1: 1 of 3 correct
+        for (ti, l) in [(0, 1), (1, 0), (2, 1)] {
+            s.record(w(0), t(ti), l);
+        }
+        for (ti, l) in [(0, 0), (1, 0), (2, 0)] {
+            s.record(w(1), t(ti), l);
+        }
+        // non-gold answers don't count
+        s.record(w(0), t(9), 0);
+        let scores = g.score_workers(&s);
+        assert_eq!(scores[&w(0)].answered, 3);
+        assert!((scores[&w(0)].accuracy() - 1.0).abs() < 1e-12);
+        assert_eq!(scores[&w(1)].correct, 1);
+        assert!((scores[&w(1)].accuracy() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flagging_respects_threshold_and_minimum() {
+        let g = gold3();
+        let mut s = AnswerSet::new(2);
+        for (ti, l) in [(0, 0), (1, 1), (2, 0)] {
+            s.record(w(1), t(ti), l); // 0/3 correct
+        }
+        s.record(w(2), t(0), 0); // 0/1 correct but below min_answered
+        let flagged = g.flag_workers(&s, 0.6, 2);
+        assert_eq!(flagged, vec![w(1)]);
+    }
+
+    #[test]
+    fn worker_with_no_gold_answers_is_unscored() {
+        let g = gold3();
+        let mut s = AnswerSet::new(2);
+        s.record(w(5), t(9), 1);
+        assert!(g.score_workers(&s).is_empty());
+    }
+
+    #[test]
+    fn no_evidence_means_perfect_accuracy() {
+        let score = GoldScore {
+            answered: 0,
+            correct: 0,
+        };
+        assert_eq!(score.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn set_accessors() {
+        let g = gold3();
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_empty());
+        assert!(g.contains(t(0)));
+        assert!(!g.contains(t(7)));
+        assert_eq!(g.label(t(1)), Some(0));
+        assert_eq!(g.label(t(7)), None);
+    }
+}

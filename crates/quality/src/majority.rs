@@ -1,0 +1,151 @@
+//! Majority-vote aggregation.
+//!
+//! The baseline truth-inference scheme: each task's answer is the label
+//! most workers gave. The weighted variant scales each worker's vote by a
+//! reliability weight (e.g. a gold-question accuracy or a Dawid–Skene
+//! estimate), which is how detection feeds back into aggregation in E3.
+
+use crate::answers::AnswerSet;
+use faircrowd_model::ids::{TaskId, WorkerId};
+use std::collections::BTreeMap;
+
+/// Plain majority vote. Ties break toward the smallest label so results
+/// are deterministic. Tasks with no answers are absent from the result.
+pub fn majority_vote(answers: &AnswerSet) -> BTreeMap<TaskId, u8> {
+    weighted_majority_vote(answers, &BTreeMap::new())
+}
+
+/// Majority vote with per-worker weights; missing workers weigh 1.0.
+/// Non-positive weights silence a worker entirely.
+pub fn weighted_majority_vote(
+    answers: &AnswerSet,
+    weights: &BTreeMap<WorkerId, f64>,
+) -> BTreeMap<TaskId, u8> {
+    let classes = answers.classes() as usize;
+    let mut tallies: BTreeMap<TaskId, Vec<f64>> = BTreeMap::new();
+    for a in answers.answers() {
+        let weight = weights.get(&a.worker).copied().unwrap_or(1.0);
+        if weight <= 0.0 {
+            continue;
+        }
+        let tally = tallies.entry(a.task).or_insert_with(|| vec![0.0; classes]);
+        tally[a.label as usize] += weight;
+    }
+    tallies
+        .into_iter()
+        .filter_map(|(task, tally)| {
+            let best = argmax(&tally)?;
+            // A task whose every answer was silenced has an all-zero tally
+            // and carries no information.
+            if tally[best] <= 0.0 {
+                return None;
+            }
+            Some((task, best as u8))
+        })
+        .collect()
+}
+
+/// Index of the maximum (first on ties); `None` on empty input.
+fn argmax(xs: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &x) in xs.iter().enumerate() {
+        match best {
+            Some((_, bx)) if x <= bx => {}
+            _ => {
+                if best.is_none() || x > best.unwrap().1 {
+                    best = Some((i, x));
+                }
+            }
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Per-task agreement rate: the fraction of answers matching the majority
+/// label. High mean agreement indicates an easy/clean task set; per-worker
+/// *dis*agreement is the core spam signal (see [`crate::spam`]).
+pub fn agreement_rates(answers: &AnswerSet) -> BTreeMap<TaskId, f64> {
+    let consensus = majority_vote(answers);
+    let mut rates = BTreeMap::new();
+    for (task, group) in answers.by_task() {
+        if let Some(&label) = consensus.get(&task) {
+            let agree = group.iter().filter(|a| a.label == label).count();
+            rates.insert(task, agree as f64 / group.len() as f64);
+        }
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(i: u32) -> WorkerId {
+        WorkerId::new(i)
+    }
+    fn t(i: u32) -> TaskId {
+        TaskId::new(i)
+    }
+
+    fn set(rows: &[(u32, u32, u8)], classes: u8) -> AnswerSet {
+        let mut s = AnswerSet::new(classes);
+        for &(wi, ti, l) in rows {
+            s.record(w(wi), t(ti), l);
+        }
+        s
+    }
+
+    #[test]
+    fn simple_majority() {
+        let s = set(&[(0, 0, 1), (1, 0, 1), (2, 0, 0)], 2);
+        let mv = majority_vote(&s);
+        assert_eq!(mv[&t(0)], 1);
+    }
+
+    #[test]
+    fn tie_breaks_to_smallest_label() {
+        let s = set(&[(0, 0, 1), (1, 0, 0)], 2);
+        assert_eq!(majority_vote(&s)[&t(0)], 0);
+    }
+
+    #[test]
+    fn weights_can_flip_the_outcome() {
+        let s = set(&[(0, 0, 1), (1, 0, 0), (2, 0, 0)], 2);
+        assert_eq!(majority_vote(&s)[&t(0)], 0);
+        let mut weights = BTreeMap::new();
+        weights.insert(w(0), 5.0);
+        assert_eq!(weighted_majority_vote(&s, &weights)[&t(0)], 1);
+    }
+
+    #[test]
+    fn zero_weight_silences_worker() {
+        let s = set(&[(0, 0, 1), (1, 0, 0)], 2);
+        let mut weights = BTreeMap::new();
+        weights.insert(w(0), 0.0);
+        assert_eq!(weighted_majority_vote(&s, &weights)[&t(0)], 0);
+        // silencing everyone drops the task
+        weights.insert(w(1), 0.0);
+        assert!(weighted_majority_vote(&s, &weights).is_empty());
+    }
+
+    #[test]
+    fn empty_answerset_yields_empty_result() {
+        let s = AnswerSet::new(2);
+        assert!(majority_vote(&s).is_empty());
+    }
+
+    #[test]
+    fn agreement_rates_computed() {
+        let s = set(&[(0, 0, 1), (1, 0, 1), (2, 0, 0), (0, 1, 0)], 2);
+        let rates = agreement_rates(&s);
+        assert!((rates[&t(0)] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((rates[&t(1)] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_edge_cases() {
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[1.0]), Some(0));
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+    }
+}

@@ -1,0 +1,196 @@
+//! Detection and aggregation metrics.
+//!
+//! E3 evaluates detectors by precision/recall/F1 against the simulator's
+//! ground-truth spammer set and by the accuracy of aggregated answers
+//! before/after filtering; E6 uses label accuracy as its contribution-
+//! quality measure (§4.1).
+
+use faircrowd_model::ids::{TaskId, WorkerId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Binary-classification counts for a detector run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectionCounts {
+    /// Malicious workers correctly flagged.
+    pub true_positives: usize,
+    /// Honest workers wrongly flagged.
+    pub false_positives: usize,
+    /// Malicious workers missed.
+    pub false_negatives: usize,
+    /// Honest workers correctly left alone.
+    pub true_negatives: usize,
+}
+
+impl DetectionCounts {
+    /// Compare a flagged set against ground truth over a worker universe.
+    pub fn evaluate(
+        flagged: &BTreeSet<WorkerId>,
+        malicious: &BTreeSet<WorkerId>,
+        universe: &BTreeSet<WorkerId>,
+    ) -> Self {
+        let mut c = DetectionCounts::default();
+        for w in universe {
+            match (flagged.contains(w), malicious.contains(w)) {
+                (true, true) => c.true_positives += 1,
+                (true, false) => c.false_positives += 1,
+                (false, true) => c.false_negatives += 1,
+                (false, false) => c.true_negatives += 1,
+            }
+        }
+        c
+    }
+
+    /// Precision; 1.0 when nothing was flagged (no false alarms).
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall; 1.0 when there was nothing to find.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// F1 score (harmonic mean of precision and recall); 0.0 when both
+    /// are zero.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Fraction of tasks whose aggregated label matches the truth, over the
+/// tasks present in `truth`; 1.0 when `truth` is empty. Tasks missing from
+/// `predicted` count as wrong (the aggregator failed to answer them).
+pub fn label_accuracy(predicted: &BTreeMap<TaskId, u8>, truth: &BTreeMap<TaskId, u8>) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let correct = truth
+        .iter()
+        .filter(|(t, &l)| predicted.get(t) == Some(&l))
+        .count();
+    correct as f64 / truth.len() as f64
+}
+
+/// Area under the ROC curve for scored binary outcomes `(score, is_positive)`.
+/// Computed via the rank-sum (Mann–Whitney) formulation with tie handling.
+/// Returns 0.5 when either class is absent (no ranking information).
+pub fn roc_auc(scored: &[(f64, bool)]) -> f64 {
+    let positives = scored.iter().filter(|(_, y)| *y).count();
+    let negatives = scored.len() - positives;
+    if positives == 0 || negatives == 0 {
+        return 0.5;
+    }
+    // ranks with ties averaged
+    let mut indexed: Vec<(f64, bool)> = scored.to_vec();
+    indexed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN score in AUC"));
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < indexed.len() {
+        let mut j = i;
+        while j + 1 < indexed.len() && indexed[j + 1].0 == indexed[i].0 {
+            j += 1;
+        }
+        // average rank for the tie group, 1-based
+        let avg_rank = (i + 1 + j + 1) as f64 / 2.0;
+        for item in indexed.iter().take(j + 1).skip(i) {
+            if item.1 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let p = positives as f64;
+    let n = negatives as f64;
+    (rank_sum_pos - p * (p + 1.0) / 2.0) / (p * n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(i: u32) -> WorkerId {
+        WorkerId::new(i)
+    }
+    fn t(i: u32) -> TaskId {
+        TaskId::new(i)
+    }
+    fn ws(ids: &[u32]) -> BTreeSet<WorkerId> {
+        ids.iter().map(|&i| w(i)).collect()
+    }
+
+    #[test]
+    fn detection_counts_partition_universe() {
+        let c = DetectionCounts::evaluate(&ws(&[0, 1]), &ws(&[1, 2]), &ws(&[0, 1, 2, 3]));
+        assert_eq!(c.true_positives, 1); // w1
+        assert_eq!(c.false_positives, 1); // w0
+        assert_eq!(c.false_negatives, 1); // w2
+        assert_eq!(c.true_negatives, 1); // w3
+        assert!((c.precision() - 0.5).abs() < 1e-12);
+        assert!((c.recall() - 0.5).abs() < 1e-12);
+        assert!((c.f1() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_precision_recall() {
+        let none_flagged = DetectionCounts::evaluate(&ws(&[]), &ws(&[1]), &ws(&[0, 1]));
+        assert_eq!(none_flagged.precision(), 1.0);
+        assert_eq!(none_flagged.recall(), 0.0);
+        let nothing_to_find = DetectionCounts::evaluate(&ws(&[]), &ws(&[]), &ws(&[0, 1]));
+        assert_eq!(nothing_to_find.recall(), 1.0);
+        assert_eq!(nothing_to_find.f1(), 1.0);
+    }
+
+    #[test]
+    fn label_accuracy_counts_matches() {
+        let mut pred = BTreeMap::new();
+        pred.insert(t(0), 1u8);
+        pred.insert(t(1), 0u8);
+        let mut truth = BTreeMap::new();
+        truth.insert(t(0), 1u8);
+        truth.insert(t(1), 1u8);
+        truth.insert(t(2), 0u8); // missing from pred -> wrong
+        assert!((label_accuracy(&pred, &truth) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(label_accuracy(&pred, &BTreeMap::new()), 1.0);
+    }
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let perfect = [(0.9, true), (0.8, true), (0.2, false), (0.1, false)];
+        assert!((roc_auc(&perfect) - 1.0).abs() < 1e-12);
+        let inverted = [(0.1, true), (0.2, true), (0.8, false), (0.9, false)];
+        assert!(roc_auc(&inverted).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_handles_ties_and_degenerate_classes() {
+        let all_same = [(0.5, true), (0.5, false), (0.5, true), (0.5, false)];
+        assert!((roc_auc(&all_same) - 0.5).abs() < 1e-12);
+        assert_eq!(roc_auc(&[(0.3, true)]), 0.5);
+        assert_eq!(roc_auc(&[]), 0.5);
+    }
+
+    #[test]
+    fn auc_intermediate_value() {
+        // one inversion among 2x2
+        let scored = [(0.9, true), (0.4, true), (0.6, false), (0.1, false)];
+        // pairs: (0.9 vs 0.6) ok, (0.9 vs 0.1) ok, (0.4 vs 0.6) bad, (0.4 vs 0.1) ok
+        assert!((roc_auc(&scored) - 0.75).abs() < 1e-12);
+    }
+}

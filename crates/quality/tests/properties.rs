@@ -1,0 +1,104 @@
+//! Property tests for truth inference: aggregators are deterministic,
+//! bounded, permutation-invariant, and degrade sensibly.
+
+use faircrowd_model::ids::{TaskId, WorkerId};
+use faircrowd_quality::answers::AnswerSet;
+use faircrowd_quality::dawid_skene::DawidSkene;
+use faircrowd_quality::kos;
+use faircrowd_quality::majority::{agreement_rates, majority_vote};
+use faircrowd_quality::metrics::roc_auc;
+use faircrowd_quality::spam::SpamDetector;
+use proptest::prelude::*;
+
+fn answers_strategy() -> impl Strategy<Value = AnswerSet> {
+    prop::collection::vec((0u32..8, 0u32..12, 0u8..2), 0..80).prop_map(|rows| {
+        let mut set = AnswerSet::new(2);
+        let mut seen = std::collections::BTreeSet::new();
+        for (w, t, l) in rows {
+            // one answer per (worker, task), like a real platform
+            if seen.insert((w, t)) {
+                set.record(WorkerId::new(w), TaskId::new(t), l);
+            }
+        }
+        set
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn majority_vote_is_order_invariant(answers in answers_strategy()) {
+        let mv = majority_vote(&answers);
+        // rebuild in reverse insertion order
+        let mut reversed = AnswerSet::new(2);
+        for a in answers.answers().iter().rev() {
+            reversed.record(a.worker, a.task, a.label);
+        }
+        prop_assert_eq!(majority_vote(&reversed), mv.clone());
+        // every answered task gets a label in range
+        for (task, label) in &mv {
+            prop_assert!(*label < 2);
+            prop_assert!(answers.by_task().contains_key(task));
+        }
+    }
+
+    #[test]
+    fn agreement_rates_are_bounded(answers in answers_strategy()) {
+        for (_, rate) in agreement_rates(&answers) {
+            prop_assert!((0.0..=1.0).contains(&rate));
+        }
+    }
+
+    #[test]
+    fn dawid_skene_outputs_are_probabilities(answers in answers_strategy()) {
+        let res = DawidSkene::default().run(&answers);
+        for p in res.posteriors.values() {
+            let sum: f64 = p.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-6);
+            prop_assert!(p.iter().all(|&x| (-1e-9..=1.0 + 1e-9).contains(&x)));
+        }
+        for &r in res.reliability.values() {
+            prop_assert!((0.0..=1.0).contains(&r));
+        }
+        let sum: f64 = res.priors.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6);
+        // labels only for answered tasks
+        prop_assert_eq!(res.labels.len(), answers.tasks().len());
+    }
+
+    #[test]
+    fn kos_decode_is_total_and_bounded(answers in answers_strategy(), iters in 1usize..12) {
+        let res = kos::decode(&answers, iters);
+        prop_assert_eq!(res.labels.len(), answers.tasks().len());
+        for &label in res.labels.values() {
+            prop_assert!(label < 2);
+        }
+        for &m in res.margins.values() {
+            prop_assert!(m >= 0.0);
+            prop_assert!(m.is_finite());
+        }
+    }
+
+    #[test]
+    fn spam_scores_stay_in_unit_interval(answers in answers_strategy()) {
+        for (_, score) in SpamDetector::default().score(&answers, None) {
+            prop_assert!((0.0..=1.0).contains(&score.combined));
+            prop_assert!((0.0..=1.0).contains(&score.disagreement));
+            prop_assert!((0.0..=1.0).contains(&score.repetition));
+            prop_assert_eq!(score.speed, 0.0, "no timing data supplied");
+        }
+    }
+
+    #[test]
+    fn auc_is_invariant_to_monotone_score_transforms(
+        scored in prop::collection::vec((0.0f64..1.0, prop::bool::ANY), 0..40)
+    ) {
+        let auc = roc_auc(&scored);
+        prop_assert!((0.0..=1.0).contains(&auc));
+        // strictly monotone transform preserves ranking hence AUC
+        let transformed: Vec<(f64, bool)> =
+            scored.iter().map(|&(s, y)| (s * 3.0 + 1.0, y)).collect();
+        prop_assert!((roc_auc(&transformed) - auc).abs() < 1e-9);
+    }
+}

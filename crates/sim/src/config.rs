@@ -1,0 +1,412 @@
+//! Scenario configuration.
+//!
+//! A [`ScenarioConfig`] fully determines a simulation run (the seed
+//! included): the worker population mix, the campaigns requesters post,
+//! the assignment policy, the compensation and approval rules, the
+//! cancellation policy, the disclosure set the platform operates under,
+//! and the detection sweep. Experiments are written as config deltas.
+
+use faircrowd_assign::{
+    AssignmentPolicy, ExposureFloor, ExposureParity, KosAllocation, OnlineMatching,
+    RequesterCentric, RoundRobin, SelfSelection, WorkerCentric,
+};
+use faircrowd_model::disclosure::DisclosureSet;
+use faircrowd_model::money::Credits;
+use faircrowd_model::task::{TaskConditions, TaskKind};
+use faircrowd_model::time::SimDuration;
+use faircrowd_pay::scheme::{BonusPolicy, CompensationScheme, FixedPrice, PayContext, QualityBased};
+use faircrowd_quality::spam::{SpamDetector, WorkerArchetype};
+use serde::{Deserialize, Serialize};
+
+/// Which assignment policy a scenario runs. An enum (rather than a trait
+/// object) so configurations stay serialisable and benches can sweep it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PolicyChoice {
+    /// Post-and-browse (§3.1.1's fair baseline).
+    SelfSelection,
+    /// Equitable rotation.
+    RoundRobin,
+    /// Greedy requester-utility maximisation.
+    RequesterCentric,
+    /// Online greedy (Ho–Vaughan-style).
+    OnlineGreedy,
+    /// Exact matching on worker preference.
+    WorkerCentric,
+    /// Karger–Oh–Shah (l, r)-regular allocation.
+    Kos {
+        /// Workers per task.
+        l: u32,
+        /// Max tasks per worker.
+        r: u32,
+    },
+    /// Axiom-1 exposure-parity enforcement over a base policy.
+    ParityOver(Box<PolicyChoice>),
+    /// Minimum-exposure floor over a base policy.
+    FloorOver(Box<PolicyChoice>, usize),
+}
+
+impl PolicyChoice {
+    /// Instantiate the policy.
+    pub fn build(&self) -> Box<dyn AssignmentPolicy> {
+        match self {
+            PolicyChoice::SelfSelection => Box::new(SelfSelection),
+            PolicyChoice::RoundRobin => Box::new(RoundRobin),
+            PolicyChoice::RequesterCentric => Box::new(RequesterCentric),
+            PolicyChoice::OnlineGreedy => Box::new(OnlineMatching),
+            PolicyChoice::WorkerCentric => Box::new(WorkerCentric),
+            PolicyChoice::Kos { l, r } => Box::new(KosAllocation { l: *l, r: *r }),
+            PolicyChoice::ParityOver(base) => Box::new(ExposureParity::new(DynPolicy(base.build()))),
+            PolicyChoice::FloorOver(base, min) => Box::new(ExposureFloor {
+                base: DynPolicy(base.build()),
+                min_exposure: *min,
+            }),
+        }
+    }
+
+    /// Short display name for tables.
+    pub fn label(&self) -> String {
+        match self {
+            PolicyChoice::SelfSelection => "self-selection".into(),
+            PolicyChoice::RoundRobin => "round-robin".into(),
+            PolicyChoice::RequesterCentric => "requester-centric".into(),
+            PolicyChoice::OnlineGreedy => "online-greedy".into(),
+            PolicyChoice::WorkerCentric => "worker-centric".into(),
+            PolicyChoice::Kos { l, r } => format!("kos({l},{r})"),
+            PolicyChoice::ParityOver(base) => format!("parity[{}]", base.label()),
+            PolicyChoice::FloorOver(base, min) => format!("floor{min}[{}]", base.label()),
+        }
+    }
+}
+
+/// Newtype making a boxed policy usable where generic wrappers expect a
+/// sized `AssignmentPolicy`.
+struct DynPolicy(Box<dyn AssignmentPolicy>);
+
+impl AssignmentPolicy for DynPolicy {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn assign(
+        &mut self,
+        input: &faircrowd_assign::AssignInput,
+        rng: &mut dyn rand::RngCore,
+    ) -> faircrowd_assign::AssignmentOutcome {
+        self.0.assign(input, rng)
+    }
+}
+
+/// A homogeneous slice of the worker population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerPopulation {
+    /// Number of workers in this slice.
+    pub count: u32,
+    /// Behavioural archetype (Vuurens taxonomy).
+    pub archetype: WorkerArchetype,
+    /// Probability each skill keyword is present in a worker's vector.
+    pub skill_prob: f64,
+    /// Probability the worker is online in a given round.
+    pub participation: f64,
+    /// Tasks the worker can take per round.
+    pub capacity_per_round: u32,
+}
+
+impl WorkerPopulation {
+    /// A diligent population with sensible defaults.
+    pub fn diligent(count: u32) -> Self {
+        WorkerPopulation {
+            count,
+            archetype: WorkerArchetype::Diligent,
+            skill_prob: 0.6,
+            participation: 0.8,
+            capacity_per_round: 4,
+        }
+    }
+
+    /// A population of the given archetype with default behaviour knobs.
+    pub fn of(archetype: WorkerArchetype, count: u32) -> Self {
+        WorkerPopulation {
+            archetype,
+            ..Self::diligent(count)
+        }
+    }
+}
+
+/// How a requester judges submissions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ApprovalPolicy {
+    /// Approve everything.
+    LenientAll,
+    /// Approve when the (noisily) judged quality reaches `threshold`.
+    QualityThreshold {
+        /// Minimum judged quality to approve.
+        threshold: f64,
+        /// Half-width of uniform judgement noise.
+        noise: f64,
+        /// Whether rejections carry an explanation (the opacity lever of
+        /// §3.1.2).
+        give_feedback: bool,
+    },
+    /// Reject a random fraction of work regardless of quality — the
+    /// "wrongful rejection" discrimination of §3.1.1.
+    RandomReject {
+        /// Probability a submission is rejected outright.
+        reject_prob: f64,
+        /// Whether rejections carry an explanation.
+        give_feedback: bool,
+    },
+}
+
+/// What a requester does when her campaign target is met while work is in
+/// flight (§3.1.1 task-completion scenario).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CancellationPolicy {
+    /// Never cancel; every posted assignment runs to completion.
+    RunToCompletion,
+    /// Cancel immediately when the target is reached; in-flight workers
+    /// are interrupted. `compensate_partial` decides whether they get a
+    /// pro-rated payment for time invested.
+    CancelAtTarget {
+        /// Pay interrupted workers for invested time.
+        compensate_partial: bool,
+    },
+    /// Stop exposing the task but let in-flight work finish and be paid
+    /// (the Axiom-5-compliant design).
+    GraceFinish,
+}
+
+/// Compensation scheme choice (serialisable mirror of `faircrowd-pay`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PaymentSchemeChoice {
+    /// Advertised reward for every approved submission.
+    Fixed,
+    /// Quality-ramped payment (Wang–Ipeirotis–Provost style).
+    QualityBased {
+        /// Quality below this earns zero.
+        floor: f64,
+        /// Quality at/above this earns the full reward.
+        full_quality: f64,
+    },
+}
+
+impl PaymentSchemeChoice {
+    /// Compute the payment for an approved submission.
+    pub fn payout(&self, ctx: &PayContext) -> Credits {
+        match self {
+            PaymentSchemeChoice::Fixed => FixedPrice.payout(ctx),
+            PaymentSchemeChoice::QualityBased { floor, full_quality } => QualityBased {
+                floor: *floor,
+                full_quality: *full_quality,
+            }
+            .payout(ctx),
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> String {
+        match self {
+            PaymentSchemeChoice::Fixed => "fixed".into(),
+            PaymentSchemeChoice::QualityBased { floor, full_quality } => {
+                format!("quality({floor:.2},{full_quality:.2})")
+            }
+        }
+    }
+}
+
+/// One campaign a requester posts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Requester display name (requesters are created per distinct name).
+    pub requester: String,
+    /// Number of tasks in the campaign.
+    pub n_tasks: u32,
+    /// Redundancy: assignments wanted per task.
+    pub assignments_per_task: u32,
+    /// Contribution kind.
+    pub kind: TaskKind,
+    /// Reward per assignment.
+    pub reward: Credits,
+    /// Honest completion time.
+    pub est_duration: SimDuration,
+    /// Skill keywords (indices into the universe) required per task;
+    /// `skill_req_prob` of the universe is sampled per task.
+    pub skill_req_prob: f64,
+    /// Approved-submission target after which the requester cancels
+    /// (`None` = run everything).
+    pub target_approved: Option<u32>,
+    /// Disclosed working conditions (Axiom 6 input).
+    pub conditions: TaskConditions,
+    /// Bonus promise, if any.
+    pub bonus: Option<BonusPolicy>,
+    /// Round at which the campaign is posted.
+    pub post_round: u32,
+}
+
+impl CampaignSpec {
+    /// A plain binary-labeling campaign with no cancellation and full
+    /// disclosure.
+    pub fn labeling(requester: &str, n_tasks: u32, reward_cents: i64) -> Self {
+        CampaignSpec {
+            requester: requester.to_owned(),
+            n_tasks,
+            assignments_per_task: 3,
+            kind: TaskKind::Labeling { classes: 2 },
+            reward: Credits::from_cents(reward_cents),
+            est_duration: SimDuration::from_mins(5),
+            skill_req_prob: 0.0,
+            target_approved: None,
+            conditions: TaskConditions::fully_disclosed(
+                Credits::from_dollars(6),
+                SimDuration::from_days(1),
+            ),
+            bonus: None,
+            post_round: 0,
+        }
+    }
+}
+
+/// Detection sweep configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectionConfig {
+    /// The detector to run.
+    pub detector: SpamDetector,
+    /// Run every this many rounds.
+    pub every_rounds: u32,
+}
+
+impl Default for DetectionConfig {
+    fn default() -> Self {
+        DetectionConfig {
+            detector: SpamDetector::default(),
+            every_rounds: 8,
+        }
+    }
+}
+
+/// A complete, reproducible scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// RNG seed — the only source of randomness.
+    pub seed: u64,
+    /// Simulated market rounds (1 round = 1 hour).
+    pub rounds: u32,
+    /// Number of skill keywords in the universe.
+    pub n_skills: usize,
+    /// Worker population slices.
+    pub workers: Vec<WorkerPopulation>,
+    /// Campaigns to post.
+    pub campaigns: Vec<CampaignSpec>,
+    /// Assignment policy.
+    pub policy: PolicyChoice,
+    /// Platform disclosure configuration.
+    pub disclosure: DisclosureSet,
+    /// Requester approval behaviour.
+    pub approval: ApprovalPolicy,
+    /// Cancellation behaviour.
+    pub cancellation: CancellationPolicy,
+    /// Compensation scheme.
+    pub payment: PaymentSchemeChoice,
+    /// Rounds between submission and the approval decision.
+    pub decision_delay_rounds: u32,
+    /// Time until the platform auto-approves an unjudged submission.
+    pub auto_approve_after: SimDuration,
+    /// Detection sweep, if enabled.
+    pub detection: Option<DetectionConfig>,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            seed: 42,
+            rounds: 48,
+            n_skills: 8,
+            workers: vec![WorkerPopulation::diligent(20)],
+            campaigns: vec![CampaignSpec::labeling("acme", 30, 10)],
+            policy: PolicyChoice::SelfSelection,
+            disclosure: DisclosureSet::fully_transparent(),
+            approval: ApprovalPolicy::QualityThreshold {
+                threshold: 0.5,
+                noise: 0.1,
+                give_feedback: true,
+            },
+            cancellation: CancellationPolicy::RunToCompletion,
+            payment: PaymentSchemeChoice::Fixed,
+            decision_delay_rounds: 2,
+            auto_approve_after: SimDuration::from_days(3),
+            detection: Some(DetectionConfig::default()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_choice_builds_and_labels() {
+        let choices = vec![
+            PolicyChoice::SelfSelection,
+            PolicyChoice::RoundRobin,
+            PolicyChoice::RequesterCentric,
+            PolicyChoice::OnlineGreedy,
+            PolicyChoice::WorkerCentric,
+            PolicyChoice::Kos { l: 3, r: 5 },
+            PolicyChoice::ParityOver(Box::new(PolicyChoice::RequesterCentric)),
+            PolicyChoice::FloorOver(Box::new(PolicyChoice::OnlineGreedy), 4),
+        ];
+        for c in choices {
+            let p = c.build();
+            assert!(!p.name().is_empty());
+            assert!(!c.label().is_empty());
+        }
+        assert_eq!(PolicyChoice::Kos { l: 3, r: 5 }.label(), "kos(3,5)");
+        assert_eq!(
+            PolicyChoice::ParityOver(Box::new(PolicyChoice::RequesterCentric)).label(),
+            "parity[requester-centric]"
+        );
+    }
+
+    #[test]
+    fn payment_choice_mirrors_pay_crate() {
+        let ctx = PayContext {
+            task_reward: Credits::from_cents(100),
+            quality: 0.7,
+            work_duration: SimDuration::from_mins(5),
+        };
+        assert_eq!(
+            PaymentSchemeChoice::Fixed.payout(&ctx),
+            Credits::from_cents(100)
+        );
+        let qb = PaymentSchemeChoice::QualityBased {
+            floor: 0.5,
+            full_quality: 0.9,
+        };
+        assert_eq!(qb.payout(&ctx), Credits::from_cents(50));
+    }
+
+    #[test]
+    fn default_config_is_consistent() {
+        let cfg = ScenarioConfig::default();
+        assert!(cfg.rounds > 0);
+        assert!(!cfg.workers.is_empty());
+        assert!(!cfg.campaigns.is_empty());
+    }
+
+    #[test]
+    fn population_constructors() {
+        let d = WorkerPopulation::diligent(10);
+        assert_eq!(d.count, 10);
+        assert_eq!(d.archetype, WorkerArchetype::Diligent);
+        let s = WorkerPopulation::of(WorkerArchetype::UniformSpammer, 5);
+        assert_eq!(s.archetype, WorkerArchetype::UniformSpammer);
+        assert_eq!(s.participation, d.participation);
+    }
+
+    #[test]
+    fn labeling_campaign_defaults() {
+        let c = CampaignSpec::labeling("acme", 20, 15);
+        assert_eq!(c.n_tasks, 20);
+        assert_eq!(c.reward, Credits::from_cents(15));
+        assert!(c.target_approved.is_none());
+        assert!((c.conditions.coverage() - 1.0).abs() < 1e-12);
+    }
+}

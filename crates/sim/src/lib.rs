@@ -1,0 +1,45 @@
+//! # faircrowd-sim
+//!
+//! A deterministic crowdsourcing-marketplace simulator.
+//!
+//! The paper's validation protocol (§4.1) calls for **controlled
+//! experiments** measuring objective quantities — contribution quality for
+//! fairness, worker retention for transparency. A live platform cannot
+//! provide controlled ground truth; this simulator can. It models the full
+//! marketplace loop:
+//!
+//! ```text
+//! campaigns post tasks → assignment policy exposes tasks to workers →
+//! workers accept, work, submit → requesters approve/reject (with delay,
+//! with or without feedback) → payments/bonuses → possible cancellation
+//! mid-flight → detection sweeps → worker frustration/retention dynamics
+//! ```
+//!
+//! and emits the complete audit [`faircrowd_model::event::EventLog`] that
+//! the `faircrowd-core` audit engine replays. Every run is a pure function
+//! of its [`config::ScenarioConfig`] (seed included).
+//!
+//! Behavioural assumptions (worker frustration, quit hazard, motivation)
+//! are documented on [`agents::WorkerState`] and in DESIGN.md — they are
+//! the synthetic stand-in for the user studies the paper proposes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agents;
+pub mod config;
+pub mod gen;
+pub mod platform;
+pub mod stats;
+
+pub use config::{
+    ApprovalPolicy, CampaignSpec, CancellationPolicy, DetectionConfig, PaymentSchemeChoice,
+    PolicyChoice, ScenarioConfig, WorkerPopulation,
+};
+pub use platform::Simulation;
+pub use stats::TraceSummary;
+
+/// Run a scenario to completion and return its trace.
+pub fn run(config: ScenarioConfig) -> faircrowd_model::Trace {
+    Simulation::new(config).run()
+}

@@ -1,0 +1,160 @@
+//! Trace summaries.
+//!
+//! The §4.1 objective measures read straight off a trace: worker retention
+//! (survivors / workers who ever participated), contribution quality
+//! (mean objective quality of label submissions vs ground truth), plus
+//! the money and frustration bookkeeping every experiment table shares.
+
+use faircrowd_model::contribution::Contribution;
+use faircrowd_model::event::{EventKind, QuitReason};
+use faircrowd_model::ids::WorkerId;
+use faircrowd_model::money::Credits;
+use faircrowd_model::trace::Trace;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Headline numbers for one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Workers who had at least one session.
+    pub active_workers: usize,
+    /// Workers who quit before the horizon.
+    pub quits: usize,
+    /// Of those, quits attributed to frustration.
+    pub frustration_quits: usize,
+    /// Retention = 1 − quits / active workers (1.0 when nobody was active).
+    pub retention: f64,
+    /// Submissions received.
+    pub submissions: usize,
+    /// Mean objective quality of label submissions against ground truth.
+    pub label_quality: f64,
+    /// Approval rate across all judged submissions.
+    pub approval_rate: f64,
+    /// Total paid out (payments + bonuses).
+    pub total_paid: Credits,
+    /// Interrupted work items.
+    pub interruptions: usize,
+    /// Interrupted work items that went uncompensated.
+    pub uncompensated_interruptions: usize,
+}
+
+impl TraceSummary {
+    /// Summarise a trace.
+    pub fn of(trace: &Trace) -> TraceSummary {
+        let mut active: BTreeSet<WorkerId> = BTreeSet::new();
+        let mut quits = 0usize;
+        let mut frustration_quits = 0usize;
+        let mut approved = 0usize;
+        let mut rejected = 0usize;
+        let mut total_paid = Credits::ZERO;
+        let mut interruptions = 0usize;
+        let mut uncompensated = 0usize;
+        for e in &trace.events {
+            match &e.kind {
+                EventKind::SessionStarted { worker } => {
+                    active.insert(*worker);
+                }
+                EventKind::WorkerQuit { reason, .. } => {
+                    quits += 1;
+                    if *reason == QuitReason::Frustration {
+                        frustration_quits += 1;
+                    }
+                }
+                EventKind::SubmissionApproved { .. } => approved += 1,
+                EventKind::SubmissionRejected { .. } => rejected += 1,
+                EventKind::PaymentIssued { amount, .. } | EventKind::BonusPaid { amount, .. } => {
+                    total_paid += *amount;
+                }
+                EventKind::WorkInterrupted { compensated, .. } => {
+                    interruptions += 1;
+                    if !compensated {
+                        uncompensated += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Label quality vs ground truth.
+        let mut quality_sum = 0.0;
+        let mut quality_n = 0usize;
+        for s in &trace.submissions {
+            if let Contribution::Label(l) = &s.contribution {
+                if let Some(truth) = trace.ground_truth.true_labels.get(&s.task) {
+                    quality_sum += f64::from(l == truth);
+                    quality_n += 1;
+                }
+            }
+        }
+
+        let judged = approved + rejected;
+        TraceSummary {
+            active_workers: active.len(),
+            quits,
+            frustration_quits,
+            retention: if active.is_empty() {
+                1.0
+            } else {
+                1.0 - quits as f64 / active.len() as f64
+            },
+            submissions: trace.submissions.len(),
+            label_quality: if quality_n == 0 {
+                0.0
+            } else {
+                quality_sum / quality_n as f64
+            },
+            approval_rate: if judged == 0 {
+                1.0
+            } else {
+                approved as f64 / judged as f64
+            },
+            total_paid,
+            interruptions,
+            uncompensated_interruptions: uncompensated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CampaignSpec, ScenarioConfig, WorkerPopulation};
+    use crate::Simulation;
+
+    fn trace() -> Trace {
+        Simulation::new(ScenarioConfig {
+            seed: 11,
+            rounds: 24,
+            workers: vec![WorkerPopulation::diligent(10)],
+            campaigns: vec![CampaignSpec::labeling("acme", 15, 10)],
+            ..Default::default()
+        })
+        .run()
+    }
+
+    #[test]
+    fn summary_of_healthy_run() {
+        let s = TraceSummary::of(&trace());
+        assert!(s.active_workers > 0);
+        assert!(s.submissions > 0);
+        assert!(s.retention > 0.5, "healthy market keeps workers");
+        assert!(
+            s.label_quality > 0.8,
+            "diligent-only crowd labels well: {}",
+            s.label_quality
+        );
+        assert!(s.approval_rate > 0.7);
+        assert!(s.total_paid.is_positive());
+        assert_eq!(s.interruptions, 0);
+    }
+
+    #[test]
+    fn summary_of_empty_trace() {
+        let s = TraceSummary::of(&Trace::default());
+        assert_eq!(s.active_workers, 0);
+        assert_eq!(s.retention, 1.0);
+        assert_eq!(s.label_quality, 0.0);
+        assert_eq!(s.approval_rate, 1.0);
+        assert_eq!(s.total_paid, Credits::ZERO);
+    }
+}

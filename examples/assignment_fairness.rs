@@ -1,0 +1,71 @@
+//! Assignment discrimination and its repair.
+//!
+//! Reproduces the §3.1.1 story in miniature: the same market run under
+//! the requester-centric optimiser violates Axiom 1 (similar workers see
+//! different tasks), and wrapping the *same* optimiser in the
+//! exposure-parity enforcement middleware repairs the violation without
+//! touching the assignments.
+//!
+//! ```sh
+//! cargo run --example assignment_fairness
+//! ```
+
+use faircrowd::core::metrics;
+use faircrowd::prelude::*;
+
+fn market(policy: PolicyChoice) -> ScenarioConfig {
+    let full_time = |mut p: WorkerPopulation| {
+        p.participation = 1.0; // controlled condition: everyone online
+        p
+    };
+    ScenarioConfig {
+        seed: 7,
+        rounds: 36,
+        n_skills: 4,
+        workers: vec![full_time(WorkerPopulation::diligent(24))],
+        campaigns: vec![
+            CampaignSpec::labeling("acme", 40, 10),
+            CampaignSpec::labeling("globex", 40, 10),
+        ],
+        policy,
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let engine = AuditEngine::with_defaults();
+    let policies = [
+        PolicyChoice::SelfSelection,
+        PolicyChoice::RequesterCentric,
+        PolicyChoice::ParityOver(Box::new(PolicyChoice::RequesterCentric)),
+    ];
+
+    println!("policy                        A1     A2   exposure-gini  violations");
+    println!("--------------------------------------------------------------------");
+    for policy in policies {
+        let trace = faircrowd::sim::run(market(policy.clone()));
+        let report = engine.run_axioms(
+            &trace,
+            &[AxiomId::A1WorkerAssignment, AxiomId::A2RequesterAssignment],
+        );
+        println!(
+            "{:<26} {:>6.3} {:>6.3} {:>14.3}  {:>9}",
+            policy.label(),
+            report.score_of(AxiomId::A1WorkerAssignment),
+            report.score_of(AxiomId::A2RequesterAssignment),
+            metrics::exposure_gini(&trace),
+            report.total_violations(),
+        );
+        // Show one concrete witness for the discriminatory policy.
+        if let Some(v) = report.axioms.iter().flat_map(|r| r.violations.iter()).next() {
+            println!("    e.g. {}", v.description);
+        }
+    }
+
+    println!(
+        "\nThe requester-centric optimiser concentrates exposure on its favourite \
+         workers; the exposure-parity wrapper (§3.3.1 'fairness by design') \
+         restores equal access for similar workers while keeping the exact same \
+         assignments — fairness here costs the requester nothing."
+    );
+}

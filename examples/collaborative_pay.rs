@@ -1,0 +1,80 @@
+//! Collaborative-task compensation (§3.1.1): "In collaborative tasks, a
+//! worker may contribute more than another and still receive the same
+//! amount of payment." This example walks through the reward-splitting
+//! schemes, shows how the Axiom-3 checker sees each, and applies the
+//! payment-equalisation repair to a wrongful-rejection scenario.
+//!
+//! ```sh
+//! cargo run -p faircrowd --example collaborative_pay
+//! ```
+
+use faircrowd::core::enforce::equalize_payments;
+use faircrowd::model::contribution::Contribution;
+use faircrowd::model::ids::SubmissionId;
+use faircrowd::model::money::Credits;
+use faircrowd::pay::scheme::{split_equal, split_proportional};
+
+fn main() {
+    // A collaborative summarisation task pays $3.00 to a team of three.
+    let pot = Credits::from_dollars(3);
+    // Measured effort shares (e.g. sentences contributed): 50%, 30%, 20%.
+    let efforts = [5.0, 3.0, 2.0];
+
+    println!("collaborative pot: {pot}, effort shares 5:3:2\n");
+
+    let equal = split_equal(pot, 3);
+    println!("equal split:         {} / {} / {}", equal[0], equal[1], equal[2]);
+    println!(
+        "  -> the §3.1.1 complaint: the 50%-effort worker is paid the same\n\
+         as the 20%-effort worker.\n"
+    );
+
+    let proportional = split_proportional(pot, &efforts);
+    println!(
+        "proportional split:  {} / {} / {}",
+        proportional[0], proportional[1], proportional[2]
+    );
+    let total: Credits = proportional.iter().copied().sum();
+    println!("  -> exact to the millicent (sum = {total}), largest-remainder method.\n");
+
+    // Axiom 3's view: it compares *contributions*, not efforts. Two
+    // workers who wrote near-identical summaries must be paid alike even
+    // if a third wrote something different.
+    let sub = |i: u32| SubmissionId::new(i);
+    let summaries = [
+        (
+            sub(0),
+            Contribution::Text("the committee approved the annual budget after long debate".into()),
+            Credits::from_cents(120),
+        ),
+        (
+            sub(1),
+            // near-identical contribution, wrongfully paid less
+            Contribution::Text("the committee approved the annual budget after a long debate".into()),
+            Credits::from_cents(40),
+        ),
+        (
+            sub(2),
+            Contribution::Text("unrelated notes about infrastructure spending priorities".into()),
+            Credits::from_cents(90),
+        ),
+    ];
+    println!("submissions to one task (n-gram similarity decides 'similar'):");
+    for (id, c, paid) in &summaries {
+        if let Contribution::Text(t) = c {
+            println!("  {id}: paid {paid}  — \"{t}\"");
+        }
+    }
+
+    let repaired = equalize_payments(&summaries, 0.85);
+    println!("\nafter the Axiom-3 repair (raise similar contributions to group max):");
+    for (id, _, before) in &summaries {
+        let after = repaired[id];
+        let marker = if after > *before { "  <- raised" } else { "" };
+        println!("  {id}: {before} -> {after}{marker}");
+    }
+    println!(
+        "\nThe near-duplicate pair is equalised upward; the genuinely different\n\
+         contribution keeps its own price. Repairs never lower anyone's pay."
+    );
+}

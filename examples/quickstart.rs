@@ -1,0 +1,52 @@
+//! Quickstart: simulate a crowdsourcing market, audit it against the
+//! paper's seven axioms, and print the fairness report.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use faircrowd::core::report::render_report;
+use faircrowd::prelude::*;
+
+fn main() {
+    // A small marketplace: 20 diligent workers, one requester posting a
+    // binary-labeling campaign, transparent platform, fair approvals.
+    let config = ScenarioConfig {
+        seed: 42,
+        rounds: 48,
+        workers: vec![WorkerPopulation::diligent(20)],
+        campaigns: vec![CampaignSpec::labeling("acme", 40, 10)],
+        ..Default::default()
+    };
+
+    println!("running 48 market-hours with 20 workers and 40 tasks…\n");
+    let trace = faircrowd::sim::run(config);
+
+    // The trace is the complete observable record: entity tables, every
+    // submission, and the audit event log.
+    let summary = TraceSummary::of(&trace);
+    println!(
+        "market summary: {} submissions from {} active workers, \
+         {:.0}% approved, {} paid out, retention {:.1}%\n",
+        summary.submissions,
+        summary.active_workers,
+        summary.approval_rate * 100.0,
+        summary.total_paid,
+        summary.retention * 100.0,
+    );
+
+    // Audit: run all seven axioms under the default threshold-based
+    // similarity regime.
+    let engine = AuditEngine::with_defaults();
+    let report = engine.run(&trace);
+    println!("{}", render_report(&report));
+
+    if report.all_hold() {
+        println!("verdict: this platform configuration is fair and transparent.");
+    } else {
+        println!(
+            "verdict: {} axiom violation(s) — see the witnesses above.",
+            report.total_violations()
+        );
+    }
+}

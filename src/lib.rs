@@ -1,0 +1,79 @@
+//! # FairCrowd
+//!
+//! A Rust implementation of **"Fairness and Transparency in
+//! Crowdsourcing"** (Borromeo, Laurent, Toyama, Amer-Yahia; EDBT 2017):
+//! the paper's seven fairness/transparency axioms as an executable audit
+//! framework, the declarative transparency-policy language it proposes,
+//! fairness-enforcement machinery, and the marketplace simulator +
+//! baseline algorithms needed to run the paper's validation protocol as
+//! controlled experiments.
+//!
+//! ## Crate map
+//!
+//! | Crate | What it holds |
+//! |-------|---------------|
+//! | [`model`] | the §3.2 data model: tasks, workers, skills, contributions, events, traces |
+//! | [`quality`] | truth inference (majority, Dawid–Skene, KOS) and spam detection |
+//! | [`pay`] | compensation schemes, the payment ledger, wage statistics |
+//! | [`assign`] | assignment policies (self-selection → requester-centric → KOS) and fairness wrappers |
+//! | [`sim`] | the deterministic marketplace simulator |
+//! | [`core`] | **the paper's contribution**: Axioms 1–7, the audit engine, metrics, enforcement |
+//! | [`lang`] | **TPL**, the declarative transparency-policy language |
+//!
+//! ## Sixty-second tour
+//!
+//! ```
+//! use faircrowd::prelude::*;
+//!
+//! // 1. Simulate a crowdsourcing market (fully deterministic in the seed).
+//! let trace = faircrowd::sim::run(ScenarioConfig::default());
+//!
+//! // 2. Audit it against the paper's seven axioms.
+//! let report = AuditEngine::with_defaults().run(&trace);
+//! println!("{}", faircrowd::core::report::render_report(&report));
+//! assert!(report.overall_score() > 0.5);
+//!
+//! // 3. Express a transparency policy declaratively and read it back.
+//! let policy = faircrowd::lang::compile_one(
+//!     r#"policy "mine" {
+//!            disclose worker.acceptance_ratio to subject always;
+//!            require requester discloses rejection_criteria before posting;
+//!        }"#,
+//! ).unwrap();
+//! println!("{}", faircrowd::lang::render::render_policy(&policy));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use faircrowd_assign as assign;
+pub use faircrowd_core as core;
+pub use faircrowd_lang as lang;
+pub use faircrowd_model as model;
+pub use faircrowd_pay as pay;
+pub use faircrowd_quality as quality;
+pub use faircrowd_sim as sim;
+
+/// The items most programs need.
+pub mod prelude {
+    pub use faircrowd_core::{AuditConfig, AuditEngine, AxiomId, FairnessReport, SimilarityConfig};
+    pub use faircrowd_model::prelude::*;
+    pub use faircrowd_sim::{
+        ApprovalPolicy, CampaignSpec, CancellationPolicy, DetectionConfig, PaymentSchemeChoice,
+        PolicyChoice, ScenarioConfig, Simulation, TraceSummary, WorkerPopulation,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_wires_the_crates_together() {
+        let trace = crate::sim::run(ScenarioConfig::default());
+        assert!(trace.validate().is_empty());
+        let report = AuditEngine::with_defaults().run(&trace);
+        assert_eq!(report.axioms.len(), 7);
+        assert!((0.0..=1.0).contains(&report.overall_score()));
+    }
+}

@@ -1,0 +1,231 @@
+//! The `faircrowd` command-line tool: audit simulated platforms and work
+//! with transparency policies from the shell.
+//!
+//! ```text
+//! faircrowd axioms                         print the paper's seven axioms
+//! faircrowd audit [--policy P] [--seed N] [--rounds N] [--opaque]
+//!                                          simulate a market and audit it
+//! faircrowd policies                       list the TPL platform catalog
+//! faircrowd render <policy>                human-readable policy description
+//! faircrowd compare <a> <b>                diff two catalog policies
+//! ```
+
+use faircrowd::core::report::render_report;
+use faircrowd::lang::{catalog, compare, printer, render};
+use faircrowd::model::disclosure::DisclosureSet;
+use faircrowd::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str);
+    match command {
+        Some("axioms") => axioms(),
+        Some("audit") => audit(&args[1..]),
+        Some("policies") => policies(),
+        Some("render") => render_cmd(&args[1..]),
+        Some("compare") => compare_cmd(&args[1..]),
+        Some("--help") | Some("-h") | Some("help") | None => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    println!(
+        "faircrowd — fairness and transparency auditing for crowdsourcing\n\n\
+         USAGE:\n  \
+         faircrowd axioms                         print the paper's seven axioms\n  \
+         faircrowd audit [--policy P] [--seed N] [--rounds N] [--opaque]\n  \
+         faircrowd policies                       list the TPL platform catalog\n  \
+         faircrowd render <policy>                human-readable description\n  \
+         faircrowd compare <a> <b>                diff two catalog policies\n\n\
+         assignment policies for --policy:\n  \
+         self-selection | round-robin | requester-centric | online-greedy |\n  \
+         worker-centric | kos | parity | floor"
+    );
+}
+
+fn axioms() -> ExitCode {
+    for id in AxiomId::ALL {
+        println!("{}\n  {}\n", id.label(), id.statement());
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse_policy(name: &str) -> Option<PolicyChoice> {
+    Some(match name {
+        "self-selection" => PolicyChoice::SelfSelection,
+        "round-robin" => PolicyChoice::RoundRobin,
+        "requester-centric" => PolicyChoice::RequesterCentric,
+        "online-greedy" => PolicyChoice::OnlineGreedy,
+        "worker-centric" => PolicyChoice::WorkerCentric,
+        "kos" => PolicyChoice::Kos { l: 3, r: 5 },
+        "parity" => PolicyChoice::ParityOver(Box::new(PolicyChoice::RequesterCentric)),
+        "floor" => PolicyChoice::FloorOver(Box::new(PolicyChoice::RequesterCentric), 8),
+        _ => return None,
+    })
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn audit(args: &[String]) -> ExitCode {
+    let seed = flag_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42u64);
+    let rounds = flag_value(args, "--rounds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48u32);
+    let policy_name = flag_value(args, "--policy").unwrap_or("self-selection");
+    let Some(policy) = parse_policy(policy_name) else {
+        eprintln!("unknown assignment policy `{policy_name}`");
+        return ExitCode::FAILURE;
+    };
+    let opaque = args.iter().any(|a| a == "--opaque");
+
+    let full_time = |mut p: WorkerPopulation| {
+        p.participation = 1.0;
+        p
+    };
+    let config = ScenarioConfig {
+        seed,
+        rounds,
+        n_skills: 6,
+        workers: vec![full_time(WorkerPopulation::diligent(30))],
+        campaigns: vec![
+            CampaignSpec::labeling("acme", 50, 10),
+            CampaignSpec::labeling("globex", 50, 10),
+        ],
+        policy: policy.clone(),
+        disclosure: if opaque {
+            DisclosureSet::opaque()
+        } else {
+            DisclosureSet::fully_transparent()
+        },
+        ..Default::default()
+    };
+
+    println!(
+        "auditing: policy={}, seed={seed}, rounds={rounds}, disclosure={}\n",
+        policy.label(),
+        if opaque { "opaque" } else { "transparent" }
+    );
+    let trace = faircrowd::sim::run(config);
+    let summary = TraceSummary::of(&trace);
+    println!(
+        "market: {} submissions, {:.0}% approved, {} paid, retention {:.1}%\n",
+        summary.submissions,
+        summary.approval_rate * 100.0,
+        summary.total_paid,
+        summary.retention * 100.0
+    );
+    let report = AuditEngine::with_defaults().run(&trace);
+    println!("{}", render_report(&report));
+    ExitCode::SUCCESS
+}
+
+fn policies() -> ExitCode {
+    println!("catalog policies (TPL sources in faircrowd-lang::catalog):\n");
+    for (name, _) in catalog::sources() {
+        let policy = catalog::by_name(name).expect("catalog compiles");
+        let set = policy.disclosure_set();
+        println!(
+            "  {:<16} rules {:>2}   axiom-6 {:>4.0}%   axiom-7 {:>4.0}%",
+            policy.name,
+            policy.rule_count(),
+            set.axiom6_coverage() * 100.0,
+            set.axiom7_coverage() * 100.0
+        );
+    }
+    println!("\nuse `faircrowd render <policy>` for the worker-facing description");
+    ExitCode::SUCCESS
+}
+
+fn render_cmd(args: &[String]) -> ExitCode {
+    let Some(name) = args.first() else {
+        eprintln!("usage: faircrowd render <policy>");
+        return ExitCode::FAILURE;
+    };
+    match catalog::by_name(name) {
+        Some(policy) => {
+            print!("{}", render::render_policy(&policy));
+            println!("\ncanonical TPL source:\n\n{}", printer::print_policy(&policy));
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!(
+                "unknown policy `{name}`; available: {}",
+                catalog::sources()
+                    .iter()
+                    .map(|(n, _)| *n)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn compare_cmd(args: &[String]) -> ExitCode {
+    let (Some(a), Some(b)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: faircrowd compare <a> <b>");
+        return ExitCode::FAILURE;
+    };
+    match (catalog::by_name(a), catalog::by_name(b)) {
+        (Some(pa), Some(pb)) => {
+            print!("{}", compare(&pa, &pb).render());
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("both arguments must be catalog policies");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_documented_policy_name_parses() {
+        for name in [
+            "self-selection",
+            "round-robin",
+            "requester-centric",
+            "online-greedy",
+            "worker-centric",
+            "kos",
+            "parity",
+            "floor",
+        ] {
+            assert!(parse_policy(name).is_some(), "{name}");
+        }
+        assert!(parse_policy("magic").is_none());
+    }
+
+    #[test]
+    fn flag_value_extracts_pairs() {
+        let args: Vec<String> = ["--seed", "7", "--policy", "kos"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(flag_value(&args, "--seed"), Some("7"));
+        assert_eq!(flag_value(&args, "--policy"), Some("kos"));
+        assert_eq!(flag_value(&args, "--rounds"), None);
+        // flag at the end with no value
+        let dangling: Vec<String> = vec!["--seed".into()];
+        assert_eq!(flag_value(&dangling, "--seed"), None);
+    }
+}

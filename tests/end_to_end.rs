@@ -1,0 +1,120 @@
+//! End-to-end integration: simulate → trace → audit → report, across the
+//! crate boundaries, with determinism and well-formedness guarantees.
+
+use faircrowd::core::report::render_report;
+use faircrowd::prelude::*;
+
+fn demo_config(seed: u64) -> ScenarioConfig {
+    // Full participation keeps the market controlled: exposure
+    // differences then reflect platform behaviour, not who happened to
+    // be online (workers offline while a task fills create benign
+    // Axiom-1/2 noise that would make "healthy market" assertions flaky).
+    let full_time = |mut p: WorkerPopulation| {
+        p.participation = 1.0;
+        p
+    };
+    ScenarioConfig {
+        seed,
+        rounds: 36,
+        workers: vec![full_time(WorkerPopulation::diligent(18))],
+        campaigns: vec![
+            CampaignSpec::labeling("acme", 25, 10),
+            CampaignSpec::labeling("globex", 25, 11),
+        ],
+        ..Default::default()
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let t1 = faircrowd::sim::run(demo_config(5));
+    let t2 = faircrowd::sim::run(demo_config(5));
+    assert_eq!(t1, t2, "same seed, same trace");
+
+    let engine = AuditEngine::with_defaults();
+    let r1 = engine.run(&t1);
+    let r2 = engine.run(&t2);
+    assert_eq!(r1, r2, "same trace, same report");
+
+    let t3 = faircrowd::sim::run(demo_config(6));
+    assert_ne!(t1, t3, "different seed, different trace");
+}
+
+#[test]
+fn traces_are_well_formed_and_internally_consistent() {
+    let trace = faircrowd::sim::run(demo_config(9));
+    assert!(trace.validate().is_empty(), "{:?}", trace.validate());
+    assert!(trace.events.check_integrity().is_ok());
+
+    // Every payment event refers to an approved or auto-approved
+    // submission of the right worker.
+    let payments = trace.payment_by_submission();
+    for (sid, amount) in payments {
+        let sub = trace.submission(sid).expect("payment for known submission");
+        assert!(amount.is_positive());
+        let task = trace.task(sub.task).expect("known task");
+        assert!(
+            amount <= task.reward,
+            "single-submission payment cannot exceed the advertised reward"
+        );
+    }
+
+    // Earnings aggregate consistently.
+    let earnings = trace.earnings_by_worker();
+    let total: faircrowd::model::Credits = earnings.values().copied().sum();
+    assert_eq!(total, faircrowd::core::metrics::total_payout(&trace));
+}
+
+#[test]
+fn healthy_market_passes_the_full_audit() {
+    let trace = faircrowd::sim::run(demo_config(21));
+    let report = AuditEngine::with_defaults().run(&trace);
+    assert_eq!(report.axioms.len(), 7);
+    for axiom in &report.axioms {
+        assert!(
+            axiom.score > 0.9,
+            "{} unexpectedly low: {:.3} ({:?})",
+            axiom.axiom,
+            axiom.score,
+            axiom.notes
+        );
+    }
+    let text = render_report(&report);
+    assert!(text.contains("overall"));
+}
+
+#[test]
+fn summary_statistics_are_consistent_with_the_audit() {
+    let trace = faircrowd::sim::run(demo_config(33));
+    let summary = TraceSummary::of(&trace);
+    assert_eq!(
+        summary.retention,
+        faircrowd::core::metrics::retention(&trace)
+    );
+    assert_eq!(
+        summary.total_paid,
+        faircrowd::core::metrics::total_payout(&trace)
+    );
+    assert!(summary.submissions > 0);
+    assert!((0.0..=1.0).contains(&summary.label_quality));
+}
+
+#[test]
+fn audit_scores_are_always_in_unit_range() {
+    for seed in 0..5 {
+        let trace = faircrowd::sim::run(demo_config(seed));
+        let report = AuditEngine::with_defaults().run(&trace);
+        for axiom in &report.axioms {
+            assert!(
+                (0.0..=1.0).contains(&axiom.score),
+                "{}: {}",
+                axiom.axiom,
+                axiom.score
+            );
+            for v in &axiom.violations {
+                assert!((0.0..=1.0).contains(&v.severity));
+                assert!(!v.description.is_empty());
+            }
+        }
+    }
+}

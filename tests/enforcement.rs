@@ -1,0 +1,189 @@
+//! Enforcement integration: the §3.3.1 "fair by design" story. A platform
+//! that fails an axiom is repaired by the corresponding enforcement lever
+//! and passes afterwards.
+
+use faircrowd::core::{enforce, metrics, AuditEngine, AxiomId};
+use faircrowd::model::contribution::Contribution;
+use faircrowd::model::disclosure::DisclosureSet;
+use faircrowd::model::ids::SubmissionId;
+use faircrowd::model::money::Credits;
+use faircrowd::model::task::TaskConditions;
+use faircrowd::prelude::*;
+
+/// A market where workers genuinely compete for slots round after round,
+/// so an optimising policy has something to discriminate with. (With
+/// abundant slots even the greedy policy serves everyone — and a worker
+/// excluded from *all* work stops accumulating history, drops out of the
+/// "similar workers" quantifier domain, and hides the discrimination:
+/// the computed-attribute interdependency §3.3.1 warns about.)
+fn discriminating_market(seed: u64, policy: PolicyChoice) -> ScenarioConfig {
+    let full_time = |mut p: WorkerPopulation| {
+        p.participation = 1.0;
+        p
+    };
+    ScenarioConfig {
+        seed,
+        rounds: 36,
+        n_skills: 4,
+        workers: vec![full_time(WorkerPopulation::diligent(24))],
+        campaigns: vec![
+            CampaignSpec::labeling("acme", 40, 10),
+            CampaignSpec::labeling("globex", 40, 10),
+        ],
+        policy,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn exposure_parity_repairs_axiom1() {
+    let engine = AuditEngine::with_defaults();
+
+    let unfair = faircrowd::sim::run(discriminating_market(3, PolicyChoice::RequesterCentric));
+    let unfair_a1 = engine
+        .run_axioms(&unfair, &[AxiomId::A1WorkerAssignment])
+        .score_of(AxiomId::A1WorkerAssignment);
+
+    let repaired = faircrowd::sim::run(discriminating_market(
+        3,
+        PolicyChoice::ParityOver(Box::new(PolicyChoice::RequesterCentric)),
+    ));
+    let repaired_a1 = engine
+        .run_axioms(&repaired, &[AxiomId::A1WorkerAssignment])
+        .score_of(AxiomId::A1WorkerAssignment);
+
+    assert!(
+        unfair_a1 < 0.8,
+        "requester-centric should discriminate: {unfair_a1:.3}"
+    );
+    assert!(
+        repaired_a1 > 0.9,
+        "parity wrapper should repair access: {repaired_a1:.3}"
+    );
+    assert!(
+        repaired_a1 > unfair_a1 + 0.1,
+        "repair must be substantial: {unfair_a1:.3} -> {repaired_a1:.3}"
+    );
+    // and the requesters lose nothing: same payments flow
+    assert_eq!(
+        metrics::total_payout(&unfair),
+        metrics::total_payout(&repaired),
+        "enforcement must not change what gets done and paid"
+    );
+}
+
+#[test]
+fn payment_equalization_repairs_axiom3() {
+    // A quality-ramp scheme pays identical labels differently.
+    let mut cfg = discriminating_market(11, PolicyChoice::SelfSelection);
+    cfg.payment = faircrowd::sim::PaymentSchemeChoice::QualityBased {
+        floor: 0.3,
+        full_quality: 1.0,
+    };
+    let trace = faircrowd::sim::run(cfg);
+    let engine = AuditEngine::with_defaults();
+    let before = engine
+        .run_axioms(&trace, &[AxiomId::A3Compensation])
+        .score_of(AxiomId::A3Compensation);
+    assert!(before < 0.9, "ramp pricing should violate A3: {before:.3}");
+
+    // Repair: per task, equalise payments across similar contributions.
+    let payments = trace.payment_by_submission();
+    let mut all_fair = true;
+    for (_task, subs) in trace.submissions_by_task() {
+        let planned: Vec<(SubmissionId, Contribution, Credits)> = subs
+            .iter()
+            .map(|s| {
+                (
+                    s.id,
+                    s.contribution.clone(),
+                    payments.get(&s.id).copied().unwrap_or(Credits::ZERO),
+                )
+            })
+            .collect();
+        let adjusted = enforce::equalize_payments(&planned, 0.85);
+        // check the repair invariants directly
+        for (sid, contribution, before_amount) in &planned {
+            let after = adjusted[sid];
+            assert!(after >= *before_amount, "repair never lowers pay");
+            // all similar pairs now equal
+            for (sid2, c2, _) in &planned {
+                if sid != sid2 && contribution.similarity(c2) >= 0.85 && adjusted[sid] != adjusted[sid2] {
+                    all_fair = false;
+                }
+            }
+        }
+    }
+    assert!(all_fair, "after equalisation every similar pair is equal-paid");
+}
+
+#[test]
+fn minimal_disclosure_set_repairs_transparency_axioms() {
+    let engine = AuditEngine::with_defaults();
+
+    // Opaque platform + opaque requesters: both transparency axioms fail.
+    let mut opaque = discriminating_market(17, PolicyChoice::SelfSelection);
+    opaque.disclosure = DisclosureSet::opaque();
+    for c in &mut opaque.campaigns {
+        c.conditions = TaskConditions::default();
+    }
+    let trace = faircrowd::sim::run(opaque.clone());
+    let report = engine.run_axioms(
+        &trace,
+        &[
+            AxiomId::A6RequesterTransparency,
+            AxiomId::A7PlatformTransparency,
+        ],
+    );
+    assert_eq!(report.score_of(AxiomId::A6RequesterTransparency), 0.0);
+    assert_eq!(report.score_of(AxiomId::A7PlatformTransparency), 0.0);
+
+    // Same market with the minimal Axiom-6/7 disclosure set.
+    let mut fixed = opaque;
+    fixed.disclosure = enforce::minimal_transparent_set();
+    let trace = faircrowd::sim::run(fixed);
+    let report = engine.run_axioms(
+        &trace,
+        &[
+            AxiomId::A6RequesterTransparency,
+            AxiomId::A7PlatformTransparency,
+        ],
+    );
+    assert!((report.score_of(AxiomId::A6RequesterTransparency) - 1.0).abs() < 1e-9);
+    assert!(report.score_of(AxiomId::A7PlatformTransparency) > 0.9);
+}
+
+#[test]
+fn grace_finish_repairs_axiom5() {
+    let survey = |cancellation| ScenarioConfig {
+        seed: 23,
+        rounds: 36,
+        n_skills: 0,
+        workers: vec![WorkerPopulation::diligent(20)],
+        campaigns: vec![CampaignSpec {
+            target_approved: Some(30),
+            assignments_per_task: 2,
+            ..CampaignSpec::labeling("survey-co", 80, 10)
+        }],
+        cancellation,
+        ..Default::default()
+    };
+    let engine = AuditEngine::with_defaults();
+
+    let harsh = faircrowd::sim::run(survey(CancellationPolicy::CancelAtTarget {
+        compensate_partial: false,
+    }));
+    let harsh_a5 = engine
+        .run_axioms(&harsh, &[AxiomId::A5NoInterruption])
+        .score_of(AxiomId::A5NoInterruption);
+    assert!(harsh_a5 < 1.0, "hard cancellation interrupts: {harsh_a5:.3}");
+
+    let graceful = faircrowd::sim::run(survey(CancellationPolicy::GraceFinish));
+    let graceful_a5 = engine
+        .run_axioms(&graceful, &[AxiomId::A5NoInterruption])
+        .score_of(AxiomId::A5NoInterruption);
+    assert!(
+        (graceful_a5 - 1.0).abs() < 1e-12,
+        "grace-finish never interrupts"
+    );
+}

@@ -1,0 +1,180 @@
+//! Scenario matrix: every policy × cancellation × payment combination
+//! must produce well-formed traces with bounded audit scores and a
+//! conserving money flow. This is the broad-coverage safety net for the
+//! simulator's interaction surface.
+
+use faircrowd::core::{metrics, AuditEngine};
+use faircrowd::prelude::*;
+
+fn tiny(seed: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        seed,
+        rounds: 16,
+        n_skills: 3,
+        workers: vec![WorkerPopulation::diligent(10)],
+        campaigns: vec![CampaignSpec {
+            target_approved: Some(20),
+            ..CampaignSpec::labeling("acme", 20, 8)
+        }],
+        ..Default::default()
+    }
+}
+
+fn policies() -> Vec<PolicyChoice> {
+    vec![
+        PolicyChoice::SelfSelection,
+        PolicyChoice::RoundRobin,
+        PolicyChoice::RequesterCentric,
+        PolicyChoice::OnlineGreedy,
+        PolicyChoice::WorkerCentric,
+        PolicyChoice::Kos { l: 2, r: 3 },
+        PolicyChoice::ParityOver(Box::new(PolicyChoice::OnlineGreedy)),
+        PolicyChoice::FloorOver(Box::new(PolicyChoice::RequesterCentric), 3),
+    ]
+}
+
+#[test]
+fn every_policy_produces_a_valid_trace() {
+    for policy in policies() {
+        let mut cfg = tiny(1);
+        cfg.policy = policy.clone();
+        let trace = faircrowd::sim::run(cfg);
+        assert!(
+            trace.validate().is_empty(),
+            "{}: {:?}",
+            policy.label(),
+            trace.validate()
+        );
+        assert!(
+            !trace.submissions.is_empty(),
+            "{}: market must move",
+            policy.label()
+        );
+    }
+}
+
+#[test]
+fn every_cancellation_policy_is_sound() {
+    let cancellations = [
+        CancellationPolicy::RunToCompletion,
+        CancellationPolicy::CancelAtTarget {
+            compensate_partial: false,
+        },
+        CancellationPolicy::CancelAtTarget {
+            compensate_partial: true,
+        },
+        CancellationPolicy::GraceFinish,
+    ];
+    let engine = AuditEngine::with_defaults();
+    for cancellation in cancellations {
+        let mut cfg = tiny(2);
+        cfg.cancellation = cancellation;
+        let trace = faircrowd::sim::run(cfg);
+        assert!(trace.validate().is_empty(), "{cancellation:?}");
+        let report = engine.run(&trace);
+        for axiom in &report.axioms {
+            assert!(
+                (0.0..=1.0).contains(&axiom.score),
+                "{cancellation:?} {}: {}",
+                axiom.axiom,
+                axiom.score
+            );
+        }
+    }
+}
+
+#[test]
+fn every_payment_scheme_conserves_money() {
+    let schemes = [
+        PaymentSchemeChoice::Fixed,
+        PaymentSchemeChoice::QualityBased {
+            floor: 0.5,
+            full_quality: 0.9,
+        },
+        PaymentSchemeChoice::QualityBased {
+            floor: 0.0,
+            full_quality: 1.0,
+        },
+    ];
+    for payment in schemes {
+        let mut cfg = tiny(3);
+        cfg.payment = payment;
+        let trace = faircrowd::sim::run(cfg);
+        // Sum of per-worker earnings equals total payout; no negative pay.
+        let earnings = trace.earnings_by_worker();
+        let total: faircrowd::model::Credits = earnings.values().copied().sum();
+        assert_eq!(total, metrics::total_payout(&trace), "{payment:?}");
+        assert!(earnings.values().all(|c| c.millicents() >= 0));
+        // Nobody earns more than reward × their submissions (+ partial
+        // compensations, absent here under RunToCompletion target runs).
+        for (w, earned) in &earnings {
+            let subs = trace.submissions.iter().filter(|s| s.worker == *w).count();
+            let cap = faircrowd::model::Credits::from_cents(8).mul_int(subs as i64 + 1);
+            assert!(earned <= &cap, "{payment:?}: {w} earned {earned} for {subs} subs");
+        }
+    }
+}
+
+#[test]
+fn approval_policies_cover_the_spectrum() {
+    let approvals = [
+        ApprovalPolicy::LenientAll,
+        ApprovalPolicy::QualityThreshold {
+            threshold: 0.5,
+            noise: 0.1,
+            give_feedback: true,
+        },
+        ApprovalPolicy::RandomReject {
+            reject_prob: 0.9,
+            give_feedback: false,
+        },
+    ];
+    let mut rates = Vec::new();
+    for approval in approvals {
+        let mut cfg = tiny(4);
+        cfg.approval = approval;
+        let trace = faircrowd::sim::run(cfg);
+        rates.push(TraceSummary::of(&trace).approval_rate);
+    }
+    assert!((rates[0] - 1.0).abs() < 1e-12, "lenient approves all");
+    assert!(rates[1] > 0.6, "fair approval mostly approves good work");
+    assert!(rates[2] < 0.3, "p=.9 rejection rejects most work");
+}
+
+#[test]
+fn mixed_task_kinds_flow_through_the_whole_stack() {
+    use faircrowd::model::task::TaskKind;
+    let mut cfg = tiny(5);
+    cfg.campaigns = vec![
+        CampaignSpec {
+            kind: TaskKind::Labeling { classes: 4 },
+            ..CampaignSpec::labeling("multi", 10, 8)
+        },
+        CampaignSpec {
+            kind: TaskKind::FreeText,
+            ..CampaignSpec::labeling("texts", 10, 12)
+        },
+        CampaignSpec {
+            kind: TaskKind::Ranking { items: 6 },
+            ..CampaignSpec::labeling("ranks", 10, 15)
+        },
+        CampaignSpec {
+            kind: TaskKind::Survey,
+            ..CampaignSpec::labeling("polls", 10, 5)
+        },
+    ];
+    let trace = faircrowd::sim::run(cfg);
+    assert!(trace.validate().is_empty());
+    // all four contribution kinds appear
+    let kinds: std::collections::BTreeSet<&'static str> = trace
+        .submissions
+        .iter()
+        .map(|s| s.contribution.kind_name())
+        .collect();
+    assert!(kinds.contains("label"));
+    assert!(kinds.contains("text"));
+    assert!(kinds.contains("ranking"));
+    // and the audit still runs
+    let report = AuditEngine::with_defaults().run(&trace);
+    assert!((0.0..=1.0).contains(&report.overall_score()));
+}
