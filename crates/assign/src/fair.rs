@@ -29,8 +29,7 @@ pub fn similarity_classes(
         for class in classes.iter_mut() {
             let rep = &workers[class[0]];
             let skill_sim = rep.skills.cosine(&w.skills);
-            if skill_sim >= skill_threshold
-                && (rep.quality - w.quality).abs() <= quality_tolerance
+            if skill_sim >= skill_threshold && (rep.quality - w.quality).abs() <= quality_tolerance
             {
                 class.push(wi);
                 placed = true;
@@ -149,7 +148,7 @@ impl<P: AssignmentPolicy> AssignmentPolicy for ExposureFloor<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::testkit::small_market;
+    use crate::policy::fixtures::small_market;
     use crate::policy::{TaskView, WorkerView};
     use crate::RequesterCentric;
     use faircrowd_model::ids::{RequesterId, TaskId, WorkerId};
@@ -213,15 +212,31 @@ mod tests {
         // Base: requester-centric gives everything to w0; twins see
         // nothing or asymmetric scraps.
         let base = RequesterCentric.assign(&m, &mut StdRng::seed_from_u64(0));
-        let v1 = base.visibility.get(&WorkerId::new(1)).cloned().unwrap_or_default();
-        let v2 = base.visibility.get(&WorkerId::new(2)).cloned().unwrap_or_default();
+        let v1 = base
+            .visibility
+            .get(&WorkerId::new(1))
+            .cloned()
+            .unwrap_or_default();
+        let v2 = base
+            .visibility
+            .get(&WorkerId::new(2))
+            .cloned()
+            .unwrap_or_default();
         // (sanity: the base policy concentrates exposure on w0)
         assert!(v1.len() + v2.len() < 8);
 
         let mut wrapped = ExposureParity::new(RequesterCentric);
         let o = wrapped.assign(&m, &mut StdRng::seed_from_u64(0));
-        let w1 = o.visibility.get(&WorkerId::new(1)).cloned().unwrap_or_default();
-        let w2 = o.visibility.get(&WorkerId::new(2)).cloned().unwrap_or_default();
+        let w1 = o
+            .visibility
+            .get(&WorkerId::new(1))
+            .cloned()
+            .unwrap_or_default();
+        let w2 = o
+            .visibility
+            .get(&WorkerId::new(2))
+            .cloned()
+            .unwrap_or_default();
         assert_eq!(w1, w2, "similar workers must see the same tasks");
         assert!(o.check_feasible(&m).is_empty());
         // assignments unchanged from base
@@ -284,7 +299,10 @@ mod tests {
 
     #[test]
     fn wrappers_report_their_names() {
-        assert_eq!(ExposureParity::new(RequesterCentric).name(), "exposure-parity");
+        assert_eq!(
+            ExposureParity::new(RequesterCentric).name(),
+            "exposure-parity"
+        );
         assert_eq!(
             ExposureFloor {
                 base: RequesterCentric,

@@ -147,13 +147,7 @@ mod tests {
         let mut best = 0.0f64;
         // choose an injection rows -> cols maximizing finite weight sum;
         // rows may stay unmatched (weight 0 contribution).
-        fn rec(
-            weights: &[Vec<f64>],
-            row: usize,
-            used: &mut Vec<bool>,
-            acc: f64,
-            best: &mut f64,
-        ) {
+        fn rec(weights: &[Vec<f64>], row: usize, used: &mut Vec<bool>, acc: f64, best: &mut f64) {
             if row == weights.len() {
                 *best = best.max(acc);
                 return;

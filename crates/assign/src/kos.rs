@@ -73,7 +73,7 @@ impl AssignmentPolicy for KosAllocation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::testkit::small_market;
+    use crate::policy::fixtures::small_market;
     use crate::policy::{TaskView, WorkerView};
     use faircrowd_model::ids::{RequesterId, TaskId, WorkerId};
     use faircrowd_model::money::Credits;

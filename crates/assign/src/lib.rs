@@ -24,6 +24,10 @@
 //! * [`fair`] — enforcement wrappers (exposure parity, exposure floor)
 //!   that repair a base policy's Axiom-1 violations;
 //! * [`hungarian`] — exact max-weight bipartite matching substrate.
+//!
+//! The [`registry`] maps string names (`"round_robin"`, `"kos"`, …) to
+//! policy instances so CLIs, benches and sweeps select any of the eight
+//! policies by name.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +38,7 @@ pub mod kos;
 pub mod mcmf;
 pub mod online_matching;
 pub mod policy;
+pub mod registry;
 pub mod requester_centric;
 pub mod round_robin;
 pub mod self_selection;

@@ -27,8 +27,7 @@ impl AssignmentPolicy for OnlineMatching {
 
     fn assign(&mut self, input: &AssignInput, rng: &mut dyn RngCore) -> AssignmentOutcome {
         let mut outcome = AssignmentOutcome::default();
-        let mut slots: BTreeMap<_, u32> =
-            input.tasks.iter().map(|t| (t.id, t.slots)).collect();
+        let mut slots: BTreeMap<_, u32> = input.tasks.iter().map(|t| (t.id, t.slots)).collect();
 
         let mut arrivals: Vec<usize> = (0..input.workers.len()).collect();
         arrivals.shuffle(rng);
@@ -47,7 +46,9 @@ impl AssignmentPolicy for OnlineMatching {
                     .max_by(|a, b| {
                         let ua = w.quality * a.reward.as_dollars_f64();
                         let ub = w.quality * b.reward.as_dollars_f64();
-                        ua.partial_cmp(&ub).expect("NaN utility").then(b.id.cmp(&a.id))
+                        ua.partial_cmp(&ub)
+                            .expect("NaN utility")
+                            .then(b.id.cmp(&a.id))
                     });
                 match best {
                     Some(t) => {
@@ -66,7 +67,7 @@ impl AssignmentPolicy for OnlineMatching {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::testkit::small_market;
+    use crate::policy::fixtures::small_market;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -112,6 +113,9 @@ mod tests {
             .iter()
             .map(|o| format!("{:?}", o.assignments))
             .collect();
-        assert!(distinct.len() > 1, "online outcomes should vary with arrival order");
+        assert!(
+            distinct.len() > 1,
+            "online outcomes should vary with arrival order"
+        );
     }
 }

@@ -96,13 +96,32 @@ impl AssignmentOutcome {
         self.assignments.push((worker, task));
     }
 
+    /// [`AssignmentOutcome::check_feasible`] as a `Result`: `Ok` when the
+    /// outcome respects every structural invariant,
+    /// [`faircrowd_model::FaircrowdError::InfeasibleAssignment`] naming
+    /// the offending `policy` otherwise.
+    pub fn ensure_feasible(
+        &self,
+        input: &AssignInput,
+        policy: &str,
+    ) -> Result<(), faircrowd_model::FaircrowdError> {
+        let problems = self.check_feasible(input);
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(faircrowd_model::FaircrowdError::InfeasibleAssignment {
+                policy: policy.to_owned(),
+                problems,
+            })
+        }
+    }
+
     /// Every outcome must satisfy these structural invariants:
     /// assignments ⊆ visibility, per-task slot limits, per-worker
     /// capacities, and qualification. Returns human-readable violations.
     pub fn check_feasible(&self, input: &AssignInput) -> Vec<String> {
         let mut problems = Vec::new();
-        let tasks: BTreeMap<TaskId, &TaskView> =
-            input.tasks.iter().map(|t| (t.id, t)).collect();
+        let tasks: BTreeMap<TaskId, &TaskView> = input.tasks.iter().map(|t| (t.id, t)).collect();
         let workers: BTreeMap<WorkerId, &WorkerView> =
             input.workers.iter().map(|w| (w.id, w)).collect();
         let mut per_task: BTreeMap<TaskId, u32> = BTreeMap::new();
@@ -205,9 +224,9 @@ pub fn worker_utility(input: &AssignInput, outcome: &AssignmentOutcome) -> f64 {
         .sum()
 }
 
-#[cfg(test)]
-pub(crate) mod testkit {
-    //! Shared fixtures for policy tests.
+/// Shared fixture markets for tests, doctests and benches across the
+/// workspace (kept tiny and deterministic on purpose).
+pub mod fixtures {
     use super::*;
 
     /// Bits → skill vector.
@@ -277,7 +296,7 @@ pub(crate) mod testkit {
 
 #[cfg(test)]
 mod tests {
-    use super::testkit::*;
+    use super::fixtures::*;
     use super::*;
 
     #[test]

@@ -1,0 +1,127 @@
+//! String-keyed policy registry.
+//!
+//! CLIs, benches and parameter sweeps select assignment policies by
+//! name; this module is the single authority mapping those names to
+//! instances, so every entry point (the `faircrowd` CLI, the facade
+//! `Pipeline`, experiment configs) agrees on what `"round_robin"` means.
+//!
+//! Names are canonicalised before lookup — case-insensitive, with `-`
+//! accepted for `_` — so `"round-robin"` and `"Round_Robin"` both
+//! resolve.
+//!
+//! ```
+//! let mut policy = faircrowd_assign::registry::by_name("round_robin").unwrap();
+//! assert_eq!(policy.name(), "round-robin");
+//! assert!(faircrowd_assign::registry::by_name("magic").is_err());
+//! ```
+
+use crate::fair::{ExposureFloor, ExposureParity};
+use crate::policy::AssignmentPolicy;
+use crate::{
+    KosAllocation, OnlineMatching, RequesterCentric, RoundRobin, SelfSelection, WorkerCentric,
+};
+use faircrowd_model::error::FaircrowdError;
+
+/// Canonical names of the eight registered policies, in presentation
+/// order. Wrapper entries (`parity`, `floor`) enforce over a
+/// requester-centric base with the documented default parameters.
+pub const NAMES: [&str; 8] = [
+    "self_selection",
+    "round_robin",
+    "requester_centric",
+    "online_greedy",
+    "worker_centric",
+    "kos",
+    "parity",
+    "floor",
+];
+
+/// Default `(l, r)` for the `kos` registry entry: 3 workers per task,
+/// at most 5 tasks per worker — the paper-cited operating point.
+pub const DEFAULT_KOS: (u32, u32) = (3, 5);
+
+/// Default minimum exposure for the `floor` registry entry.
+pub const DEFAULT_FLOOR: usize = 8;
+
+/// Lowercase and map `-` to `_` so CLI spellings resolve. Public so
+/// other name-keyed tables (e.g. the simulator's `PolicyChoice`) accept
+/// exactly the same spellings.
+pub fn canonical(name: &str) -> String {
+    name.trim().to_ascii_lowercase().replace('-', "_")
+}
+
+/// Instantiate a policy by (canonicalised) name.
+///
+/// Errors with [`FaircrowdError::UnknownPolicy`] listing the valid names
+/// when the name does not resolve.
+pub fn by_name(name: &str) -> Result<Box<dyn AssignmentPolicy>, FaircrowdError> {
+    let policy: Box<dyn AssignmentPolicy> = match canonical(name).as_str() {
+        "self_selection" => Box::new(SelfSelection),
+        "round_robin" => Box::new(RoundRobin),
+        "requester_centric" => Box::new(RequesterCentric),
+        "online_greedy" => Box::new(OnlineMatching),
+        "worker_centric" => Box::new(WorkerCentric),
+        "kos" => Box::new(KosAllocation {
+            l: DEFAULT_KOS.0,
+            r: DEFAULT_KOS.1,
+        }),
+        "parity" => Box::new(ExposureParity::new(RequesterCentric)),
+        "floor" => Box::new(ExposureFloor {
+            base: RequesterCentric,
+            min_exposure: DEFAULT_FLOOR,
+        }),
+        _ => {
+            return Err(FaircrowdError::UnknownPolicy {
+                name: name.to_owned(),
+                available: NAMES.iter().map(|n| (*n).to_owned()).collect(),
+            })
+        }
+    };
+    Ok(policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::fixtures::small_market;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_name_resolves_and_assigns_feasibly() {
+        let market = small_market();
+        for name in NAMES {
+            let mut policy = by_name(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!policy.name().is_empty());
+            let outcome = policy.assign(&market, &mut StdRng::seed_from_u64(7));
+            assert!(
+                outcome.check_feasible(&market).is_empty(),
+                "{name} infeasible"
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_canonicalised() {
+        assert_eq!(by_name("round-robin").unwrap().name(), "round-robin");
+        assert_eq!(
+            by_name(" Self_Selection ").unwrap().name(),
+            "self-selection"
+        );
+    }
+
+    #[test]
+    fn unknown_names_list_the_registry() {
+        let err = match by_name("magic") {
+            Err(err) => err,
+            Ok(policy) => panic!("`magic` resolved to {}", policy.name()),
+        };
+        match err {
+            FaircrowdError::UnknownPolicy { name, available } => {
+                assert_eq!(name, "magic");
+                assert_eq!(available.len(), NAMES.len());
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+}

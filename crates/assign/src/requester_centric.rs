@@ -24,11 +24,8 @@ impl AssignmentPolicy for RequesterCentric {
 
     fn assign(&mut self, input: &AssignInput, _rng: &mut dyn RngCore) -> AssignmentOutcome {
         let mut outcome = AssignmentOutcome::default();
-        let mut capacity: BTreeMap<_, u32> = input
-            .workers
-            .iter()
-            .map(|w| (w.id, w.capacity))
-            .collect();
+        let mut capacity: BTreeMap<_, u32> =
+            input.workers.iter().map(|w| (w.id, w.capacity)).collect();
 
         // Most valuable tasks first: the requester protects her highest
         // rewards with her best workers.
@@ -50,9 +47,7 @@ impl AssignmentPolicy for RequesterCentric {
                 let best = input
                     .workers
                     .iter()
-                    .filter(|w| {
-                        capacity[&w.id] > 0 && !on_task.contains(&w.id) && w.qualifies(t)
-                    })
+                    .filter(|w| capacity[&w.id] > 0 && !on_task.contains(&w.id) && w.qualifies(t))
                     .max_by(|a, b| {
                         a.quality
                             .partial_cmp(&b.quality)
@@ -76,7 +71,7 @@ impl AssignmentPolicy for RequesterCentric {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::testkit::small_market;
+    use crate::policy::fixtures::small_market;
     use crate::policy::requester_utility;
     use crate::SelfSelection;
     use faircrowd_model::ids::WorkerId;

@@ -27,8 +27,7 @@ impl AssignmentPolicy for RoundRobin {
                 }
             }
         }
-        let mut slots: BTreeMap<_, u32> =
-            input.tasks.iter().map(|t| (t.id, t.slots)).collect();
+        let mut slots: BTreeMap<_, u32> = input.tasks.iter().map(|t| (t.id, t.slots)).collect();
         let mut capacity: Vec<u32> = input.workers.iter().map(|w| w.capacity).collect();
         let mut taken: Vec<BTreeSet<_>> = vec![BTreeSet::new(); input.workers.len()];
 
@@ -39,9 +38,10 @@ impl AssignmentPolicy for RoundRobin {
                     continue;
                 }
                 // the first (lowest-id) qualified open task not yet taken
-                let next = input.tasks.iter().find(|t| {
-                    w.qualifies(t) && slots[&t.id] > 0 && !taken[wi].contains(&t.id)
-                });
+                let next = input
+                    .tasks
+                    .iter()
+                    .find(|t| w.qualifies(t) && slots[&t.id] > 0 && !taken[wi].contains(&t.id));
                 if let Some(t) = next {
                     *slots.get_mut(&t.id).expect("slot entry") -= 1;
                     capacity[wi] -= 1;
@@ -61,7 +61,7 @@ impl AssignmentPolicy for RoundRobin {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::testkit::small_market;
+    use crate::policy::fixtures::small_market;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use std::collections::BTreeMap;

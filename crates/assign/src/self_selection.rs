@@ -7,9 +7,7 @@
 //! sees every open task; workers then claim tasks by their own preference
 //! in random arrival order.
 
-use crate::policy::{
-    preference_score, AssignInput, AssignmentOutcome, AssignmentPolicy,
-};
+use crate::policy::{preference_score, AssignInput, AssignmentOutcome, AssignmentPolicy};
 use rand::seq::SliceRandom;
 use rand::RngCore;
 use std::collections::BTreeMap;
@@ -34,8 +32,7 @@ impl AssignmentPolicy for SelfSelection {
             }
         }
         // Workers arrive in random order and claim by preference.
-        let mut slots: BTreeMap<_, u32> =
-            input.tasks.iter().map(|t| (t.id, t.slots)).collect();
+        let mut slots: BTreeMap<_, u32> = input.tasks.iter().map(|t| (t.id, t.slots)).collect();
         let mut order: Vec<usize> = (0..input.workers.len()).collect();
         order.shuffle(rng);
         for wi in order {
@@ -48,7 +45,11 @@ impl AssignmentPolicy for SelfSelection {
                 .filter(|(_, t)| w.qualifies(t) && slots[&t.id] > 0)
                 .map(|(ti, t)| (preference_score(w, t), ti))
                 .collect();
-            prefs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN preference").then(a.1.cmp(&b.1)));
+            prefs.sort_by(|a, b| {
+                b.0.partial_cmp(&a.0)
+                    .expect("NaN preference")
+                    .then(a.1.cmp(&b.1))
+            });
             for &(_, ti) in prefs.iter().take(w.capacity as usize) {
                 let t = &input.tasks[ti];
                 let s = slots.get_mut(&t.id).expect("slot entry");
@@ -65,7 +66,7 @@ impl AssignmentPolicy for SelfSelection {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::testkit::small_market;
+    use crate::policy::fixtures::small_market;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

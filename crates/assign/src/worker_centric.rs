@@ -14,9 +14,7 @@
 //! — a worker-first platform hides nothing.
 
 use crate::mcmf::max_weight_b_matching;
-use crate::policy::{
-    preference_score, AssignInput, AssignmentOutcome, AssignmentPolicy,
-};
+use crate::policy::{preference_score, AssignInput, AssignmentOutcome, AssignmentPolicy};
 use rand::RngCore;
 
 /// Exact b-matching maximising total worker preference.
@@ -71,7 +69,7 @@ impl AssignmentPolicy for WorkerCentric {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::testkit::small_market;
+    use crate::policy::fixtures::small_market;
     use crate::policy::worker_utility;
     use crate::SelfSelection;
     use rand::rngs::StdRng;
@@ -81,7 +79,11 @@ mod tests {
     fn feasible() {
         let m = small_market();
         let o = WorkerCentric.assign(&m, &mut StdRng::seed_from_u64(0));
-        assert!(o.check_feasible(&m).is_empty(), "{:?}", o.check_feasible(&m));
+        assert!(
+            o.check_feasible(&m).is_empty(),
+            "{:?}",
+            o.check_feasible(&m)
+        );
     }
 
     #[test]

@@ -19,10 +19,10 @@ const SKILLS: usize = 5;
 
 fn market_strategy() -> impl Strategy<Value = AssignInput> {
     let task = (
-        0u32..3,                                   // requester
+        0u32..3,                                        // requester
         prop::collection::vec(prop::bool::ANY, SKILLS), // skills
-        1i64..40,                                  // reward cents
-        1u32..4,                                   // slots
+        1i64..40,                                       // reward cents
+        1u32..4,                                        // slots
     );
     let worker = (
         prop::collection::vec(prop::bool::ANY, SKILLS),

@@ -57,7 +57,11 @@ fn main() {
                 )
             })
             .collect();
-        let a1 = mean(reports.iter().map(|r| r.score_of(AxiomId::A1WorkerAssignment)));
+        let a1 = mean(
+            reports
+                .iter()
+                .map(|r| r.score_of(AxiomId::A1WorkerAssignment)),
+        );
         let a2 = mean(
             reports
                 .iter()
@@ -113,8 +117,8 @@ fn main() {
         ("default (threshold 0.9)", SimilarityConfig::default()),
         ("lenient (threshold 0.7)", SimilarityConfig::lenient()),
     ];
-    let mut ablation = TextTable::new(["similarity regime", "A1", "pairs-checked", "violations"])
-        .numeric();
+    let mut ablation =
+        TextTable::new(["similarity regime", "A1", "pairs-checked", "violations"]).numeric();
     for (name, similarity) in regimes {
         let engine = AuditEngine::new(AuditConfig {
             similarity,
@@ -124,10 +128,16 @@ fn main() {
             .iter()
             .map(|t| engine.run_axioms(t, &[AxiomId::A1WorkerAssignment]))
             .collect();
-        let a1 = mean(reports.iter().map(|r| r.score_of(AxiomId::A1WorkerAssignment)));
-        let pairs = mean(reports.iter().map(|r| {
-            r.axiom(AxiomId::A1WorkerAssignment).unwrap().checked as f64
-        }));
+        let a1 = mean(
+            reports
+                .iter()
+                .map(|r| r.score_of(AxiomId::A1WorkerAssignment)),
+        );
+        let pairs = mean(
+            reports
+                .iter()
+                .map(|r| r.axiom(AxiomId::A1WorkerAssignment).unwrap().checked as f64),
+        );
         let violations = mean(reports.iter().map(|r| r.total_violations() as f64));
         ablation.row([name.to_owned(), f3(a1), f2(pairs), f2(violations)]);
     }

@@ -25,7 +25,18 @@ use faircrowd_quality::spam::SpamDetector;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Rebuild the detection inputs from a trace.
-fn answers_of(trace: &Trace) -> (AnswerSet, BTreeMap<WorkerId, Vec<(faircrowd_model::time::SimDuration, faircrowd_model::time::SimDuration)>>) {
+fn answers_of(
+    trace: &Trace,
+) -> (
+    AnswerSet,
+    BTreeMap<
+        WorkerId,
+        Vec<(
+            faircrowd_model::time::SimDuration,
+            faircrowd_model::time::SimDuration,
+        )>,
+    >,
+) {
     let mut set = AnswerSet::new(2);
     let mut durations: BTreeMap<WorkerId, Vec<_>> = BTreeMap::new();
     for s in &trace.submissions {
@@ -121,8 +132,7 @@ fn main() {
         let mut rows: BTreeMap<&'static str, Vec<[f64; 5]>> = BTreeMap::new();
         for trace in &traces {
             let (answers, _) = answers_of(trace);
-            let universe: BTreeSet<WorkerId> =
-                trace.submissions.iter().map(|s| s.worker).collect();
+            let universe: BTreeSet<WorkerId> = trace.submissions.iter().map(|s| s.worker).collect();
             let malicious: BTreeSet<WorkerId> = trace
                 .ground_truth
                 .malicious_workers

@@ -62,8 +62,7 @@ fn main() {
         }));
         let interrupted = mean(traces.iter().map(|t| {
             t.events
-                .count_where(|k| matches!(k, EventKind::WorkInterrupted { .. }))
-                as f64
+                .count_where(|k| matches!(k, EventKind::WorkInterrupted { .. })) as f64
         }));
         let unpaid_min = mean(
             traces

@@ -7,8 +7,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use faircrowd_assign::{
-    AssignInput, AssignmentPolicy, ExposureParity, KosAllocation, OnlineMatching,
-    RequesterCentric, RoundRobin, SelfSelection, TaskView, WorkerCentric, WorkerView,
+    AssignInput, AssignmentPolicy, ExposureParity, KosAllocation, OnlineMatching, RequesterCentric,
+    RoundRobin, SelfSelection, TaskView, WorkerCentric, WorkerView,
 };
 use faircrowd_model::ids::{RequesterId, TaskId, WorkerId};
 use faircrowd_model::money::Credits;
@@ -20,9 +20,7 @@ use std::hint::black_box;
 
 fn market(n_workers: u32, n_tasks: u32, seed: u64) -> AssignInput {
     let mut rng = StdRng::seed_from_u64(seed);
-    let skills = |rng: &mut StdRng| {
-        SkillVector::from_bools((0..8).map(|_| rng.gen_bool(0.5)))
-    };
+    let skills = |rng: &mut StdRng| SkillVector::from_bools((0..8).map(|_| rng.gen_bool(0.5)));
     AssignInput {
         tasks: (0..n_tasks)
             .map(|i| TaskView {
@@ -55,9 +53,10 @@ fn bench_policies(c: &mut Criterion) {
             let mut rng = StdRng::seed_from_u64(7);
             black_box(policy.assign(black_box(&input), &mut rng))
         };
-        group.bench_function(BenchmarkId::new("self-selection", format!("{nw}x{nt}")), |b| {
-            b.iter(|| run(&mut SelfSelection))
-        });
+        group.bench_function(
+            BenchmarkId::new("self-selection", format!("{nw}x{nt}")),
+            |b| b.iter(|| run(&mut SelfSelection)),
+        );
         group.bench_function(BenchmarkId::new("round-robin", format!("{nw}x{nt}")), |b| {
             b.iter(|| run(&mut RoundRobin))
         });
@@ -65,9 +64,10 @@ fn bench_policies(c: &mut Criterion) {
             BenchmarkId::new("requester-centric", format!("{nw}x{nt}")),
             |b| b.iter(|| run(&mut RequesterCentric)),
         );
-        group.bench_function(BenchmarkId::new("online-greedy", format!("{nw}x{nt}")), |b| {
-            b.iter(|| run(&mut OnlineMatching))
-        });
+        group.bench_function(
+            BenchmarkId::new("online-greedy", format!("{nw}x{nt}")),
+            |b| b.iter(|| run(&mut OnlineMatching)),
+        );
         group.bench_function(BenchmarkId::new("kos(3,5)", format!("{nw}x{nt}")), |b| {
             b.iter(|| run(&mut KosAllocation { l: 3, r: 5 }))
         });

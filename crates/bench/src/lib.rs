@@ -116,10 +116,7 @@ pub mod presets {
                 WorkerPopulation::diligent(honest),
                 WorkerPopulation::of(WorkerArchetype::RandomSpammer, third),
                 WorkerPopulation::of(WorkerArchetype::UniformSpammer, third),
-                WorkerPopulation::of(
-                    WorkerArchetype::SemiRandomSpammer,
-                    malicious - 2 * third,
-                ),
+                WorkerPopulation::of(WorkerArchetype::SemiRandomSpammer, malicious - 2 * third),
             ],
             campaigns: vec![CampaignSpec {
                 assignments_per_task: 5,

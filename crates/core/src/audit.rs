@@ -165,8 +165,10 @@ mod tests {
     #[test]
     fn subset_runs_only_requested_axioms() {
         let trace = Trace::default();
-        let report = AuditEngine::with_defaults()
-            .run_axioms(&trace, &[AxiomId::A3Compensation, AxiomId::A5NoInterruption]);
+        let report = AuditEngine::with_defaults().run_axioms(
+            &trace,
+            &[AxiomId::A3Compensation, AxiomId::A5NoInterruption],
+        );
         assert_eq!(report.axioms.len(), 2);
         assert!(report.axiom(AxiomId::A1WorkerAssignment).is_none());
         // unran axioms default to 1.0

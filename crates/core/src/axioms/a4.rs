@@ -51,8 +51,7 @@ impl Axiom for MaliceDetection {
                     "{} worker(s) flagged despite a clean workforce (false alarms)",
                     flagged.len()
                 ));
-                report.score = 1.0
-                    - flagged.len() as f64 / active.len().max(1) as f64;
+                report.score = 1.0 - flagged.len() as f64 / active.len().max(1) as f64;
             }
             return report;
         }
@@ -178,7 +177,7 @@ mod tests {
         let mut trace = spam_trace();
         flag(&mut trace, 200, 2, 0.9); // true positive
         flag(&mut trace, 200, 0, 0.7); // false positive
-        // w3 missed
+                                       // w3 missed
         let r = MaliceDetection.check(&trace, &cfg(), 10);
         // precision 1/2, recall 1/2 -> F1 = 1/2
         assert!((r.score - 0.5).abs() < 1e-9);

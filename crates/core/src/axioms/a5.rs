@@ -56,7 +56,11 @@ impl Axiom for NoInterruption {
                     format!(
                         "worker {worker} was interrupted on task {task} after investing \
                          {invested}{}",
-                        if *comp { " (partially compensated)" } else { " (unpaid)" }
+                        if *comp {
+                            " (partially compensated)"
+                        } else {
+                            " (unpaid)"
+                        }
                     ),
                 );
             }

@@ -29,7 +29,10 @@ fn obligations(task: &Task) -> [(DisclosureItem, bool); 5] {
     let c = &task.conditions;
     [
         (DisclosureItem::HourlyWage, c.stated_hourly_wage.is_some()),
-        (DisclosureItem::PaymentDelay, c.stated_payment_delay.is_some()),
+        (
+            DisclosureItem::PaymentDelay,
+            c.stated_payment_delay.is_some(),
+        ),
         (
             DisclosureItem::RecruitmentCriteria,
             c.recruitment_criteria.is_some(),
@@ -88,8 +91,7 @@ impl Axiom for RequesterTransparency {
             truncated: collector.truncated(),
             violations: collector.items,
             notes: vec![
-                "an obligation is met by task-level conditions or a platform-wide grant"
-                    .to_owned(),
+                "an obligation is met by task-level conditions or a platform-wide grant".to_owned(),
             ],
         }
     }

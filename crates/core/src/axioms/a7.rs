@@ -109,7 +109,9 @@ mod tests {
     fn session(trace: &mut Trace, at: u64, worker_id: u32) {
         trace.events.push(
             SimTime::from_secs(at),
-            EventKind::SessionStarted { worker: w(worker_id) },
+            EventKind::SessionStarted {
+                worker: w(worker_id),
+            },
         );
     }
 

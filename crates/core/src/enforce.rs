@@ -72,17 +72,24 @@ pub fn equalize_payments(
         .collect()
 }
 
-/// The smallest disclosure set that satisfies Axiom 6 (working conditions
-/// visible to workers) and Axiom 7 (computed attributes visible to the
-/// worker herself).
-pub fn minimal_transparent_set() -> DisclosureSet {
-    let mut set = DisclosureSet::opaque();
+/// Grant the Axiom-6/7 disclosure floor on top of an existing set.
+/// Grants are additive, so the set is only ever widened — this is the
+/// repair the `Pipeline`'s minimal-transparency enforcement applies.
+pub fn grant_minimal_transparency(set: &mut DisclosureSet) {
     for item in DisclosureItem::AXIOM6_REQUIRED {
         set.grant(item, Audience::Workers);
     }
     for item in DisclosureItem::AXIOM7_REQUIRED {
         set.grant(item, Audience::Subject);
     }
+}
+
+/// The smallest disclosure set that satisfies Axiom 6 (working conditions
+/// visible to workers) and Axiom 7 (computed attributes visible to the
+/// worker herself).
+pub fn minimal_transparent_set() -> DisclosureSet {
+    let mut set = DisclosureSet::opaque();
+    grant_minimal_transparency(&mut set);
     set
 }
 
@@ -103,8 +110,16 @@ mod tests {
         ];
         let adjusted = equalize_payments(&subs, 0.9);
         assert_eq!(adjusted[&sid(0)], Credits::from_cents(10));
-        assert_eq!(adjusted[&sid(1)], Credits::from_cents(10), "raised to group max");
-        assert_eq!(adjusted[&sid(2)], Credits::from_cents(4), "different answer untouched");
+        assert_eq!(
+            adjusted[&sid(1)],
+            Credits::from_cents(10),
+            "raised to group max"
+        );
+        assert_eq!(
+            adjusted[&sid(2)],
+            Credits::from_cents(4),
+            "different answer untouched"
+        );
     }
 
     #[test]

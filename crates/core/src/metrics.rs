@@ -42,8 +42,7 @@ pub fn exposure_jain(trace: &Trace) -> f64 {
 /// overlap` of their qualified access sets (0 = perfectly equal access).
 /// Returns 0.0 when the trace has no similar pairs.
 pub fn access_disparity(trace: &Trace, cfg: &SimilarityConfig) -> f64 {
-    let report = crate::axioms::a1::WorkerAssignmentFairness
-        .check_for_disparity(trace, cfg);
+    let report = crate::axioms::a1::WorkerAssignmentFairness.check_for_disparity(trace, cfg);
     1.0 - report
 }
 
@@ -97,7 +96,10 @@ pub fn wage_stats(trace: &Trace) -> WageStats {
         *worked.entry(s.worker).or_insert(0) += s.work_duration().as_secs();
     }
     for e in &trace.events {
-        if let EventKind::WorkInterrupted { worker, invested, .. } = &e.kind {
+        if let EventKind::WorkInterrupted {
+            worker, invested, ..
+        } = &e.kind
+        {
             *worked.entry(*worker).or_insert(0) += invested.as_secs();
         }
     }
@@ -230,7 +232,10 @@ mod tests {
         let d = access_disparity(&trace, &SimilarityConfig::default());
         assert!(d > 0.3, "identical workers, unequal access: {d}");
         // empty trace has no pairs -> no disparity
-        assert_eq!(access_disparity(&Trace::default(), &SimilarityConfig::default()), 0.0);
+        assert_eq!(
+            access_disparity(&Trace::default(), &SimilarityConfig::default()),
+            0.0
+        );
     }
 
     #[test]
@@ -260,22 +265,26 @@ mod tests {
         let mut trace = trace_with_exposure();
         trace.ground_truth.true_labels.insert(TaskId::new(0), 1);
         trace.ground_truth.true_labels.insert(TaskId::new(1), 0);
-        trace.submissions.push(faircrowd_model::contribution::Submission {
-            id: SubmissionId::new(0),
-            task: TaskId::new(0),
-            worker: WorkerId::new(0),
-            contribution: Contribution::Label(1),
-            started_at: SimTime::ZERO,
-            submitted_at: SimTime::from_secs(60),
-        });
-        trace.submissions.push(faircrowd_model::contribution::Submission {
-            id: SubmissionId::new(1),
-            task: TaskId::new(1),
-            worker: WorkerId::new(1),
-            contribution: Contribution::Label(1),
-            started_at: SimTime::ZERO,
-            submitted_at: SimTime::from_secs(60),
-        });
+        trace
+            .submissions
+            .push(faircrowd_model::contribution::Submission {
+                id: SubmissionId::new(0),
+                task: TaskId::new(0),
+                worker: WorkerId::new(0),
+                contribution: Contribution::Label(1),
+                started_at: SimTime::ZERO,
+                submitted_at: SimTime::from_secs(60),
+            });
+        trace
+            .submissions
+            .push(faircrowd_model::contribution::Submission {
+                id: SubmissionId::new(1),
+                task: TaskId::new(1),
+                worker: WorkerId::new(1),
+                contribution: Contribution::Label(1),
+                started_at: SimTime::ZERO,
+                submitted_at: SimTime::from_secs(60),
+            });
         assert!((label_quality(&trace).unwrap() - 0.5).abs() < 1e-12);
         assert!(label_quality(&Trace::default()).is_none());
     }
@@ -283,14 +292,16 @@ mod tests {
     #[test]
     fn payout_and_unpaid_time() {
         let mut trace = trace_with_exposure();
-        trace.submissions.push(faircrowd_model::contribution::Submission {
-            id: SubmissionId::new(0),
-            task: TaskId::new(0),
-            worker: WorkerId::new(0),
-            contribution: Contribution::Label(1),
-            started_at: SimTime::ZERO,
-            submitted_at: SimTime::from_secs(600),
-        });
+        trace
+            .submissions
+            .push(faircrowd_model::contribution::Submission {
+                id: SubmissionId::new(0),
+                task: TaskId::new(0),
+                worker: WorkerId::new(0),
+                contribution: Contribution::Label(1),
+                started_at: SimTime::ZERO,
+                submitted_at: SimTime::from_secs(600),
+            });
         trace.events.push(
             SimTime::from_secs(700),
             EventKind::PaymentIssued {

@@ -113,15 +113,14 @@ impl TextTable {
 
 /// Render a fairness report as a human-readable audit summary.
 pub fn render_report(report: &FairnessReport) -> String {
-    let mut table = TextTable::new(["axiom", "score", "checked", "violations", "notes"]).aligns(
-        vec![
+    let mut table =
+        TextTable::new(["axiom", "score", "checked", "violations", "notes"]).aligns(vec![
             Align::Left,
             Align::Right,
             Align::Right,
             Align::Right,
             Align::Left,
-        ],
-    );
+        ]);
     for r in &report.axioms {
         table.row([
             r.axiom.label().to_owned(),

@@ -20,16 +20,17 @@ fn contribution_strategy() -> impl Strategy<Value = Contribution> {
     ]
 }
 
-fn planned_payments(
-) -> impl Strategy<Value = Vec<(SubmissionId, Contribution, Credits)>> {
-    prop::collection::vec(
-        (contribution_strategy(), 0i64..10_000),
-        0..10,
-    )
-    .prop_map(|rows| {
+fn planned_payments() -> impl Strategy<Value = Vec<(SubmissionId, Contribution, Credits)>> {
+    prop::collection::vec((contribution_strategy(), 0i64..10_000), 0..10).prop_map(|rows| {
         rows.into_iter()
             .enumerate()
-            .map(|(i, (c, pay))| (SubmissionId::new(i as u32), c, Credits::from_millicents(pay)))
+            .map(|(i, (c, pay))| {
+                (
+                    SubmissionId::new(i as u32),
+                    c,
+                    Credits::from_millicents(pay),
+                )
+            })
             .collect()
     })
 }

@@ -119,6 +119,19 @@ pub fn by_name(name: &str) -> Option<CompiledPolicy> {
         .and_then(|(_, src)| crate::compile_one(src).ok())
 }
 
+/// [`by_name`] as a `Result`: an unknown name reports the available
+/// names; a known name whose source fails to compile keeps the full
+/// compiler diagnostic instead of being misreported as unknown.
+pub fn get(name: &str) -> Result<CompiledPolicy, faircrowd_model::FaircrowdError> {
+    match sources().into_iter().find(|(n, _)| *n == name) {
+        Some((_, src)) => crate::compile_one(src).map_err(Into::into),
+        None => Err(faircrowd_model::FaircrowdError::UnknownPolicy {
+            name: name.to_owned(),
+            available: sources().iter().map(|(n, _)| (*n).to_owned()).collect(),
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -96,6 +96,17 @@ impl LangError {
     }
 }
 
+impl From<LangError> for faircrowd_model::FaircrowdError {
+    /// Carry the full rendered diagnostic (caret line included) into the
+    /// workspace error type, so `?` in `Pipeline`/CLI code keeps the
+    /// compiler-grade message.
+    fn from(err: LangError) -> Self {
+        faircrowd_model::FaircrowdError::Lang {
+            message: err.to_string(),
+        }
+    }
+}
+
 impl fmt::Display for LangError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let prefix = match self.phase {

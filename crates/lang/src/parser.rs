@@ -62,10 +62,9 @@ impl<'a> Parser<'a> {
                 want.describe(),
                 t.token.describe()
             ))),
-            None => Err(self.error_here(format!(
-                "expected {}, found end of input",
-                want.describe()
-            ))),
+            None => {
+                Err(self.error_here(format!("expected {}, found end of input", want.describe())))
+            }
         }
     }
 
@@ -78,10 +77,9 @@ impl<'a> Parser<'a> {
                 self.advance();
                 Ok((name.clone(), *span))
             }
-            Some(t) => Err(self.error_here(format!(
-                "expected {what}, found {}",
-                t.token.describe()
-            ))),
+            Some(t) => {
+                Err(self.error_here(format!("expected {what}, found {}", t.token.describe())))
+            }
             None => Err(self.error_here(format!("expected {what}, found end of input"))),
         }
     }
@@ -110,9 +108,7 @@ impl<'a> Parser<'a> {
                 Some(Token::Disclose) => decls.push(self.disclose()?),
                 Some(Token::Require) => decls.push(self.require()?),
                 Some(_) => {
-                    return Err(self.error_here(
-                        "expected `audience`, `disclose`, `require` or `}`",
-                    ))
+                    return Err(self.error_here("expected `audience`, `disclose`, `require` or `}`"))
                 }
                 None => {
                     return Err(self.error_here("unclosed policy block: missing `}`"));

@@ -111,8 +111,9 @@ mod tests {
         .unwrap();
         let text = render_policy(&p);
         assert!(text.contains("Transparency policy \"demo\""));
-        assert!(text
-            .contains("Anyone can see the community rating of each task while browsing tasks."));
+        assert!(
+            text.contains("Anyone can see the community rating of each task while browsing tasks.")
+        );
         assert!(text.contains("Each worker can see their own acceptance ratio."));
         assert!(text.contains(
             "Requesters must publish the conditions under which work is rejected before \
@@ -145,8 +146,7 @@ mod tests {
 
     #[test]
     fn requirement_without_phase() {
-        let p = compile_one(r#"policy "p" { require requester discloses hourly_wage; }"#)
-            .unwrap();
+        let p = compile_one(r#"policy "p" { require requester discloses hourly_wage; }"#).unwrap();
         let text = render_requirement(&p.requirements[0]);
         assert_eq!(
             text,

@@ -171,9 +171,8 @@ pub fn check(policy: &Policy, source: &str) -> Result<CompiledPolicy, LangError>
     audiences.insert("workers".into(), Audience::Workers);
     audiences.insert("requesters".into(), Audience::Requesters);
 
-    let err = |msg: String, span: Span| -> LangError {
-        LangError::at(Phase::Check, msg, span, source)
-    };
+    let err =
+        |msg: String, span: Span| -> LangError { LangError::at(Phase::Check, msg, span, source) };
 
     let mut rules = Vec::new();
     let mut requirements = Vec::new();
@@ -184,8 +183,10 @@ pub fn check(policy: &Policy, source: &str) -> Result<CompiledPolicy, LangError>
                 name_span,
                 expr,
             } => {
-                if matches!(name.as_str(), "public" | "subject" | "workers" | "requesters")
-                {
+                if matches!(
+                    name.as_str(),
+                    "public" | "subject" | "workers" | "requesters"
+                ) {
                     return Err(err(
                         format!("cannot redefine built-in audience `{name}`"),
                         *name_span,
@@ -264,9 +265,8 @@ pub fn check(policy: &Policy, source: &str) -> Result<CompiledPolicy, LangError>
                 item_span,
                 before,
             } => {
-                let resolved = resolve_requirement_item(item).ok_or_else(|| {
-                    err(format!("unknown requirement item `{item}`"), *item_span)
-                })?;
+                let resolved = resolve_requirement_item(item)
+                    .ok_or_else(|| err(format!("unknown requirement item `{item}`"), *item_span))?;
                 if resolved.category() != DisclosureCategory::Requester {
                     return Err(err(
                         format!(
@@ -278,9 +278,10 @@ pub fn check(policy: &Policy, source: &str) -> Result<CompiledPolicy, LangError>
                 }
                 let before_ctx = match before {
                     None => None,
-                    Some(phase) => Some(Context::from_name(phase).ok_or_else(|| {
-                        err(format!("unknown phase `{phase}`"), *item_span)
-                    })?),
+                    Some(phase) => Some(
+                        Context::from_name(phase)
+                            .ok_or_else(|| err(format!("unknown phase `{phase}`"), *item_span))?,
+                    ),
                 };
                 requirements.push(Requirement {
                     item: resolved,
@@ -344,16 +345,15 @@ mod tests {
 
     #[test]
     fn unknown_item_rejected_with_span() {
-        let err = compile_one(r#"policy "p" { disclose worker.shoe_size to public; }"#)
-            .unwrap_err();
+        let err =
+            compile_one(r#"policy "p" { disclose worker.shoe_size to public; }"#).unwrap_err();
         assert!(err.message.contains("worker.shoe_size"));
         assert!(err.context.is_some());
     }
 
     #[test]
     fn unknown_audience_rejected() {
-        let err = compile_one(r#"policy "p" { disclose task.rating to martians; }"#)
-            .unwrap_err();
+        let err = compile_one(r#"policy "p" { disclose task.rating to martians; }"#).unwrap_err();
         assert!(err.message.contains("unknown audience `martians`"));
     }
 
@@ -369,8 +369,7 @@ mod tests {
     fn builtin_audience_cannot_be_redefined() {
         // `public`/`subject` are keywords (parse error); `workers` and
         // `requesters` lex as identifiers and hit the semantic guard.
-        let err = compile_one(r#"policy "p" { audience workers = role(requester); }"#)
-            .unwrap_err();
+        let err = compile_one(r#"policy "p" { audience workers = role(requester); }"#).unwrap_err();
         assert!(err.message.contains("built-in"), "{}", err.message);
         let kw = compile_one(r#"policy "p" { audience public = role(worker); }"#).unwrap_err();
         assert!(kw.message.contains("expected an audience name"));

@@ -105,8 +105,14 @@ mod tests {
 
     #[test]
     fn label_similarity_is_equality() {
-        assert_eq!(Contribution::Label(1).similarity(&Contribution::Label(1)), 1.0);
-        assert_eq!(Contribution::Label(1).similarity(&Contribution::Label(2)), 0.0);
+        assert_eq!(
+            Contribution::Label(1).similarity(&Contribution::Label(1)),
+            1.0
+        );
+        assert_eq!(
+            Contribution::Label(1).similarity(&Contribution::Label(2)),
+            0.0
+        );
     }
 
     #[test]

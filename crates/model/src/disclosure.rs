@@ -18,9 +18,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 /// Who may see a disclosed item.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Audience {
     /// Everyone, including people without a platform account.
     Public,
@@ -302,7 +300,8 @@ mod tests {
 
     #[test]
     fn role_grant_is_role_scoped() {
-        let s = DisclosureSet::opaque().with(DisclosureItem::CampaignProgress, Audience::Requesters);
+        let s =
+            DisclosureSet::opaque().with(DisclosureItem::CampaignProgress, Audience::Requesters);
         assert!(s.allows(DisclosureItem::CampaignProgress, Audience::Requesters));
         assert!(!s.allows(DisclosureItem::CampaignProgress, Audience::Workers));
         assert!(!s.allows(DisclosureItem::CampaignProgress, Audience::Public));

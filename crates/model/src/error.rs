@@ -1,0 +1,139 @@
+//! The workspace-wide error type.
+//!
+//! Every fallible public operation across the FairCrowd crates reports a
+//! [`FaircrowdError`]: scenario-configuration problems, unknown policy
+//! names from the registry, infeasible assignment outcomes, malformed
+//! traces, and transparency-language diagnostics. One type means callers
+//! — the `Pipeline`, the CLI, tests, sweeps — handle failures uniformly
+//! with `?` instead of juggling per-crate `Vec<String>`, `Option` and
+//! panic conventions.
+
+use std::fmt;
+
+/// Any error a FairCrowd operation can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaircrowdError {
+    /// A scenario configuration is unusable (empty population, zero
+    /// rounds, inconsistent campaign parameters, …).
+    Config {
+        /// What is wrong with the configuration.
+        message: String,
+    },
+    /// A policy name did not resolve in the assignment-policy registry.
+    UnknownPolicy {
+        /// The name that failed to resolve.
+        name: String,
+        /// The names the registry does know.
+        available: Vec<String>,
+    },
+    /// A policy produced an outcome violating the structural feasibility
+    /// invariants (slot limits, capacities, qualification, visibility).
+    InfeasibleAssignment {
+        /// The offending policy's name.
+        policy: String,
+        /// Human-readable invariant violations.
+        problems: Vec<String>,
+    },
+    /// A trace failed its internal well-formedness checks.
+    InvalidTrace {
+        /// Human-readable integrity violations.
+        problems: Vec<String>,
+    },
+    /// A transparency-policy (TPL) diagnostic, already rendered.
+    Lang {
+        /// The rendered diagnostic.
+        message: String,
+    },
+    /// The API or CLI was used incorrectly.
+    Usage {
+        /// What the caller got wrong.
+        message: String,
+    },
+}
+
+impl FaircrowdError {
+    /// A [`FaircrowdError::Config`] from anything displayable.
+    pub fn config(message: impl fmt::Display) -> Self {
+        FaircrowdError::Config {
+            message: message.to_string(),
+        }
+    }
+
+    /// A [`FaircrowdError::Usage`] from anything displayable.
+    pub fn usage(message: impl fmt::Display) -> Self {
+        FaircrowdError::Usage {
+            message: message.to_string(),
+        }
+    }
+
+    /// A [`FaircrowdError::Lang`] from anything displayable.
+    pub fn lang(message: impl fmt::Display) -> Self {
+        FaircrowdError::Lang {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for FaircrowdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaircrowdError::Config { message } => {
+                write!(f, "invalid scenario configuration: {message}")
+            }
+            FaircrowdError::UnknownPolicy { name, available } => {
+                write!(
+                    f,
+                    "unknown policy `{name}`; available: {}",
+                    available.join(", ")
+                )
+            }
+            FaircrowdError::InfeasibleAssignment { policy, problems } => {
+                write!(
+                    f,
+                    "policy `{policy}` produced an infeasible outcome: {}",
+                    problems.join("; ")
+                )
+            }
+            FaircrowdError::InvalidTrace { problems } => {
+                write!(f, "trace failed validation: {}", problems.join("; "))
+            }
+            FaircrowdError::Lang { message } => write!(f, "{message}"),
+            FaircrowdError::Usage { message } => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for FaircrowdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FaircrowdError::UnknownPolicy {
+            name: "magic".into(),
+            available: vec!["round_robin".into(), "kos".into()],
+        };
+        let text = e.to_string();
+        assert!(text.contains("magic"));
+        assert!(text.contains("round_robin"));
+
+        let e = FaircrowdError::InfeasibleAssignment {
+            policy: "kos".into(),
+            problems: vec!["w0 over capacity".into()],
+        };
+        assert!(e.to_string().contains("kos"));
+        assert!(e.to_string().contains("over capacity"));
+
+        assert!(FaircrowdError::config("no workers")
+            .to_string()
+            .contains("no workers"));
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&FaircrowdError::usage("nope"));
+    }
+}

@@ -26,6 +26,7 @@
 pub mod attributes;
 pub mod contribution;
 pub mod disclosure;
+pub mod error;
 pub mod event;
 pub mod ids;
 pub mod money;
@@ -43,6 +44,7 @@ pub mod worker;
 pub use attributes::{AttrValue, ComputedAttrs, DeclaredAttrs};
 pub use contribution::{Contribution, Submission};
 pub use disclosure::{Audience, DisclosureItem, DisclosureSet};
+pub use error::FaircrowdError;
 pub use event::{Event, EventKind, EventLog};
 pub use ids::{CampaignId, RequesterId, SkillId, SubmissionId, TaskId, WorkerId};
 pub use money::Credits;
@@ -58,6 +60,7 @@ pub mod prelude {
     pub use crate::attributes::{AttrValue, ComputedAttrs, DeclaredAttrs};
     pub use crate::contribution::{Contribution, Submission};
     pub use crate::disclosure::{Audience, DisclosureItem, DisclosureSet};
+    pub use crate::error::FaircrowdError;
     pub use crate::event::{Event, EventKind, EventLog};
     pub use crate::ids::*;
     pub use crate::money::Credits;

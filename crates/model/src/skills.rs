@@ -153,7 +153,11 @@ impl SkillVector {
     /// against the right universe).
     pub fn set(&mut self, id: SkillId, value: bool) {
         let i = id.index();
-        assert!(i < self.len, "skill index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "skill index {i} out of range (len {})",
+            self.len
+        );
         let mask = 1u64 << (i % WORD_BITS);
         if value {
             self.words[i / WORD_BITS] |= mask;

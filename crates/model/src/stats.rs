@@ -55,7 +55,10 @@ pub fn gini(xs: &[f64]) -> f64 {
     if n == 0 {
         return 0.0;
     }
-    debug_assert!(xs.iter().all(|&x| x >= 0.0), "gini needs non-negative input");
+    debug_assert!(
+        xs.iter().all(|&x| x >= 0.0),
+        "gini needs non-negative input"
+    );
     let mut v = xs.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in gini input"));
     let total: f64 = v.iter().sum();

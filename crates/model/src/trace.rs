@@ -180,7 +180,10 @@ impl Trace {
         let sub_ids: BTreeSet<SubmissionId> = self.submissions.iter().map(|s| s.id).collect();
         for s in &self.submissions {
             if !worker_ids.contains(&s.worker) {
-                problems.push(format!("submission {} from unknown worker {}", s.id, s.worker));
+                problems.push(format!(
+                    "submission {} from unknown worker {}",
+                    s.id, s.worker
+                ));
             }
             if !task_ids.contains(&s.task) {
                 problems.push(format!("submission {} for unknown task {}", s.id, s.task));
@@ -198,6 +201,17 @@ impl Trace {
         }
         problems
     }
+
+    /// [`Trace::validate`] as a `Result`: `Ok` for a well-formed trace,
+    /// [`FaircrowdError::InvalidTrace`] carrying the problems otherwise.
+    pub fn ensure_valid(&self) -> Result<(), crate::error::FaircrowdError> {
+        let problems = self.validate();
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(crate::error::FaircrowdError::InvalidTrace { problems })
+        }
+    }
 }
 
 #[cfg(test)]
@@ -210,8 +224,16 @@ mod tests {
 
     fn tiny_trace() -> Trace {
         let mut trace = Trace::default();
-        let w0 = Worker::new(WorkerId::new(0), DeclaredAttrs::new(), SkillVector::with_len(2));
-        let w1 = Worker::new(WorkerId::new(1), DeclaredAttrs::new(), SkillVector::with_len(2));
+        let w0 = Worker::new(
+            WorkerId::new(0),
+            DeclaredAttrs::new(),
+            SkillVector::with_len(2),
+        );
+        let w1 = Worker::new(
+            WorkerId::new(1),
+            DeclaredAttrs::new(),
+            SkillVector::with_len(2),
+        );
         trace.workers = vec![w0, w1];
         trace.tasks = vec![TaskBuilder::new(
             TaskId::new(0),

@@ -236,7 +236,13 @@ mod tests {
     #[test]
     fn submit_resolve_pipeline() {
         let mut l = Ledger::new();
-        l.submit(s(0), w(0), r(0), SimTime::from_secs(100), SimDuration::from_hours(1));
+        l.submit(
+            s(0),
+            w(0),
+            r(0),
+            SimTime::from_secs(100),
+            SimDuration::from_hours(1),
+        );
         assert_eq!(l.pending().len(), 1);
         assert!(l.due_auto_approvals(SimTime::from_secs(200)).is_empty());
         let due = l.due_auto_approvals(SimTime::from_secs(100 + 3600));
@@ -282,8 +288,20 @@ mod tests {
     #[test]
     fn pending_sorted_by_submission_time() {
         let mut l = Ledger::new();
-        l.submit(s(1), w(1), r(0), SimTime::from_secs(50), SimDuration::from_hours(1));
-        l.submit(s(0), w(0), r(0), SimTime::from_secs(10), SimDuration::from_hours(1));
+        l.submit(
+            s(1),
+            w(1),
+            r(0),
+            SimTime::from_secs(50),
+            SimDuration::from_hours(1),
+        );
+        l.submit(
+            s(0),
+            w(0),
+            r(0),
+            SimTime::from_secs(10),
+            SimDuration::from_hours(1),
+        );
         let pend = l.pending();
         assert_eq!(pend[0].submission, s(0));
         assert_eq!(pend[1].submission, s(1));

@@ -242,7 +242,10 @@ mod tests {
     #[test]
     fn equal_split_is_exact() {
         let shares = split_equal(Credits::from_millicents(100), 3);
-        assert_eq!(shares.iter().copied().sum::<Credits>(), Credits::from_millicents(100));
+        assert_eq!(
+            shares.iter().copied().sum::<Credits>(),
+            Credits::from_millicents(100)
+        );
     }
 
     #[test]
@@ -262,7 +265,10 @@ mod tests {
         assert!(spread <= 1);
 
         let odd = split_proportional(Credits::from_millicents(7), &[0.2, 0.3, 0.5]);
-        assert_eq!(odd.iter().copied().sum::<Credits>(), Credits::from_millicents(7));
+        assert_eq!(
+            odd.iter().copied().sum::<Credits>(),
+            Credits::from_millicents(7)
+        );
     }
 
     #[test]

@@ -3,7 +3,9 @@
 
 use faircrowd_model::money::Credits;
 use faircrowd_model::time::SimDuration;
-use faircrowd_pay::scheme::{split_equal, split_proportional, CompensationScheme, PayContext, QualityBased};
+use faircrowd_pay::scheme::{
+    split_equal, split_proportional, CompensationScheme, PayContext, QualityBased,
+};
 use faircrowd_pay::wage::{hourly_wage, WageStats};
 use proptest::prelude::*;
 

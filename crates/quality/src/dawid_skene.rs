@@ -244,13 +244,7 @@ mod tests {
 
     /// Synthetic crowd: `good` accurate workers and `bad` random spammers
     /// label `n_tasks` binary tasks.
-    fn synthetic(
-        n_tasks: u32,
-        good: u32,
-        bad: u32,
-        acc: f64,
-        seed: u64,
-    ) -> (AnswerSet, Vec<u8>) {
+    fn synthetic(n_tasks: u32, good: u32, bad: u32, acc: f64, seed: u64) -> (AnswerSet, Vec<u8>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let truth: Vec<u8> = (0..n_tasks).map(|_| rng.gen_range(0..2u8)).collect();
         let mut s = AnswerSet::new(2);
@@ -288,10 +282,8 @@ mod tests {
     fn separates_reliable_from_spammers() {
         let (s, _) = synthetic(60, 6, 4, 0.9, 11);
         let res = DawidSkene::default().run(&s);
-        let good_mean: f64 =
-            (0..6).map(|i| res.reliability[&w(i)]).sum::<f64>() / 6.0;
-        let bad_mean: f64 =
-            (6..10).map(|i| res.reliability[&w(i)]).sum::<f64>() / 4.0;
+        let good_mean: f64 = (0..6).map(|i| res.reliability[&w(i)]).sum::<f64>() / 6.0;
+        let bad_mean: f64 = (6..10).map(|i| res.reliability[&w(i)]).sum::<f64>() / 4.0;
         assert!(
             good_mean > bad_mean + 0.2,
             "good {good_mean:.3} vs bad {bad_mean:.3}"

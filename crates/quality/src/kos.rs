@@ -42,8 +42,7 @@ pub fn decode(answers: &AnswerSet, iters: usize) -> KosResult {
     );
     let tasks = answers.tasks();
     let workers = answers.workers();
-    let t_index: BTreeMap<TaskId, usize> =
-        tasks.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    let t_index: BTreeMap<TaskId, usize> = tasks.iter().enumerate().map(|(i, &t)| (t, i)).collect();
     let w_index: BTreeMap<WorkerId, usize> =
         workers.iter().enumerate().map(|(i, &w)| (w, i)).collect();
 

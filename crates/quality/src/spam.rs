@@ -156,9 +156,7 @@ impl SpamDetector {
                 continue;
             }
             let disagreement = match (agree_num.get(&worker), agree_den.get(&worker)) {
-                (num, Some(&den)) if den > 0.0 => {
-                    1.0 - num.copied().unwrap_or(0.0) / den
-                }
+                (num, Some(&den)) if den > 0.0 => 1.0 - num.copied().unwrap_or(0.0) / den,
                 _ => 0.0, // never had peers: no agreement evidence
             };
 
@@ -191,9 +189,7 @@ impl SpamDetector {
                     } else {
                         let fast = pairs
                             .iter()
-                            .filter(|(actual, est)| {
-                                actual.as_secs() * 5 < est.as_secs()
-                            })
+                            .filter(|(actual, est)| actual.as_secs() * 5 < est.as_secs())
                             .count();
                         fast as f64 / pairs.len() as f64
                     }
@@ -355,7 +351,12 @@ mod tests {
     fn scores_are_bounded() {
         let s = mixed_crowd(40, 13);
         for score in SpamDetector::default().score(&s, None).values() {
-            for v in [score.disagreement, score.repetition, score.speed, score.combined] {
+            for v in [
+                score.disagreement,
+                score.repetition,
+                score.speed,
+                score.combined,
+            ] {
                 assert!((0.0..=1.0).contains(&v), "score out of bounds: {v}");
             }
         }

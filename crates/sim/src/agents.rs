@@ -130,7 +130,11 @@ mod tests {
 
     fn state() -> WorkerState {
         WorkerState::new(
-            Worker::new(WorkerId::new(0), DeclaredAttrs::new(), SkillVector::with_len(4)),
+            Worker::new(
+                WorkerId::new(0),
+                DeclaredAttrs::new(),
+                SkillVector::with_len(4),
+            ),
             WorkerArchetype::Diligent,
             0.9,
             0.8,
@@ -186,7 +190,10 @@ mod tests {
         // qualitative ordering the experiments rely on must survive
         let no_fb = frustration::REJECTED_NO_FEEDBACK;
         let with_fb = frustration::REJECTED_WITH_FEEDBACK;
-        let (unpaid, paid) = (frustration::INTERRUPTED_UNPAID, frustration::INTERRUPTED_PAID);
+        let (unpaid, paid) = (
+            frustration::INTERRUPTED_UNPAID,
+            frustration::INTERRUPTED_PAID,
+        );
         assert!(no_fb > 2.0 * with_fb);
         assert!(unpaid > paid);
     }

@@ -11,10 +11,13 @@ use faircrowd_assign::{
     RequesterCentric, RoundRobin, SelfSelection, WorkerCentric,
 };
 use faircrowd_model::disclosure::DisclosureSet;
+use faircrowd_model::error::FaircrowdError;
 use faircrowd_model::money::Credits;
 use faircrowd_model::task::{TaskConditions, TaskKind};
 use faircrowd_model::time::SimDuration;
-use faircrowd_pay::scheme::{BonusPolicy, CompensationScheme, FixedPrice, PayContext, QualityBased};
+use faircrowd_pay::scheme::{
+    BonusPolicy, CompensationScheme, FixedPrice, PayContext, QualityBased,
+};
 use faircrowd_quality::spam::{SpamDetector, WorkerArchetype};
 use serde::{Deserialize, Serialize};
 
@@ -55,12 +58,49 @@ impl PolicyChoice {
             PolicyChoice::OnlineGreedy => Box::new(OnlineMatching),
             PolicyChoice::WorkerCentric => Box::new(WorkerCentric),
             PolicyChoice::Kos { l, r } => Box::new(KosAllocation { l: *l, r: *r }),
-            PolicyChoice::ParityOver(base) => Box::new(ExposureParity::new(DynPolicy(base.build()))),
+            PolicyChoice::ParityOver(base) => {
+                Box::new(ExposureParity::new(DynPolicy(base.build())))
+            }
             PolicyChoice::FloorOver(base, min) => Box::new(ExposureFloor {
                 base: DynPolicy(base.build()),
                 min_exposure: *min,
             }),
         }
+    }
+
+    /// Resolve a registry name (see [`faircrowd_assign::registry`]) into
+    /// the serialisable policy choice, with the registry's default
+    /// parameters for `kos`, `parity` and `floor`.
+    ///
+    /// Accepts the same spellings as the registry (`round_robin`,
+    /// `round-robin`, any case) and reports the same
+    /// [`FaircrowdError::UnknownPolicy`] on a miss, so the CLI and the
+    /// `Pipeline` resolve names identically however the policy is built.
+    pub fn by_name(name: &str) -> Result<Self, FaircrowdError> {
+        use faircrowd_assign::registry;
+        let choice = match registry::canonical(name).as_str() {
+            "self_selection" => PolicyChoice::SelfSelection,
+            "round_robin" => PolicyChoice::RoundRobin,
+            "requester_centric" => PolicyChoice::RequesterCentric,
+            "online_greedy" => PolicyChoice::OnlineGreedy,
+            "worker_centric" => PolicyChoice::WorkerCentric,
+            "kos" => PolicyChoice::Kos {
+                l: registry::DEFAULT_KOS.0,
+                r: registry::DEFAULT_KOS.1,
+            },
+            "parity" => PolicyChoice::ParityOver(Box::new(PolicyChoice::RequesterCentric)),
+            "floor" => PolicyChoice::FloorOver(
+                Box::new(PolicyChoice::RequesterCentric),
+                registry::DEFAULT_FLOOR,
+            ),
+            _ => {
+                return Err(FaircrowdError::UnknownPolicy {
+                    name: name.to_owned(),
+                    available: registry::NAMES.iter().map(|n| (*n).to_owned()).collect(),
+                })
+            }
+        };
+        Ok(choice)
     }
 
     /// Short display name for tables.
@@ -193,7 +233,10 @@ impl PaymentSchemeChoice {
     pub fn payout(&self, ctx: &PayContext) -> Credits {
         match self {
             PaymentSchemeChoice::Fixed => FixedPrice.payout(ctx),
-            PaymentSchemeChoice::QualityBased { floor, full_quality } => QualityBased {
+            PaymentSchemeChoice::QualityBased {
+                floor,
+                full_quality,
+            } => QualityBased {
                 floor: *floor,
                 full_quality: *full_quality,
             }
@@ -205,7 +248,10 @@ impl PaymentSchemeChoice {
     pub fn label(&self) -> String {
         match self {
             PaymentSchemeChoice::Fixed => "fixed".into(),
-            PaymentSchemeChoice::QualityBased { floor, full_quality } => {
+            PaymentSchemeChoice::QualityBased {
+                floor,
+                full_quality,
+            } => {
                 format!("quality({floor:.2},{full_quality:.2})")
             }
         }
@@ -311,6 +357,75 @@ pub struct ScenarioConfig {
     pub auto_approve_after: SimDuration,
     /// Detection sweep, if enabled.
     pub detection: Option<DetectionConfig>,
+}
+
+impl ScenarioConfig {
+    /// Check the configuration describes a runnable market. Collects
+    /// every problem into one [`FaircrowdError::Config`] instead of
+    /// letting the simulator panic or silently produce an empty trace.
+    pub fn validate(&self) -> Result<(), FaircrowdError> {
+        let mut problems: Vec<String> = Vec::new();
+        if self.rounds == 0 {
+            problems.push("rounds must be positive".into());
+        }
+        if self.n_skills == 0 && self.campaigns.iter().any(|c| c.skill_req_prob > 0.0) {
+            problems.push(
+                "n_skills is 0 but a campaign draws skill requirements (skill_req_prob > 0)".into(),
+            );
+        }
+        if self.workers.iter().map(|p| u64::from(p.count)).sum::<u64>() == 0 {
+            problems.push("worker population is empty".into());
+        }
+        for (i, pop) in self.workers.iter().enumerate() {
+            if !(0.0..=1.0).contains(&pop.skill_prob) {
+                problems.push(format!("workers[{i}].skill_prob outside [0, 1]"));
+            }
+            if !(0.0..=1.0).contains(&pop.participation) {
+                problems.push(format!("workers[{i}].participation outside [0, 1]"));
+            }
+        }
+        if self.campaigns.is_empty() {
+            problems.push("no campaigns to post".into());
+        }
+        for (i, c) in self.campaigns.iter().enumerate() {
+            if c.requester.is_empty() {
+                problems.push(format!("campaigns[{i}].requester name is empty"));
+            }
+            if c.n_tasks == 0 {
+                problems.push(format!("campaigns[{i}].n_tasks must be positive"));
+            }
+            if c.assignments_per_task == 0 {
+                problems.push(format!(
+                    "campaigns[{i}].assignments_per_task must be positive"
+                ));
+            }
+            if !c.reward.is_positive() {
+                problems.push(format!("campaigns[{i}].reward must be positive"));
+            }
+            if !(0.0..=1.0).contains(&c.skill_req_prob) {
+                problems.push(format!("campaigns[{i}].skill_req_prob outside [0, 1]"));
+            }
+            if c.post_round >= self.rounds {
+                problems.push(format!(
+                    "campaigns[{i}].post_round {} is beyond the last round {}",
+                    c.post_round,
+                    self.rounds.saturating_sub(1)
+                ));
+            }
+        }
+        if let PolicyChoice::Kos { l, r } = &self.policy {
+            if *l == 0 || *r == 0 {
+                problems.push("kos policy requires positive (l, r)".into());
+            }
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(FaircrowdError::Config {
+                message: problems.join("; "),
+            })
+        }
+    }
 }
 
 impl Default for ScenarioConfig {

@@ -38,12 +38,35 @@ pub fn reference_text(task_index: u32) -> String {
     // A fixed vocabulary; each task draws a deterministic slice so
     // different tasks have different (but overlapping) references.
     const VOCAB: [&str; 24] = [
-        "market", "worker", "task", "reward", "quality", "label", "image", "review", "summary",
-        "fair", "payment", "platform", "requester", "skill", "survey", "answer", "crowd", "data",
-        "report", "trust", "rating", "bonus", "time", "effort",
+        "market",
+        "worker",
+        "task",
+        "reward",
+        "quality",
+        "label",
+        "image",
+        "review",
+        "summary",
+        "fair",
+        "payment",
+        "platform",
+        "requester",
+        "skill",
+        "survey",
+        "answer",
+        "crowd",
+        "data",
+        "report",
+        "trust",
+        "rating",
+        "bonus",
+        "time",
+        "effort",
     ];
     let start = (task_index as usize * 7) % VOCAB.len();
-    let words: Vec<&str> = (0..10).map(|i| VOCAB[(start + i * 3) % VOCAB.len()]).collect();
+    let words: Vec<&str> = (0..10)
+        .map(|i| VOCAB[(start + i * 3) % VOCAB.len()])
+        .collect();
     words.join(" ")
 }
 
@@ -158,9 +181,7 @@ pub fn contribution(
 pub fn objective_quality(reference: &Reference, c: &Contribution) -> f64 {
     match (reference, c) {
         (Reference::Label(truth, _), Contribution::Label(l)) => f64::from(l == truth),
-        (Reference::Text(r), Contribution::Text(t)) => {
-            faircrowd_model::text::ngram_cosine(r, t, 3)
-        }
+        (Reference::Text(r), Contribution::Text(t)) => faircrowd_model::text::ngram_cosine(r, t, 3),
         (Reference::Ranking(r), Contribution::Ranking(got)) => {
             faircrowd_model::ranking::ranking_similarity(r, got)
         }

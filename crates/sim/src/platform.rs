@@ -19,18 +19,14 @@
 //! [`Submission`] records.
 
 use crate::agents::{frustration, WorkerState};
-use crate::config::{
-    ApprovalPolicy, CancellationPolicy, ScenarioConfig,
-};
+use crate::config::{ApprovalPolicy, CancellationPolicy, ScenarioConfig};
 use crate::gen::{self, Reference};
 use faircrowd_assign::{AssignInput, AssignmentPolicy, TaskView, WorkerView};
 use faircrowd_model::attributes::{AttrValue, DeclaredAttrs};
 use faircrowd_model::contribution::Submission;
 use faircrowd_model::disclosure::Audience;
 use faircrowd_model::event::{CancelReason, EventKind, EventLog, QuitReason};
-use faircrowd_model::ids::{
-    CampaignId, RequesterId, SkillId, SubmissionId, TaskId, WorkerId,
-};
+use faircrowd_model::ids::{CampaignId, RequesterId, SkillId, SubmissionId, TaskId, WorkerId};
 use faircrowd_model::requester::Requester;
 use faircrowd_model::skills::SkillVector;
 use faircrowd_model::task::{Task, TaskKind};
@@ -159,11 +155,13 @@ impl Simulation {
         let mut requester_ids: BTreeMap<String, RequesterId> = BTreeMap::new();
         let mut campaigns = Vec::new();
         for (ci, spec) in cfg.campaigns.iter().enumerate() {
-            let rid = *requester_ids.entry(spec.requester.clone()).or_insert_with(|| {
-                let rid = RequesterId::new(requesters.len() as u32);
-                requesters.push(Requester::new(rid, spec.requester.clone()));
-                rid
-            });
+            let rid = *requester_ids
+                .entry(spec.requester.clone())
+                .or_insert_with(|| {
+                    let rid = RequesterId::new(requesters.len() as u32);
+                    requesters.push(Requester::new(rid, spec.requester.clone()));
+                    rid
+                });
             campaigns.push(CampaignRt {
                 spec_index: ci,
                 requester: rid,
@@ -306,13 +304,16 @@ impl Simulation {
                 self.workers[wi].online = false;
                 continue;
             }
-            let online = self.rng.gen_bool(self.workers[wi].participation.clamp(0.0, 1.0));
+            let online = self
+                .rng
+                .gen_bool(self.workers[wi].participation.clamp(0.0, 1.0));
             self.workers[wi].online = online;
             if !online {
                 continue;
             }
             let id = self.workers[wi].worker.id;
-            self.events.push(self.now, EventKind::SessionStarted { worker: id });
+            self.events
+                .push(self.now, EventKind::SessionStarted { worker: id });
             self.workers[wi].worker.computed.sessions += 1;
             self.workers[wi].add_frustration(opacity);
             if !self.workers[wi].disclosures_shown {
@@ -388,8 +389,11 @@ impl Simulation {
                 ws.motivation(),
                 &mut self.rng,
             );
-            let duration =
-                gen::work_duration(ws.archetype, self.tasks[t.index()].task.est_duration, &mut self.rng);
+            let duration = gen::work_duration(
+                ws.archetype,
+                self.tasks[t.index()].task.est_duration,
+                &mut self.rng,
+            );
             self.in_flight.push(InFlight {
                 worker: w,
                 task: t,
@@ -503,8 +507,7 @@ impl Simulation {
                 noise,
                 give_feedback,
             } => {
-                let judged =
-                    (j.true_quality + self.rng.gen_range(-noise..=noise)).clamp(0.0, 1.0);
+                let judged = (j.true_quality + self.rng.gen_range(-noise..=noise)).clamp(0.0, 1.0);
                 (judged >= threshold, give_feedback)
             }
             ApprovalPolicy::RandomReject {
@@ -573,7 +576,8 @@ impl Simulation {
             };
             let amount = self.cfg.payment.payout(&ctx);
             if amount.is_positive() {
-                self.ledger.pay(j.requester, j.worker, j.submission, amount, self.now);
+                self.ledger
+                    .pay(j.requester, j.worker, j.submission, amount, self.now);
                 self.events.push(
                     self.now,
                     EventKind::PaymentIssued {
@@ -583,7 +587,10 @@ impl Simulation {
                         amount,
                     },
                 );
-                self.workers[j.worker.index()].worker.computed.total_earnings += amount;
+                self.workers[j.worker.index()]
+                    .worker
+                    .computed
+                    .total_earnings += amount;
             }
             // Bonus promise, honoured or not.
             if let Some(bonus) = self.spec(campaign).bonus {
@@ -609,8 +616,10 @@ impl Simulation {
                             },
                         );
                         self.requesters[j.requester.index()].bonuses_paid += 1;
-                        self.workers[j.worker.index()].worker.computed.total_earnings +=
-                            bonus.amount;
+                        self.workers[j.worker.index()]
+                            .worker
+                            .computed
+                            .total_earnings += bonus.amount;
                     } else {
                         self.events.push(
                             self.now,
@@ -620,8 +629,7 @@ impl Simulation {
                                 amount: bonus.amount,
                             },
                         );
-                        self.workers[j.worker.index()]
-                            .add_frustration(frustration::BONUS_RENEGED);
+                        self.workers[j.worker.index()].add_frustration(frustration::BONUS_RENEGED);
                     }
                 }
             }
@@ -719,8 +727,7 @@ impl Simulation {
                         } else {
                             (invested.as_secs() as f64 / est as f64).min(1.0)
                         };
-                        let amount =
-                            self.tasks[item.task.index()].task.reward.mul_f64(frac);
+                        let amount = self.tasks[item.task.index()].task.reward.mul_f64(frac);
                         ws.add_frustration(frustration::INTERRUPTED_PAID);
                         if amount.is_positive() {
                             self.ledger.pay_bonus(
@@ -775,7 +782,8 @@ impl Simulation {
                 continue;
             }
             let id = ws.worker.id;
-            self.events.push(self.now, EventKind::SessionEnded { worker: id });
+            self.events
+                .push(self.now, EventKind::SessionEnded { worker: id });
             ws.decay_frustration();
             let hazard = ws.quit_hazard();
             if self.rng.gen_bool(hazard.clamp(0.0, 1.0)) {
@@ -786,7 +794,8 @@ impl Simulation {
                 } else {
                     QuitReason::NaturalChurn
                 };
-                self.events.push(self.now, EventKind::WorkerQuit { worker: id, reason });
+                self.events
+                    .push(self.now, EventKind::WorkerQuit { worker: id, reason });
             }
         }
     }
@@ -855,7 +864,9 @@ mod tests {
     #[test]
     fn approvals_generate_payments() {
         let trace = Simulation::new(base_config()).run();
-        let paid = trace.events.count_where(|k| matches!(k, EventKind::PaymentIssued { .. }));
+        let paid = trace
+            .events
+            .count_where(|k| matches!(k, EventKind::PaymentIssued { .. }));
         let approved = trace
             .events
             .count_where(|k| matches!(k, EventKind::SubmissionApproved { .. }));
@@ -1016,7 +1027,9 @@ mod tests {
         let reneged = trace
             .events
             .count_where(|k| matches!(k, EventKind::BonusReneged { .. }));
-        let paid = trace.events.count_where(|k| matches!(k, EventKind::BonusPaid { .. }));
+        let paid = trace
+            .events
+            .count_where(|k| matches!(k, EventKind::BonusPaid { .. }));
         assert!(promised > 0);
         assert_eq!(promised, reneged);
         assert_eq!(paid, 0);

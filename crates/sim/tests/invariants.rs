@@ -40,33 +40,31 @@ fn any_cancellation() -> impl Strategy<Value = CancellationPolicy> {
 
 fn random_config() -> impl Strategy<Value = ScenarioConfig> {
     (
-        0u64..1_000,   // seed
-        4u32..20,      // rounds
-        2u32..12,      // diligent workers
-        0u32..5,       // spammers
-        3u32..20,      // tasks
+        0u64..1_000, // seed
+        4u32..20,    // rounds
+        2u32..12,    // diligent workers
+        0u32..5,     // spammers
+        3u32..20,    // tasks
         any_policy(),
         any_cancellation(),
         prop::option::of(5u32..40), // target
     )
         .prop_map(
-            |(seed, rounds, diligent, spam, tasks, policy, cancellation, target)| {
-                ScenarioConfig {
-                    seed,
-                    rounds,
-                    n_skills: 3,
-                    workers: vec![
-                        WorkerPopulation::diligent(diligent),
-                        WorkerPopulation::of(WorkerArchetype::RandomSpammer, spam),
-                    ],
-                    campaigns: vec![CampaignSpec {
-                        target_approved: target,
-                        ..CampaignSpec::labeling("acme", tasks, 9)
-                    }],
-                    policy,
-                    cancellation,
-                    ..Default::default()
-                }
+            |(seed, rounds, diligent, spam, tasks, policy, cancellation, target)| ScenarioConfig {
+                seed,
+                rounds,
+                n_skills: 3,
+                workers: vec![
+                    WorkerPopulation::diligent(diligent),
+                    WorkerPopulation::of(WorkerArchetype::RandomSpammer, spam),
+                ],
+                campaigns: vec![CampaignSpec {
+                    target_approved: target,
+                    ..CampaignSpec::labeling("acme", tasks, 9)
+                }],
+                policy,
+                cancellation,
+                ..Default::default()
             },
         )
 }

@@ -2,18 +2,19 @@
 //!
 //! Reproduces the §3.1.1 story in miniature: the same market run under
 //! the requester-centric optimiser violates Axiom 1 (similar workers see
-//! different tasks), and wrapping the *same* optimiser in the
-//! exposure-parity enforcement middleware repairs the violation without
-//! touching the assignments.
+//! different tasks), and staging the exposure-parity enforcement in the
+//! pipeline repairs the violation without touching the assignments —
+//! baseline and repaired runs come out of a single `Pipeline::run`.
 //!
 //! ```sh
 //! cargo run --example assignment_fairness
 //! ```
 
 use faircrowd::core::metrics;
+use faircrowd::pipeline::RunArtifacts;
 use faircrowd::prelude::*;
 
-fn market(policy: PolicyChoice) -> ScenarioConfig {
+fn market() -> ScenarioConfig {
     let full_time = |mut p: WorkerPopulation| {
         p.participation = 1.0; // controlled condition: everyone online
         p
@@ -27,40 +28,56 @@ fn market(policy: PolicyChoice) -> ScenarioConfig {
             CampaignSpec::labeling("acme", 40, 10),
             CampaignSpec::labeling("globex", 40, 10),
         ],
-        policy,
         ..Default::default()
     }
 }
 
-fn main() {
-    let engine = AuditEngine::with_defaults();
-    let policies = [
-        PolicyChoice::SelfSelection,
-        PolicyChoice::RequesterCentric,
-        PolicyChoice::ParityOver(Box::new(PolicyChoice::RequesterCentric)),
-    ];
+fn print_row(label: &str, artifacts: &RunArtifacts) {
+    let report = &artifacts.report;
+    println!(
+        "{:<26} {:>6.3} {:>6.3} {:>14.3}  {:>9}",
+        label,
+        report.score_of(AxiomId::A1WorkerAssignment),
+        report.score_of(AxiomId::A2RequesterAssignment),
+        metrics::exposure_gini(&artifacts.trace),
+        report.total_violations(),
+    );
+    // Show one concrete witness when the policy discriminates.
+    if let Some(v) = report
+        .axioms
+        .iter()
+        .flat_map(|r| r.violations.iter())
+        .next()
+    {
+        println!("    e.g. {}", v.description);
+    }
+}
+
+fn main() -> Result<(), FaircrowdError> {
+    let exposure_axioms = [AxiomId::A1WorkerAssignment, AxiomId::A2RequesterAssignment];
+
+    // The fair baseline: post-and-browse.
+    let fair = Pipeline::new()
+        .scenario(market())
+        .policy_name("self_selection")?
+        .axioms(&exposure_axioms)
+        .run()?;
+
+    // The optimiser, with the parity repair staged: one pipeline run
+    // yields the discriminatory baseline AND the repaired re-audit.
+    let optimised = Pipeline::new()
+        .scenario(market())
+        .policy_name("requester_centric")?
+        .axioms(&exposure_axioms)
+        .enforce(Enforcement::ExposureParity)
+        .run()?;
+    let repaired = optimised.enforced.as_ref().expect("enforcement was staged");
 
     println!("policy                        A1     A2   exposure-gini  violations");
     println!("--------------------------------------------------------------------");
-    for policy in policies {
-        let trace = faircrowd::sim::run(market(policy.clone()));
-        let report = engine.run_axioms(
-            &trace,
-            &[AxiomId::A1WorkerAssignment, AxiomId::A2RequesterAssignment],
-        );
-        println!(
-            "{:<26} {:>6.3} {:>6.3} {:>14.3}  {:>9}",
-            policy.label(),
-            report.score_of(AxiomId::A1WorkerAssignment),
-            report.score_of(AxiomId::A2RequesterAssignment),
-            metrics::exposure_gini(&trace),
-            report.total_violations(),
-        );
-        // Show one concrete witness for the discriminatory policy.
-        if let Some(v) = report.axioms.iter().flat_map(|r| r.violations.iter()).next() {
-            println!("    e.g. {}", v.description);
-        }
-    }
+    print_row(&fair.config.policy.label(), &fair.baseline);
+    print_row(&optimised.config.policy.label(), &optimised.baseline);
+    print_row(&repaired.config.policy.label(), &repaired.artifacts);
 
     println!(
         "\nThe requester-centric optimiser concentrates exposure on its favourite \
@@ -68,4 +85,5 @@ fn main() {
          restores equal access for similar workers while keeping the exact same \
          assignments — fairness here costs the requester nothing."
     );
+    Ok(())
 }

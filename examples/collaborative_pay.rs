@@ -23,7 +23,10 @@ fn main() {
     println!("collaborative pot: {pot}, effort shares 5:3:2\n");
 
     let equal = split_equal(pot, 3);
-    println!("equal split:         {} / {} / {}", equal[0], equal[1], equal[2]);
+    println!(
+        "equal split:         {} / {} / {}",
+        equal[0], equal[1], equal[2]
+    );
     println!(
         "  -> the §3.1.1 complaint: the 50%-effort worker is paid the same\n\
          as the 20%-effort worker.\n"
@@ -50,7 +53,9 @@ fn main() {
         (
             sub(1),
             // near-identical contribution, wrongfully paid less
-            Contribution::Text("the committee approved the annual budget after a long debate".into()),
+            Contribution::Text(
+                "the committee approved the annual budget after a long debate".into(),
+            ),
             Credits::from_cents(40),
         ),
         (

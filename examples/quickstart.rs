@@ -1,52 +1,41 @@
-//! Quickstart: simulate a crowdsourcing market, audit it against the
-//! paper's seven axioms, and print the fairness report.
+//! Quickstart: the whole scenario → simulate → audit → report loop in
+//! one `Pipeline` call.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use faircrowd::core::report::render_report;
 use faircrowd::prelude::*;
 
-fn main() {
+fn main() -> Result<(), FaircrowdError> {
     // A small marketplace: 20 diligent workers, one requester posting a
     // binary-labeling campaign, transparent platform, fair approvals.
-    let config = ScenarioConfig {
-        seed: 42,
-        rounds: 48,
-        workers: vec![WorkerPopulation::diligent(20)],
-        campaigns: vec![CampaignSpec::labeling("acme", 40, 10)],
-        ..Default::default()
-    };
-
+    // The policy comes from the registry — swap the name to re-run the
+    // whole experiment under a different assignment algorithm.
     println!("running 48 market-hours with 20 workers and 40 tasks…\n");
-    let trace = faircrowd::sim::run(config);
+    let result = Pipeline::new()
+        .scenario(ScenarioConfig {
+            seed: 42,
+            rounds: 48,
+            workers: vec![WorkerPopulation::diligent(20)],
+            campaigns: vec![CampaignSpec::labeling("acme", 40, 10)],
+            ..Default::default()
+        })
+        .policy_name("self_selection")?
+        .run()?;
 
-    // The trace is the complete observable record: entity tables, every
-    // submission, and the audit event log.
-    let summary = TraceSummary::of(&trace);
-    println!(
-        "market summary: {} submissions from {} active workers, \
-         {:.0}% approved, {} paid out, retention {:.1}%\n",
-        summary.submissions,
-        summary.active_workers,
-        summary.approval_rate * 100.0,
-        summary.total_paid,
-        summary.retention * 100.0,
-    );
+    // The result carries the trace (the complete observable record), the
+    // market summary, and the seven-axiom audit; render() prints them.
+    print!("{}", result.render());
 
-    // Audit: run all seven axioms under the default threshold-based
-    // similarity regime.
-    let engine = AuditEngine::with_defaults();
-    let report = engine.run(&trace);
-    println!("{}", render_report(&report));
-
+    let report = result.report();
     if report.all_hold() {
-        println!("verdict: this platform configuration is fair and transparent.");
+        println!("\nverdict: this platform configuration is fair and transparent.");
     } else {
         println!(
-            "verdict: {} axiom violation(s) — see the witnesses above.",
+            "\nverdict: {} axiom violation(s) — see the witnesses above.",
             report.total_violations()
         );
     }
+    Ok(())
 }

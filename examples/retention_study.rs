@@ -35,15 +35,26 @@ fn market(seed: u64, disclosure: DisclosureSet) -> ScenarioConfig {
     }
 }
 
-fn study(label: &str, disclosure: DisclosureSet) {
+fn study(label: &str, disclosure: DisclosureSet) -> Result<(), FaircrowdError> {
     let mut retention = 0.0;
+    let mut transparency = 0.0;
     let mut quits = 0usize;
     let mut frustration_quits = 0usize;
     let mut sessions = 0usize;
     let seeds = [3u64, 5, 8];
     for &seed in &seeds {
-        let trace = faircrowd::sim::run(market(seed, disclosure.clone()));
-        retention += metrics::retention(&trace);
+        // One pipeline per seed: simulate, validate, and audit just the
+        // two transparency axioms this study manipulates.
+        let result = Pipeline::new()
+            .scenario(market(seed, disclosure.clone()))
+            .axioms(&[
+                AxiomId::A6RequesterTransparency,
+                AxiomId::A7PlatformTransparency,
+            ])
+            .run()?;
+        let trace = &result.baseline.trace;
+        retention += metrics::retention(trace);
+        transparency += result.baseline.report.transparency_score();
         for e in trace.events.iter() {
             match e.kind {
                 EventKind::WorkerQuit { reason, .. } => {
@@ -59,25 +70,27 @@ fn study(label: &str, disclosure: DisclosureSet) {
     }
     let n = seeds.len() as f64;
     println!(
-        "{label:<14} retention {:>5.1}%   quits {:>4.1}/run (frustration {:>4.1})   sessions {:>6.1}/run",
+        "{label:<14} axiom-6/7 score {:>4.2}   retention {:>5.1}%   quits {:>4.1}/run (frustration {:>4.1})   sessions {:>6.1}/run",
+        transparency / n,
         retention / n * 100.0,
         quits as f64 / n,
         frustration_quits as f64 / n,
         sessions as f64 / n,
     );
+    Ok(())
 }
 
-fn main() {
+fn main() -> Result<(), FaircrowdError> {
     println!(
         "same market, same imperfect requester (no feedback on rejections);\n\
          only the platform's disclosure configuration changes:\n"
     );
-    study("opaque", DisclosureSet::opaque());
+    study("opaque", DisclosureSet::opaque())?;
     study(
         "axioms-only",
         faircrowd::core::enforce::minimal_transparent_set(),
-    );
-    study("transparent", DisclosureSet::fully_transparent());
+    )?;
+    study("transparent", DisclosureSet::fully_transparent())?;
 
     println!(
         "\nThe paper's §1 claim — better transparency, less frustration, better \
@@ -88,4 +101,5 @@ fn main() {
          entire retention benefit — the extra community-rating items in the \
          full policy add nothing the frustration model responds to."
     );
+    Ok(())
 }

@@ -18,26 +18,31 @@ use faircrowd::quality::metrics::{label_accuracy, DetectionCounts};
 use faircrowd::quality::spam::{SpamDetector, WorkerArchetype};
 use std::collections::{BTreeMap, BTreeSet};
 
-fn main() {
+fn main() -> Result<(), FaircrowdError> {
     // 30 honest workers, 20 spammers — the paper's §2.1 observation that
-    // "nearly 40% of the answers … were from malicious users".
-    let config = ScenarioConfig {
-        seed: 2017,
-        rounds: 48,
-        n_skills: 0,
-        workers: vec![
-            WorkerPopulation::diligent(30),
-            WorkerPopulation::of(WorkerArchetype::RandomSpammer, 7),
-            WorkerPopulation::of(WorkerArchetype::UniformSpammer, 7),
-            WorkerPopulation::of(WorkerArchetype::SemiRandomSpammer, 6),
-        ],
-        campaigns: vec![CampaignSpec {
-            assignments_per_task: 5,
-            ..CampaignSpec::labeling("acme", 80, 10)
-        }],
-        ..Default::default()
-    };
-    let trace = faircrowd::sim::run(config);
+    // "nearly 40% of the answers … were from malicious users". The
+    // pipeline simulates and runs the Axiom-4 audit in one pass; the
+    // detection analysis below digs into the trace it returns.
+    let result = Pipeline::new()
+        .scenario(ScenarioConfig {
+            seed: 2017,
+            rounds: 48,
+            n_skills: 0,
+            workers: vec![
+                WorkerPopulation::diligent(30),
+                WorkerPopulation::of(WorkerArchetype::RandomSpammer, 7),
+                WorkerPopulation::of(WorkerArchetype::UniformSpammer, 7),
+                WorkerPopulation::of(WorkerArchetype::SemiRandomSpammer, 6),
+            ],
+            campaigns: vec![CampaignSpec {
+                assignments_per_task: 5,
+                ..CampaignSpec::labeling("acme", 80, 10)
+            }],
+            ..Default::default()
+        })
+        .axioms(&[AxiomId::A4MaliceDetection])
+        .run()?;
+    let trace = &result.baseline.trace;
 
     // Rebuild the answer matrix (and the timing evidence for the speed
     // signal) from the trace.
@@ -93,13 +98,17 @@ fn main() {
     let ds_acc = label_accuracy(&ds.labels, truth);
     println!("dawid–skene accuracy (joint inference):    {ds_acc:.3}");
 
-    // Axiom 4 verdict from the audit engine (uses the platform's own
+    // Axiom 4 verdict from the pipeline's audit (uses the platform's own
     // detection sweeps recorded in the trace).
-    let report = AuditEngine::with_defaults().run_axioms(&trace, &[AxiomId::A4MaliceDetection]);
-    let a4 = report.axiom(AxiomId::A4MaliceDetection).unwrap();
+    let a4 = result
+        .baseline
+        .report
+        .axiom(AxiomId::A4MaliceDetection)
+        .expect("A4 was requested");
     println!(
         "\nAxiom 4 (requesters can detect malice): score {:.2} — {}",
         a4.score,
         a4.notes.first().cloned().unwrap_or_default()
     );
+    Ok(())
 }

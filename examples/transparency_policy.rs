@@ -10,6 +10,7 @@
 //! ```
 
 use faircrowd::lang::{catalog, compare, compile_one, render};
+use faircrowd::FaircrowdError;
 
 const MY_POLICY: &str = r#"
 # A mid-transparency platform: generous to workers about themselves,
@@ -34,10 +35,15 @@ policy "oops" {
 }
 "#;
 
-fn main() {
-    // 1. Compile.
-    let mine = compile_one(MY_POLICY).expect("policy compiles");
-    println!("compiled policy `{}` with {} rules\n", mine.name, mine.rule_count());
+fn main() -> Result<(), FaircrowdError> {
+    // 1. Compile. `?` works because TPL diagnostics convert into the
+    //    workspace-wide `FaircrowdError`.
+    let mine = compile_one(MY_POLICY)?;
+    println!(
+        "compiled policy `{}` with {} rules\n",
+        mine.name,
+        mine.rule_count()
+    );
 
     // 2. Human-readable rendering — the worker-facing view (§3.3.2).
     print!("{}", render::render_policy(&mine));
@@ -57,7 +63,7 @@ fn main() {
     //    "easy comparison across platforms").
     println!();
     for name in ["amt", "crowdflower", "faircrowd-full"] {
-        let other = catalog::by_name(name).expect("catalog policy");
+        let other = catalog::get(name)?;
         let cmp = compare(&mine, &other);
         println!(
             "vs {:<15} grant-similarity {:.2}   (axiom-6 {:.2} vs {:.2}; axiom-7 {:.2} vs {:.2})",
@@ -76,4 +82,5 @@ fn main() {
         Ok(_) => unreachable!("shoe sizes are not in the schema"),
         Err(e) => println!("{e}"),
     }
+    Ok(())
 }

@@ -22,25 +22,34 @@
 //!
 //! ## Sixty-second tour
 //!
+//! The [`pipeline::Pipeline`] is the front door: it owns the paper's
+//! §4.1 validation loop (scenario → simulate → audit → enforce →
+//! re-audit) end to end.
+//!
 //! ```
 //! use faircrowd::prelude::*;
 //!
-//! // 1. Simulate a crowdsourcing market (fully deterministic in the seed).
-//! let trace = faircrowd::sim::run(ScenarioConfig::default());
+//! // 1. Simulate a market under a registry-selected assignment policy
+//! //    (fully deterministic in the seed) and audit it against the
+//! //    paper's seven axioms.
+//! let result = Pipeline::new()
+//!     .policy_name("round_robin")?
+//!     .seed(42)
+//!     .rounds(24)
+//!     .enforce(Enforcement::MinimalTransparency)
+//!     .run()?;
+//! println!("{}", result.render());
+//! assert!(result.report().overall_score() > 0.5);
 //!
-//! // 2. Audit it against the paper's seven axioms.
-//! let report = AuditEngine::with_defaults().run(&trace);
-//! println!("{}", faircrowd::core::report::render_report(&report));
-//! assert!(report.overall_score() > 0.5);
-//!
-//! // 3. Express a transparency policy declaratively and read it back.
+//! // 2. Express a transparency policy declaratively and read it back.
 //! let policy = faircrowd::lang::compile_one(
 //!     r#"policy "mine" {
 //!            disclose worker.acceptance_ratio to subject always;
 //!            require requester discloses rejection_criteria before posting;
 //!        }"#,
-//! ).unwrap();
+//! )?;
 //! println!("{}", faircrowd::lang::render::render_policy(&policy));
+//! # Ok::<(), faircrowd::FaircrowdError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -54,8 +63,14 @@ pub use faircrowd_pay as pay;
 pub use faircrowd_quality as quality;
 pub use faircrowd_sim as sim;
 
+pub mod pipeline;
+
+pub use faircrowd_model::FaircrowdError;
+pub use pipeline::{Enforcement, Pipeline, PipelineResult};
+
 /// The items most programs need.
 pub mod prelude {
+    pub use crate::pipeline::{Enforcement, Pipeline, PipelineResult, RunArtifacts};
     pub use faircrowd_core::{AuditConfig, AuditEngine, AxiomId, FairnessReport, SimilarityConfig};
     pub use faircrowd_model::prelude::*;
     pub use faircrowd_sim::{

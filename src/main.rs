@@ -1,37 +1,55 @@
-//! The `faircrowd` command-line tool: audit simulated platforms and work
-//! with transparency policies from the shell.
+//! The `faircrowd` command-line tool: run the scenario → simulate →
+//! audit → enforce → report pipeline and work with transparency policies
+//! from the shell.
 //!
 //! ```text
 //! faircrowd axioms                         print the paper's seven axioms
-//! faircrowd audit [--policy P] [--seed N] [--rounds N] [--opaque]
-//!                                          simulate a market and audit it
+//! faircrowd run   [OPTS] [--enforce E]...  full pipeline incl. enforcement re-audit
+//! faircrowd audit [OPTS]                   simulate a market and audit it
+//! faircrowd sweep [OPTS]                   audit every registry policy, one table
 //! faircrowd policies                       list the TPL platform catalog
 //! faircrowd render <policy>                human-readable policy description
 //! faircrowd compare <a> <b>                diff two catalog policies
 //! ```
+//!
+//! Every market command goes through [`faircrowd::Pipeline`] and selects
+//! assignment policies via the registry
+//! ([`faircrowd::assign::registry`]), so the CLI, examples and tests
+//! exercise the same code path.
 
-use faircrowd::core::report::render_report;
+use faircrowd::assign::registry;
+use faircrowd::core::report::TextTable;
 use faircrowd::lang::{catalog, compare, printer, render};
 use faircrowd::model::disclosure::DisclosureSet;
+use faircrowd::model::FaircrowdError;
 use faircrowd::prelude::*;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = args.first().map(String::as_str);
-    match command {
+    let result = match command {
         Some("axioms") => axioms(),
-        Some("audit") => audit(&args[1..]),
+        Some("run") => run_cmd(&args[1..], true),
+        Some("audit") => run_cmd(&args[1..], false),
+        Some("sweep") => sweep(&args[1..]),
         Some("policies") => policies(),
         Some("render") => render_cmd(&args[1..]),
         Some("compare") => compare_cmd(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             usage();
-            ExitCode::SUCCESS
+            Ok(())
         }
-        Some(other) => {
-            eprintln!("unknown command `{other}`\n");
-            usage();
+        Some(other) => Err(FaircrowdError::usage(format!("unknown command `{other}`"))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            if matches!(err, FaircrowdError::Usage { .. }) {
+                eprintln!();
+                usage();
+            }
             ExitCode::FAILURE
         }
     }
@@ -42,35 +60,30 @@ fn usage() {
         "faircrowd — fairness and transparency auditing for crowdsourcing\n\n\
          USAGE:\n  \
          faircrowd axioms                         print the paper's seven axioms\n  \
-         faircrowd audit [--policy P] [--seed N] [--rounds N] [--opaque]\n  \
+         faircrowd run   [OPTS] [--enforce E]...  full pipeline incl. enforcement re-audit\n  \
+         faircrowd audit [OPTS]                   simulate a market and audit it\n  \
+         faircrowd sweep [OPTS]                   audit every registry policy, one table\n  \
          faircrowd policies                       list the TPL platform catalog\n  \
-         faircrowd render <policy>                human-readable description\n  \
+         faircrowd render <policy>                human-readable policy description\n  \
          faircrowd compare <a> <b>                diff two catalog policies\n\n\
-         assignment policies for --policy:\n  \
-         self-selection | round-robin | requester-centric | online-greedy |\n  \
-         worker-centric | kos | parity | floor"
+         OPTS:\n  \
+         --policy NAME    assignment policy (default self_selection)\n  \
+         --seed N         simulation seed (default 42)\n  \
+         --rounds N       market rounds (default 48)\n  \
+         --workers N      diligent workers (default 30)\n  \
+         --opaque         run the platform with an opaque disclosure set\n\n\
+         enforcements for --enforce (repeatable):\n  \
+         parity | floor:N | transparency | grace\n\n\
+         assignment policies (registry names):\n  {}",
+        registry::NAMES.join(" | ")
     );
 }
 
-fn axioms() -> ExitCode {
+fn axioms() -> Result<(), FaircrowdError> {
     for id in AxiomId::ALL {
         println!("{}\n  {}\n", id.label(), id.statement());
     }
-    ExitCode::SUCCESS
-}
-
-fn parse_policy(name: &str) -> Option<PolicyChoice> {
-    Some(match name {
-        "self-selection" => PolicyChoice::SelfSelection,
-        "round-robin" => PolicyChoice::RoundRobin,
-        "requester-centric" => PolicyChoice::RequesterCentric,
-        "online-greedy" => PolicyChoice::OnlineGreedy,
-        "worker-centric" => PolicyChoice::WorkerCentric,
-        "kos" => PolicyChoice::Kos { l: 3, r: 5 },
-        "parity" => PolicyChoice::ParityOver(Box::new(PolicyChoice::RequesterCentric)),
-        "floor" => PolicyChoice::FloorOver(Box::new(PolicyChoice::RequesterCentric), 8),
-        _ => return None,
-    })
+    Ok(())
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -80,65 +93,138 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
-fn audit(args: &[String]) -> ExitCode {
-    let seed = flag_value(args, "--seed")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(42u64);
-    let rounds = flag_value(args, "--rounds")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(48u32);
-    let policy_name = flag_value(args, "--policy").unwrap_or("self-selection");
-    let Some(policy) = parse_policy(policy_name) else {
-        eprintln!("unknown assignment policy `{policy_name}`");
-        return ExitCode::FAILURE;
-    };
+fn parse_flag<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+    default: T,
+) -> Result<T, FaircrowdError> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| FaircrowdError::usage(format!("invalid value `{raw}` for {flag}"))),
+    }
+}
+
+fn parse_enforcement(raw: &str) -> Result<Enforcement, FaircrowdError> {
+    if let Some(min) = raw.strip_prefix("floor:") {
+        let min = min
+            .parse()
+            .map_err(|_| FaircrowdError::usage(format!("invalid floor size in `{raw}`")))?;
+        return Ok(Enforcement::ExposureFloor(min));
+    }
+    match raw {
+        "parity" => Ok(Enforcement::ExposureParity),
+        "transparency" => Ok(Enforcement::MinimalTransparency),
+        "grace" => Ok(Enforcement::GraceFinish),
+        _ => Err(FaircrowdError::usage(format!(
+            "unknown enforcement `{raw}`; expected parity | floor:N | transparency | grace"
+        ))),
+    }
+}
+
+/// The shared market scenario behind `run`, `audit` and `sweep`: two
+/// comparable labeling campaigns over a full-participation diligent
+/// population, so Axioms 1–3 have pairs to quantify over.
+fn scenario_from_flags(args: &[String]) -> Result<ScenarioConfig, FaircrowdError> {
+    let seed = parse_flag(args, "--seed", 42u64)?;
+    let rounds = parse_flag(args, "--rounds", 48u32)?;
+    let workers = parse_flag(args, "--workers", 30u32)?;
     let opaque = args.iter().any(|a| a == "--opaque");
 
-    let full_time = |mut p: WorkerPopulation| {
-        p.participation = 1.0;
-        p
-    };
-    let config = ScenarioConfig {
+    let mut population = WorkerPopulation::diligent(workers);
+    population.participation = 1.0;
+    Ok(ScenarioConfig {
         seed,
         rounds,
         n_skills: 6,
-        workers: vec![full_time(WorkerPopulation::diligent(30))],
+        workers: vec![population],
         campaigns: vec![
             CampaignSpec::labeling("acme", 50, 10),
             CampaignSpec::labeling("globex", 50, 10),
         ],
-        policy: policy.clone(),
         disclosure: if opaque {
             DisclosureSet::opaque()
         } else {
             DisclosureSet::fully_transparent()
         },
         ..Default::default()
-    };
-
-    println!(
-        "auditing: policy={}, seed={seed}, rounds={rounds}, disclosure={}\n",
-        policy.label(),
-        if opaque { "opaque" } else { "transparent" }
-    );
-    let trace = faircrowd::sim::run(config);
-    let summary = TraceSummary::of(&trace);
-    println!(
-        "market: {} submissions, {:.0}% approved, {} paid, retention {:.1}%\n",
-        summary.submissions,
-        summary.approval_rate * 100.0,
-        summary.total_paid,
-        summary.retention * 100.0
-    );
-    let report = AuditEngine::with_defaults().run(&trace);
-    println!("{}", render_report(&report));
-    ExitCode::SUCCESS
+    })
 }
 
-fn policies() -> ExitCode {
+fn pipeline_from_flags(args: &[String], with_enforce: bool) -> Result<Pipeline, FaircrowdError> {
+    let policy_name = flag_value(args, "--policy").unwrap_or("self_selection");
+    let mut pipeline = Pipeline::new()
+        .scenario(scenario_from_flags(args)?)
+        .policy_name(policy_name)?;
+    if with_enforce {
+        let mut rest = args;
+        while let Some(i) = rest.iter().position(|a| a == "--enforce") {
+            let raw = rest.get(i + 1).ok_or_else(|| {
+                FaircrowdError::usage(
+                    "--enforce requires a value (parity | floor:N | transparency | grace)",
+                )
+            })?;
+            pipeline = pipeline.enforce(parse_enforcement(raw)?);
+            rest = &rest[i + 2..];
+        }
+    } else if args.iter().any(|a| a == "--enforce") {
+        return Err(FaircrowdError::usage(
+            "--enforce is only valid with `faircrowd run`; `audit` never enforces",
+        ));
+    }
+    Ok(pipeline)
+}
+
+fn run_cmd(args: &[String], with_enforce: bool) -> Result<(), FaircrowdError> {
+    let pipeline = pipeline_from_flags(args, with_enforce)?;
+    let result = pipeline.run()?;
+    println!(
+        "auditing: policy={}, seed={}, rounds={}\n",
+        result.config.policy.label(),
+        result.config.seed,
+        result.config.rounds
+    );
+    print!("{}", result.render());
+    Ok(())
+}
+
+fn sweep(args: &[String]) -> Result<(), FaircrowdError> {
+    let base = Pipeline::new().scenario(scenario_from_flags(args)?);
+    let results = base.sweep_policies(&registry::NAMES)?;
+
+    let mut table = TextTable::new([
+        "policy",
+        "fairness",
+        "transparency",
+        "overall",
+        "violations",
+        "retention",
+    ])
+    .numeric();
+    for (name, result) in &results {
+        let report = &result.baseline.report;
+        table.row([
+            name.clone(),
+            format!("{:.3}", report.fairness_score()),
+            format!("{:.3}", report.transparency_score()),
+            format!("{:.3}", report.overall_score()),
+            format!("{}", report.total_violations()),
+            format!("{:.1}%", result.baseline.summary.retention * 100.0),
+        ]);
+    }
+    // Report the seed/rounds the pipelines actually ran under (identical
+    // across the sweep) rather than re-deriving them from the flags.
+    let ran = &results.first().expect("registry is non-empty").1.config;
+    println!("policy sweep: seed={}, rounds={}\n", ran.seed, ran.rounds);
+    print!("{}", table.render());
+    Ok(())
+}
+
+fn policies() -> Result<(), FaircrowdError> {
     println!("catalog policies (TPL sources in faircrowd-lang::catalog):\n");
     for (name, _) in catalog::sources() {
-        let policy = catalog::by_name(name).expect("catalog compiles");
+        let policy = catalog::get(name)?;
         let set = policy.disclosure_set();
         println!(
             "  {:<16} rules {:>2}   axiom-6 {:>4.0}%   axiom-7 {:>4.0}%",
@@ -149,83 +235,110 @@ fn policies() -> ExitCode {
         );
     }
     println!("\nuse `faircrowd render <policy>` for the worker-facing description");
-    ExitCode::SUCCESS
+    Ok(())
 }
 
-fn render_cmd(args: &[String]) -> ExitCode {
-    let Some(name) = args.first() else {
-        eprintln!("usage: faircrowd render <policy>");
-        return ExitCode::FAILURE;
-    };
-    match catalog::by_name(name) {
-        Some(policy) => {
-            print!("{}", render::render_policy(&policy));
-            println!("\ncanonical TPL source:\n\n{}", printer::print_policy(&policy));
-            ExitCode::SUCCESS
-        }
-        None => {
-            eprintln!(
-                "unknown policy `{name}`; available: {}",
-                catalog::sources()
-                    .iter()
-                    .map(|(n, _)| *n)
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            );
-            ExitCode::FAILURE
-        }
-    }
+fn render_cmd(args: &[String]) -> Result<(), FaircrowdError> {
+    let name = args
+        .first()
+        .ok_or_else(|| FaircrowdError::usage("usage: faircrowd render <policy>"))?;
+    let policy = catalog::get(name)?;
+    print!("{}", render::render_policy(&policy));
+    println!(
+        "\ncanonical TPL source:\n\n{}",
+        printer::print_policy(&policy)
+    );
+    Ok(())
 }
 
-fn compare_cmd(args: &[String]) -> ExitCode {
+fn compare_cmd(args: &[String]) -> Result<(), FaircrowdError> {
     let (Some(a), Some(b)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: faircrowd compare <a> <b>");
-        return ExitCode::FAILURE;
+        return Err(FaircrowdError::usage("usage: faircrowd compare <a> <b>"));
     };
-    match (catalog::by_name(a), catalog::by_name(b)) {
-        (Some(pa), Some(pb)) => {
-            print!("{}", compare(&pa, &pb).render());
-            ExitCode::SUCCESS
-        }
-        _ => {
-            eprintln!("both arguments must be catalog policies");
-            ExitCode::FAILURE
-        }
-    }
+    let (pa, pb) = (catalog::get(a)?, catalog::get(b)?);
+    print!("{}", compare(&pa, &pb).render());
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
-    fn every_documented_policy_name_parses() {
-        for name in [
-            "self-selection",
-            "round-robin",
-            "requester-centric",
-            "online-greedy",
-            "worker-centric",
-            "kos",
-            "parity",
-            "floor",
-        ] {
-            assert!(parse_policy(name).is_some(), "{name}");
+    fn every_registry_name_builds_a_pipeline() {
+        for name in registry::NAMES {
+            let args = argv(&["--policy", name, "--rounds", "6"]);
+            assert!(pipeline_from_flags(&args, false).is_ok(), "{name}");
         }
-        assert!(parse_policy("magic").is_none());
+        // Hyphen spellings from the old CLI still resolve.
+        let args = argv(&["--policy", "round-robin"]);
+        assert!(pipeline_from_flags(&args, false).is_ok());
+        let args = argv(&["--policy", "magic"]);
+        assert!(matches!(
+            pipeline_from_flags(&args, false),
+            Err(FaircrowdError::UnknownPolicy { .. })
+        ));
     }
 
     #[test]
     fn flag_value_extracts_pairs() {
-        let args: Vec<String> = ["--seed", "7", "--policy", "kos"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args = argv(&["--seed", "7", "--policy", "kos"]);
         assert_eq!(flag_value(&args, "--seed"), Some("7"));
         assert_eq!(flag_value(&args, "--policy"), Some("kos"));
         assert_eq!(flag_value(&args, "--rounds"), None);
         // flag at the end with no value
-        let dangling: Vec<String> = vec!["--seed".into()];
+        let dangling = argv(&["--seed"]);
         assert_eq!(flag_value(&dangling, "--seed"), None);
+    }
+
+    #[test]
+    fn enforcements_parse_and_reject() {
+        assert_eq!(
+            parse_enforcement("parity").unwrap(),
+            Enforcement::ExposureParity
+        );
+        assert_eq!(
+            parse_enforcement("floor:5").unwrap(),
+            Enforcement::ExposureFloor(5)
+        );
+        assert_eq!(
+            parse_enforcement("transparency").unwrap(),
+            Enforcement::MinimalTransparency
+        );
+        assert_eq!(
+            parse_enforcement("grace").unwrap(),
+            Enforcement::GraceFinish
+        );
+        assert!(parse_enforcement("floor:x").is_err());
+        assert!(parse_enforcement("magic").is_err());
+    }
+
+    #[test]
+    fn repeated_enforce_flags_accumulate() {
+        let args = argv(&["--enforce", "parity", "--rounds", "6", "--enforce", "grace"]);
+        let pipeline = pipeline_from_flags(&args, true).unwrap();
+        let result = pipeline.run().unwrap();
+        assert_eq!(result.enforced.unwrap().applied.len(), 2);
+    }
+
+    #[test]
+    fn audit_rejects_enforce_instead_of_ignoring_it() {
+        let args = argv(&["--enforce", "parity"]);
+        let err = pipeline_from_flags(&args, false).unwrap_err();
+        assert!(matches!(err, FaircrowdError::Usage { .. }), "{err}");
+        assert!(err.to_string().contains("faircrowd run"));
+    }
+
+    #[test]
+    fn bad_numeric_flags_are_usage_errors() {
+        let args = argv(&["--seed", "pony"]);
+        assert!(matches!(
+            scenario_from_flags(&args),
+            Err(FaircrowdError::Usage { .. })
+        ));
     }
 }

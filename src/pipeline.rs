@@ -1,0 +1,362 @@
+//! The unified end-to-end pipeline: **scenario → simulate → audit →
+//! enforce → re-audit → report**.
+//!
+//! The paper's validation protocol (§4.1) is one repeated loop —
+//! configure a scenario, simulate the marketplace, audit the trace
+//! against Axioms 1–7, repair, audit again. [`Pipeline`] owns that loop
+//! behind a builder API so every caller (CLI, examples, tests, benches,
+//! parameter sweeps) composes the crates the same way instead of
+//! hand-wiring them:
+//!
+//! ```
+//! use faircrowd::pipeline::{Enforcement, Pipeline};
+//!
+//! let result = Pipeline::new()
+//!     .policy_name("round_robin")?     // registry lookup
+//!     .seed(7)
+//!     .rounds(24)
+//!     .enforce(Enforcement::MinimalTransparency)
+//!     .run()?;
+//!
+//! assert_eq!(result.baseline.report.axioms.len(), 7);
+//! let enforced = result.enforced.as_ref().unwrap();
+//! assert!(enforced.artifacts.report.transparency_score()
+//!     >= result.baseline.report.transparency_score());
+//! println!("{}", result.render());
+//! # Ok::<(), faircrowd::FaircrowdError>(())
+//! ```
+//!
+//! Every stage is pure configuration until [`Pipeline::run`], which
+//! validates the scenario, simulates, validates the trace, audits, and —
+//! when enforcements are staged — applies them as config repairs,
+//! re-simulates and re-audits, returning both runs for comparison.
+
+use crate::core::report::render_report;
+use crate::core::{AuditConfig, AuditEngine, AxiomId, FairnessReport};
+use crate::model::{FaircrowdError, Trace};
+use crate::sim::{CancellationPolicy, PolicyChoice, ScenarioConfig, TraceSummary};
+
+/// A fairness repair the pipeline applies before its second run. Each
+/// variant is a config-level repair targeting one axiom family, per
+/// §3.3.1's "enforcing them by design".
+#[derive(Debug, Clone, PartialEq)]
+pub enum Enforcement {
+    /// Wrap the assignment policy in exposure parity (repairs Axiom 1/2).
+    ExposureParity,
+    /// Wrap the assignment policy in a minimum-exposure floor.
+    ExposureFloor(usize),
+    /// Raise the disclosure set to at least the minimal Axiom-6/7 floor.
+    MinimalTransparency,
+    /// Let in-flight work finish on cancellation (repairs Axiom 5).
+    GraceFinish,
+}
+
+impl Enforcement {
+    /// Short display label.
+    pub fn label(&self) -> String {
+        match self {
+            Enforcement::ExposureParity => "exposure-parity".into(),
+            Enforcement::ExposureFloor(n) => format!("exposure-floor({n})"),
+            Enforcement::MinimalTransparency => "minimal-transparency".into(),
+            Enforcement::GraceFinish => "grace-finish".into(),
+        }
+    }
+
+    /// Apply this repair to a scenario.
+    fn apply(&self, config: &mut ScenarioConfig) {
+        match self {
+            Enforcement::ExposureParity => {
+                let base = config.policy.clone();
+                config.policy = PolicyChoice::ParityOver(Box::new(base));
+            }
+            Enforcement::ExposureFloor(min) => {
+                let base = config.policy.clone();
+                config.policy = PolicyChoice::FloorOver(Box::new(base), *min);
+            }
+            Enforcement::MinimalTransparency => {
+                crate::core::enforce::grant_minimal_transparency(&mut config.disclosure);
+            }
+            Enforcement::GraceFinish => {
+                config.cancellation = CancellationPolicy::GraceFinish;
+            }
+        }
+    }
+}
+
+/// Everything one simulate+audit pass produces.
+#[derive(Debug, Clone)]
+pub struct RunArtifacts {
+    /// The complete observable record of the run.
+    pub trace: Trace,
+    /// Headline market statistics of the trace.
+    pub summary: TraceSummary,
+    /// The axiom audit of the trace.
+    pub report: FairnessReport,
+}
+
+/// The enforcement pass of a [`PipelineResult`].
+#[derive(Debug, Clone)]
+pub struct EnforcedRun {
+    /// The repaired scenario that was re-run.
+    pub config: ScenarioConfig,
+    /// The repairs, in application order.
+    pub applied: Vec<Enforcement>,
+    /// The re-run's trace, summary and re-audit.
+    pub artifacts: RunArtifacts,
+}
+
+/// What [`Pipeline::run`] returns.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// The validated scenario the baseline ran under.
+    pub config: ScenarioConfig,
+    /// The baseline simulate+audit pass.
+    pub baseline: RunArtifacts,
+    /// The enforce+re-audit pass, when enforcements were staged.
+    pub enforced: Option<EnforcedRun>,
+}
+
+impl PipelineResult {
+    /// The final report: the enforced re-audit when present, else the
+    /// baseline audit.
+    pub fn report(&self) -> &FairnessReport {
+        self.enforced
+            .as_ref()
+            .map_or(&self.baseline.report, |e| &e.artifacts.report)
+    }
+
+    /// The final trace (enforced when present, else baseline).
+    pub fn trace(&self) -> &Trace {
+        self.enforced
+            .as_ref()
+            .map_or(&self.baseline.trace, |e| &e.artifacts.trace)
+    }
+
+    /// Render the full result: market summary, baseline report, and —
+    /// when enforcement ran — the repairs and the re-audit.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&render_run(
+            &format!("policy={}", self.config.policy.label()),
+            &self.baseline,
+        ));
+        if let Some(enforced) = &self.enforced {
+            let labels: Vec<String> = enforced.applied.iter().map(Enforcement::label).collect();
+            out.push_str(&format!("\nafter enforcement: {}\n\n", labels.join(" + ")));
+            out.push_str(&render_run(
+                &format!("policy={}", enforced.config.policy.label()),
+                &enforced.artifacts,
+            ));
+            out.push_str(&format!(
+                "\noverall score: {:.3} → {:.3}\n",
+                self.baseline.report.overall_score(),
+                enforced.artifacts.report.overall_score()
+            ));
+        }
+        out
+    }
+}
+
+fn render_run(heading: &str, artifacts: &RunArtifacts) -> String {
+    format!(
+        "market ({heading}): {} submissions, {:.0}% approved, {} paid, retention {:.1}%\n\n{}",
+        artifacts.summary.submissions,
+        artifacts.summary.approval_rate * 100.0,
+        artifacts.summary.total_paid,
+        artifacts.summary.retention * 100.0,
+        render_report(&artifacts.report)
+    )
+}
+
+/// Builder for the scenario → simulate → audit → enforce → report loop.
+///
+/// See the [module docs](self) for the canonical example. Defaults:
+/// [`ScenarioConfig::default`], [`AuditConfig::default`], all seven
+/// axioms, no enforcement.
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    scenario: ScenarioConfig,
+    audit: AuditConfig,
+    axioms: Option<Vec<AxiomId>>,
+    enforcements: Vec<Enforcement>,
+}
+
+impl Pipeline {
+    /// A pipeline over the default scenario.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replace the whole scenario configuration.
+    pub fn scenario(mut self, config: ScenarioConfig) -> Self {
+        self.scenario = config;
+        self
+    }
+
+    /// Tweak the current scenario in place — the ergonomic middle ground
+    /// between `scenario()` (wholesale) and one-field setters.
+    pub fn configure(mut self, f: impl FnOnce(&mut ScenarioConfig)) -> Self {
+        f(&mut self.scenario);
+        self
+    }
+
+    /// Set the assignment policy.
+    pub fn policy(mut self, choice: PolicyChoice) -> Self {
+        self.scenario.policy = choice;
+        self
+    }
+
+    /// Set the assignment policy by registry name (`"round_robin"`,
+    /// `"kos"`, …); see [`crate::assign::registry`].
+    pub fn policy_name(mut self, name: &str) -> Result<Self, FaircrowdError> {
+        self.scenario.policy = PolicyChoice::by_name(name)?;
+        Ok(self)
+    }
+
+    /// Set the simulation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.scenario.seed = seed;
+        self
+    }
+
+    /// Set the number of simulated market rounds.
+    pub fn rounds(mut self, rounds: u32) -> Self {
+        self.scenario.rounds = rounds;
+        self
+    }
+
+    /// Replace the audit configuration (similarity regime, witness cap).
+    pub fn audit(mut self, config: AuditConfig) -> Self {
+        self.audit = config;
+        self
+    }
+
+    /// Audit only the given axioms (default: all seven).
+    pub fn axioms(mut self, ids: &[AxiomId]) -> Self {
+        self.axioms = Some(ids.to_vec());
+        self
+    }
+
+    /// Stage a fairness repair; repairs apply in staging order and
+    /// trigger a second simulate+audit pass in [`Pipeline::run`].
+    pub fn enforce(mut self, enforcement: Enforcement) -> Self {
+        self.enforcements.push(enforcement);
+        self
+    }
+
+    /// Run one simulate+audit pass over `config`.
+    fn run_once(&self, config: &ScenarioConfig) -> Result<RunArtifacts, FaircrowdError> {
+        let trace = crate::sim::run(config.clone());
+        trace.ensure_valid()?;
+        let engine = AuditEngine::new(self.audit.clone());
+        let report = match &self.axioms {
+            Some(ids) => engine.run_axioms(&trace, ids),
+            None => engine.run(&trace),
+        };
+        let summary = TraceSummary::of(&trace);
+        Ok(RunArtifacts {
+            trace,
+            summary,
+            report,
+        })
+    }
+
+    /// Execute the pipeline: validate, simulate, audit, then — when
+    /// enforcements are staged — repair the scenario, re-simulate and
+    /// re-audit.
+    pub fn run(self) -> Result<PipelineResult, FaircrowdError> {
+        self.scenario.validate()?;
+        let baseline = self.run_once(&self.scenario)?;
+
+        let enforced = if self.enforcements.is_empty() {
+            None
+        } else {
+            let mut repaired = self.scenario.clone();
+            for enforcement in &self.enforcements {
+                enforcement.apply(&mut repaired);
+            }
+            repaired.validate()?;
+            let artifacts = self.run_once(&repaired)?;
+            Some(EnforcedRun {
+                config: repaired,
+                applied: self.enforcements.clone(),
+                artifacts,
+            })
+        };
+
+        Ok(PipelineResult {
+            config: self.scenario,
+            baseline,
+            enforced,
+        })
+    }
+
+    /// Run the identical pipeline once per policy name — the parameter
+    /// sweep the CLI's `sweep` command and the benches build on.
+    /// Returns `(name, result)` pairs in input order.
+    pub fn sweep_policies(
+        &self,
+        names: &[&str],
+    ) -> Result<Vec<(String, PipelineResult)>, FaircrowdError> {
+        names
+            .iter()
+            .map(|name| {
+                let result = self.clone().policy_name(name)?.run()?;
+                Ok(((*name).to_owned(), result))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_scenarios_before_simulating() {
+        let err = Pipeline::new()
+            .configure(|c| c.rounds = 0)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, FaircrowdError::Config { .. }), "{err}");
+    }
+
+    #[test]
+    fn unknown_policy_names_error_cleanly() {
+        let err = Pipeline::new().policy_name("magic").unwrap_err();
+        assert!(matches!(err, FaircrowdError::UnknownPolicy { .. }));
+    }
+
+    #[test]
+    fn enforcement_stages_compose_and_rerun() {
+        let result = Pipeline::new()
+            .seed(11)
+            .rounds(12)
+            .enforce(Enforcement::ExposureParity)
+            .enforce(Enforcement::GraceFinish)
+            .run()
+            .unwrap();
+        let enforced = result.enforced.expect("second pass must run");
+        assert_eq!(enforced.applied.len(), 2);
+        assert!(matches!(
+            enforced.config.policy,
+            PolicyChoice::ParityOver(_)
+        ));
+        assert_eq!(
+            enforced.config.cancellation,
+            CancellationPolicy::GraceFinish
+        );
+        // The baseline config is untouched.
+        assert!(matches!(result.config.policy, PolicyChoice::SelfSelection));
+    }
+
+    #[test]
+    fn axioms_subset_limits_the_report() {
+        let result = Pipeline::new()
+            .rounds(8)
+            .axioms(&[AxiomId::A3Compensation])
+            .run()
+            .unwrap();
+        assert_eq!(result.baseline.report.axioms.len(), 1);
+    }
+}

@@ -1,7 +1,7 @@
-//! End-to-end integration: simulate → trace → audit → report, across the
-//! crate boundaries, with determinism and well-formedness guarantees.
+//! End-to-end integration: scenario → simulate → audit → report through
+//! the `Pipeline`, across the crate boundaries, with determinism and
+//! well-formedness guarantees.
 
-use faircrowd::core::report::render_report;
 use faircrowd::prelude::*;
 
 fn demo_config(seed: u64) -> ScenarioConfig {
@@ -25,24 +25,38 @@ fn demo_config(seed: u64) -> ScenarioConfig {
     }
 }
 
+fn run_pipeline(seed: u64) -> faircrowd::PipelineResult {
+    Pipeline::new()
+        .scenario(demo_config(seed))
+        .run()
+        .expect("demo scenario runs")
+}
+
 #[test]
 fn pipeline_is_deterministic_end_to_end() {
-    let t1 = faircrowd::sim::run(demo_config(5));
-    let t2 = faircrowd::sim::run(demo_config(5));
-    assert_eq!(t1, t2, "same seed, same trace");
+    let r1 = run_pipeline(5);
+    let r2 = run_pipeline(5);
+    assert_eq!(
+        r1.baseline.trace, r2.baseline.trace,
+        "same seed, same trace"
+    );
+    assert_eq!(
+        r1.baseline.report, r2.baseline.report,
+        "same trace, same report"
+    );
 
-    let engine = AuditEngine::with_defaults();
-    let r1 = engine.run(&t1);
-    let r2 = engine.run(&t2);
-    assert_eq!(r1, r2, "same trace, same report");
-
-    let t3 = faircrowd::sim::run(demo_config(6));
-    assert_ne!(t1, t3, "different seed, different trace");
+    let r3 = run_pipeline(6);
+    assert_ne!(
+        r1.baseline.trace, r3.baseline.trace,
+        "different seed, different trace"
+    );
 }
 
 #[test]
 fn traces_are_well_formed_and_internally_consistent() {
-    let trace = faircrowd::sim::run(demo_config(9));
+    let result = run_pipeline(9);
+    let trace = result.trace();
+    // run() already called ensure_valid(); check the raw invariants too.
     assert!(trace.validate().is_empty(), "{:?}", trace.validate());
     assert!(trace.events.check_integrity().is_ok());
 
@@ -62,13 +76,13 @@ fn traces_are_well_formed_and_internally_consistent() {
     // Earnings aggregate consistently.
     let earnings = trace.earnings_by_worker();
     let total: faircrowd::model::Credits = earnings.values().copied().sum();
-    assert_eq!(total, faircrowd::core::metrics::total_payout(&trace));
+    assert_eq!(total, faircrowd::core::metrics::total_payout(trace));
 }
 
 #[test]
 fn healthy_market_passes_the_full_audit() {
-    let trace = faircrowd::sim::run(demo_config(21));
-    let report = AuditEngine::with_defaults().run(&trace);
+    let result = run_pipeline(21);
+    let report = result.report();
     assert_eq!(report.axioms.len(), 7);
     for axiom in &report.axioms {
         assert!(
@@ -79,21 +93,24 @@ fn healthy_market_passes_the_full_audit() {
             axiom.notes
         );
     }
-    let text = render_report(&report);
+    // The rendered result carries both the market summary and the report.
+    let text = result.render();
+    assert!(text.contains("market"));
     assert!(text.contains("overall"));
 }
 
 #[test]
 fn summary_statistics_are_consistent_with_the_audit() {
-    let trace = faircrowd::sim::run(demo_config(33));
-    let summary = TraceSummary::of(&trace);
+    let result = run_pipeline(33);
+    let summary = &result.baseline.summary;
+    let trace = &result.baseline.trace;
     assert_eq!(
         summary.retention,
-        faircrowd::core::metrics::retention(&trace)
+        faircrowd::core::metrics::retention(trace)
     );
     assert_eq!(
         summary.total_paid,
-        faircrowd::core::metrics::total_payout(&trace)
+        faircrowd::core::metrics::total_payout(trace)
     );
     assert!(summary.submissions > 0);
     assert!((0.0..=1.0).contains(&summary.label_quality));
@@ -102,8 +119,7 @@ fn summary_statistics_are_consistent_with_the_audit() {
 #[test]
 fn audit_scores_are_always_in_unit_range() {
     for seed in 0..5 {
-        let trace = faircrowd::sim::run(demo_config(seed));
-        let report = AuditEngine::with_defaults().run(&trace);
+        let report = run_pipeline(seed).baseline.report;
         for axiom in &report.axioms {
             assert!(
                 (0.0..=1.0).contains(&axiom.score),

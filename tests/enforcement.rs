@@ -1,8 +1,10 @@
 //! Enforcement integration: the §3.3.1 "fair by design" story. A platform
 //! that fails an axiom is repaired by the corresponding enforcement lever
-//! and passes afterwards.
+//! and passes afterwards — each repair staged through the `Pipeline`'s
+//! enforce step, which returns the violating baseline and the repaired
+//! re-audit from one run.
 
-use faircrowd::core::{enforce, metrics, AuditEngine, AxiomId};
+use faircrowd::core::{enforce, metrics, AxiomId};
 use faircrowd::model::contribution::Contribution;
 use faircrowd::model::disclosure::DisclosureSet;
 use faircrowd::model::ids::SubmissionId;
@@ -37,19 +39,19 @@ fn discriminating_market(seed: u64, policy: PolicyChoice) -> ScenarioConfig {
 
 #[test]
 fn exposure_parity_repairs_axiom1() {
-    let engine = AuditEngine::with_defaults();
+    // One pipeline run: requester-centric baseline, parity-wrapped rerun.
+    let result = Pipeline::new()
+        .scenario(discriminating_market(3, PolicyChoice::RequesterCentric))
+        .axioms(&[AxiomId::A1WorkerAssignment])
+        .enforce(Enforcement::ExposureParity)
+        .run()
+        .expect("market runs");
+    let enforced = result.enforced.as_ref().expect("parity was staged");
 
-    let unfair = faircrowd::sim::run(discriminating_market(3, PolicyChoice::RequesterCentric));
-    let unfair_a1 = engine
-        .run_axioms(&unfair, &[AxiomId::A1WorkerAssignment])
-        .score_of(AxiomId::A1WorkerAssignment);
-
-    let repaired = faircrowd::sim::run(discriminating_market(
-        3,
-        PolicyChoice::ParityOver(Box::new(PolicyChoice::RequesterCentric)),
-    ));
-    let repaired_a1 = engine
-        .run_axioms(&repaired, &[AxiomId::A1WorkerAssignment])
+    let unfair_a1 = result.baseline.report.score_of(AxiomId::A1WorkerAssignment);
+    let repaired_a1 = enforced
+        .artifacts
+        .report
         .score_of(AxiomId::A1WorkerAssignment);
 
     assert!(
@@ -66,8 +68,8 @@ fn exposure_parity_repairs_axiom1() {
     );
     // and the requesters lose nothing: same payments flow
     assert_eq!(
-        metrics::total_payout(&unfair),
-        metrics::total_payout(&repaired),
+        metrics::total_payout(&result.baseline.trace),
+        metrics::total_payout(&enforced.artifacts.trace),
         "enforcement must not change what gets done and paid"
     );
 }
@@ -80,11 +82,13 @@ fn payment_equalization_repairs_axiom3() {
         floor: 0.3,
         full_quality: 1.0,
     };
-    let trace = faircrowd::sim::run(cfg);
-    let engine = AuditEngine::with_defaults();
-    let before = engine
-        .run_axioms(&trace, &[AxiomId::A3Compensation])
-        .score_of(AxiomId::A3Compensation);
+    let result = Pipeline::new()
+        .scenario(cfg)
+        .axioms(&[AxiomId::A3Compensation])
+        .run()
+        .expect("market runs");
+    let trace = &result.baseline.trace;
+    let before = result.baseline.report.score_of(AxiomId::A3Compensation);
     assert!(before < 0.9, "ramp pricing should violate A3: {before:.3}");
 
     // Repair: per task, equalise payments across similar contributions.
@@ -108,54 +112,61 @@ fn payment_equalization_repairs_axiom3() {
             assert!(after >= *before_amount, "repair never lowers pay");
             // all similar pairs now equal
             for (sid2, c2, _) in &planned {
-                if sid != sid2 && contribution.similarity(c2) >= 0.85 && adjusted[sid] != adjusted[sid2] {
+                if sid != sid2
+                    && contribution.similarity(c2) >= 0.85
+                    && adjusted[sid] != adjusted[sid2]
+                {
                     all_fair = false;
                 }
             }
         }
     }
-    assert!(all_fair, "after equalisation every similar pair is equal-paid");
+    assert!(
+        all_fair,
+        "after equalisation every similar pair is equal-paid"
+    );
 }
 
 #[test]
 fn minimal_disclosure_set_repairs_transparency_axioms() {
-    let engine = AuditEngine::with_defaults();
-
-    // Opaque platform + opaque requesters: both transparency axioms fail.
+    // Opaque platform + opaque requesters: both transparency axioms fail
+    // in the baseline; the MinimalTransparency enforcement raises the
+    // platform's disclosure to the Axiom-6/7 floor for the re-run.
     let mut opaque = discriminating_market(17, PolicyChoice::SelfSelection);
     opaque.disclosure = DisclosureSet::opaque();
     for c in &mut opaque.campaigns {
         c.conditions = TaskConditions::default();
     }
-    let trace = faircrowd::sim::run(opaque.clone());
-    let report = engine.run_axioms(
-        &trace,
-        &[
+    let result = Pipeline::new()
+        .scenario(opaque)
+        .axioms(&[
             AxiomId::A6RequesterTransparency,
             AxiomId::A7PlatformTransparency,
-        ],
-    );
-    assert_eq!(report.score_of(AxiomId::A6RequesterTransparency), 0.0);
-    assert_eq!(report.score_of(AxiomId::A7PlatformTransparency), 0.0);
+        ])
+        .enforce(Enforcement::MinimalTransparency)
+        .run()
+        .expect("market runs");
 
-    // Same market with the minimal Axiom-6/7 disclosure set.
-    let mut fixed = opaque;
-    fixed.disclosure = enforce::minimal_transparent_set();
-    let trace = faircrowd::sim::run(fixed);
-    let report = engine.run_axioms(
-        &trace,
-        &[
-            AxiomId::A6RequesterTransparency,
-            AxiomId::A7PlatformTransparency,
-        ],
-    );
-    assert!((report.score_of(AxiomId::A6RequesterTransparency) - 1.0).abs() < 1e-9);
-    assert!(report.score_of(AxiomId::A7PlatformTransparency) > 0.9);
+    let before = &result.baseline.report;
+    assert_eq!(before.score_of(AxiomId::A6RequesterTransparency), 0.0);
+    assert_eq!(before.score_of(AxiomId::A7PlatformTransparency), 0.0);
+
+    let enforced = result.enforced.as_ref().expect("repair was staged");
+    // The applied repair grants at least the minimal transparent set.
+    for item in faircrowd::model::DisclosureItem::AXIOM6_REQUIRED {
+        assert!(enforced
+            .config
+            .disclosure
+            .allows(item, faircrowd::model::Audience::Workers));
+    }
+    let after = &enforced.artifacts.report;
+    assert!((after.score_of(AxiomId::A6RequesterTransparency) - 1.0).abs() < 1e-9);
+    assert!(after.score_of(AxiomId::A7PlatformTransparency) > 0.9);
 }
 
 #[test]
 fn grace_finish_repairs_axiom5() {
-    let survey = |cancellation| ScenarioConfig {
+    let survey = ScenarioConfig {
         seed: 23,
         rounds: 36,
         n_skills: 0,
@@ -165,22 +176,32 @@ fn grace_finish_repairs_axiom5() {
             assignments_per_task: 2,
             ..CampaignSpec::labeling("survey-co", 80, 10)
         }],
-        cancellation,
+        cancellation: CancellationPolicy::CancelAtTarget {
+            compensate_partial: false,
+        },
         ..Default::default()
     };
-    let engine = AuditEngine::with_defaults();
+    let result = Pipeline::new()
+        .scenario(survey)
+        .axioms(&[AxiomId::A5NoInterruption])
+        .enforce(Enforcement::GraceFinish)
+        .run()
+        .expect("market runs");
 
-    let harsh = faircrowd::sim::run(survey(CancellationPolicy::CancelAtTarget {
-        compensate_partial: false,
-    }));
-    let harsh_a5 = engine
-        .run_axioms(&harsh, &[AxiomId::A5NoInterruption])
-        .score_of(AxiomId::A5NoInterruption);
-    assert!(harsh_a5 < 1.0, "hard cancellation interrupts: {harsh_a5:.3}");
+    let harsh_a5 = result.baseline.report.score_of(AxiomId::A5NoInterruption);
+    assert!(
+        harsh_a5 < 1.0,
+        "hard cancellation interrupts: {harsh_a5:.3}"
+    );
 
-    let graceful = faircrowd::sim::run(survey(CancellationPolicy::GraceFinish));
-    let graceful_a5 = engine
-        .run_axioms(&graceful, &[AxiomId::A5NoInterruption])
+    let enforced = result.enforced.as_ref().expect("grace-finish was staged");
+    assert_eq!(
+        enforced.config.cancellation,
+        CancellationPolicy::GraceFinish
+    );
+    let graceful_a5 = enforced
+        .artifacts
+        .report
         .score_of(AxiomId::A5NoInterruption);
     assert!(
         (graceful_a5 - 1.0).abs() < 1e-12,

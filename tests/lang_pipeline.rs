@@ -9,13 +9,14 @@ use proptest::prelude::*;
 #[test]
 fn catalog_policies_audit_consistently() {
     // A simulated platform configured by a TPL catalog policy must audit
-    // at exactly the coverage the policy promises.
-    use faircrowd::core::{AuditEngine, AxiomId};
+    // at exactly the coverage the policy promises: catalog → scenario →
+    // Pipeline → A7 score.
+    use faircrowd::core::AxiomId;
     use faircrowd::model::task::TaskConditions;
     use faircrowd::prelude::*;
 
     for name in ["amt", "crowdflower", "faircrowd-full"] {
-        let policy = catalog::by_name(name).expect("catalog policy");
+        let policy = catalog::get(name).expect("catalog policy");
         let expected = policy.disclosure_set().axiom7_coverage();
         let mut cfg = ScenarioConfig {
             seed: 77,
@@ -28,10 +29,15 @@ fn catalog_policies_audit_consistently() {
         for c in &mut cfg.campaigns {
             c.conditions = TaskConditions::default();
         }
-        let trace = faircrowd::sim::run(cfg);
-        let report = AuditEngine::with_defaults()
-            .run_axioms(&trace, &[AxiomId::A7PlatformTransparency]);
-        let a7 = report.score_of(AxiomId::A7PlatformTransparency);
+        let result = Pipeline::new()
+            .scenario(cfg)
+            .axioms(&[AxiomId::A7PlatformTransparency])
+            .run()
+            .expect("catalog-configured market runs");
+        let a7 = result
+            .baseline
+            .report
+            .score_of(AxiomId::A7PlatformTransparency);
         assert!(
             (a7 - expected).abs() < 1e-9,
             "{name}: audit saw {a7:.3}, policy promises {expected:.3}"

@@ -1,9 +1,11 @@
 //! Scenario matrix: every policy × cancellation × payment combination
 //! must produce well-formed traces with bounded audit scores and a
 //! conserving money flow. This is the broad-coverage safety net for the
-//! simulator's interaction surface.
+//! simulator's interaction surface, driven through the `Pipeline` and
+//! the policy registry.
 
-use faircrowd::core::{metrics, AuditEngine};
+use faircrowd::assign::registry;
+use faircrowd::core::metrics;
 use faircrowd::prelude::*;
 
 fn tiny(seed: u64) -> ScenarioConfig {
@@ -35,21 +37,28 @@ fn policies() -> Vec<PolicyChoice> {
 
 #[test]
 fn every_policy_produces_a_valid_trace() {
+    // Explicit `PolicyChoice` values (parameterised kos/parity/floor)…
     for policy in policies() {
-        let mut cfg = tiny(1);
-        cfg.policy = policy.clone();
-        let trace = faircrowd::sim::run(cfg);
+        let result = Pipeline::new()
+            .scenario(tiny(1))
+            .policy(policy.clone())
+            .run()
+            .unwrap_or_else(|e| panic!("{}: {e}", policy.label()));
+        // run() validated the trace; the market must also move.
         assert!(
-            trace.validate().is_empty(),
-            "{}: {:?}",
-            policy.label(),
-            trace.validate()
-        );
-        assert!(
-            !trace.submissions.is_empty(),
+            !result.baseline.trace.submissions.is_empty(),
             "{}: market must move",
             policy.label()
         );
+    }
+    // …and every registry name, resolved by string like the CLI does.
+    for name in registry::NAMES {
+        let result = Pipeline::new()
+            .scenario(tiny(1))
+            .policy_name(name)
+            .and_then(Pipeline::run)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(!result.baseline.trace.submissions.is_empty(), "{name}");
     }
 }
 
@@ -65,14 +74,13 @@ fn every_cancellation_policy_is_sound() {
         },
         CancellationPolicy::GraceFinish,
     ];
-    let engine = AuditEngine::with_defaults();
     for cancellation in cancellations {
-        let mut cfg = tiny(2);
-        cfg.cancellation = cancellation;
-        let trace = faircrowd::sim::run(cfg);
-        assert!(trace.validate().is_empty(), "{cancellation:?}");
-        let report = engine.run(&trace);
-        for axiom in &report.axioms {
+        let result = Pipeline::new()
+            .scenario(tiny(2))
+            .configure(|c| c.cancellation = cancellation)
+            .run()
+            .unwrap_or_else(|e| panic!("{cancellation:?}: {e}"));
+        for axiom in &result.baseline.report.axioms {
             assert!(
                 (0.0..=1.0).contains(&axiom.score),
                 "{cancellation:?} {}: {}",
@@ -97,20 +105,26 @@ fn every_payment_scheme_conserves_money() {
         },
     ];
     for payment in schemes {
-        let mut cfg = tiny(3);
-        cfg.payment = payment;
-        let trace = faircrowd::sim::run(cfg);
+        let result = Pipeline::new()
+            .scenario(tiny(3))
+            .configure(|c| c.payment = payment)
+            .run()
+            .unwrap_or_else(|e| panic!("{payment:?}: {e}"));
+        let trace = &result.baseline.trace;
         // Sum of per-worker earnings equals total payout; no negative pay.
         let earnings = trace.earnings_by_worker();
         let total: faircrowd::model::Credits = earnings.values().copied().sum();
-        assert_eq!(total, metrics::total_payout(&trace), "{payment:?}");
+        assert_eq!(total, metrics::total_payout(trace), "{payment:?}");
         assert!(earnings.values().all(|c| c.millicents() >= 0));
         // Nobody earns more than reward × their submissions (+ partial
         // compensations, absent here under RunToCompletion target runs).
         for (w, earned) in &earnings {
             let subs = trace.submissions.iter().filter(|s| s.worker == *w).count();
             let cap = faircrowd::model::Credits::from_cents(8).mul_int(subs as i64 + 1);
-            assert!(earned <= &cap, "{payment:?}: {w} earned {earned} for {subs} subs");
+            assert!(
+                earned <= &cap,
+                "{payment:?}: {w} earned {earned} for {subs} subs"
+            );
         }
     }
 }
@@ -131,10 +145,12 @@ fn approval_policies_cover_the_spectrum() {
     ];
     let mut rates = Vec::new();
     for approval in approvals {
-        let mut cfg = tiny(4);
-        cfg.approval = approval;
-        let trace = faircrowd::sim::run(cfg);
-        rates.push(TraceSummary::of(&trace).approval_rate);
+        let result = Pipeline::new()
+            .scenario(tiny(4))
+            .configure(|c| c.approval = approval)
+            .run()
+            .unwrap_or_else(|e| panic!("{approval:?}: {e}"));
+        rates.push(result.baseline.summary.approval_rate);
     }
     assert!((rates[0] - 1.0).abs() < 1e-12, "lenient approves all");
     assert!(rates[1] > 0.6, "fair approval mostly approves good work");
@@ -163,10 +179,14 @@ fn mixed_task_kinds_flow_through_the_whole_stack() {
             ..CampaignSpec::labeling("polls", 10, 5)
         },
     ];
-    let trace = faircrowd::sim::run(cfg);
-    assert!(trace.validate().is_empty());
+    let result = Pipeline::new()
+        .scenario(cfg)
+        .run()
+        .expect("mixed-kind market runs");
     // all four contribution kinds appear
-    let kinds: std::collections::BTreeSet<&'static str> = trace
+    let kinds: std::collections::BTreeSet<&'static str> = result
+        .baseline
+        .trace
         .submissions
         .iter()
         .map(|s| s.contribution.kind_name())
@@ -174,7 +194,6 @@ fn mixed_task_kinds_flow_through_the_whole_stack() {
     assert!(kinds.contains("label"));
     assert!(kinds.contains("text"));
     assert!(kinds.contains("ranking"));
-    // and the audit still runs
-    let report = AuditEngine::with_defaults().run(&trace);
-    assert!((0.0..=1.0).contains(&report.overall_score()));
+    // and the audit came back with it
+    assert!((0.0..=1.0).contains(&result.baseline.report.overall_score()));
 }

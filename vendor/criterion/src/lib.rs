@@ -1,0 +1,199 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset the workspace's `perf_*` benches use —
+//! [`Criterion::benchmark_group`], `sample_size`, `bench_function`,
+//! `bench_with_input`, [`BenchmarkId`], [`criterion_group!`] and
+//! [`criterion_main!`] — with plain wall-clock timing: each benchmark
+//! runs a calibration pass then `sample_size` timed samples and reports
+//! the median per-iteration time. No statistics beyond that; the point
+//! is that `cargo bench` runs and prints comparable numbers offline.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Passed to the measured closure; collects timed iterations.
+pub struct Bencher {
+    samples: usize,
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, running enough iterations per sample to be
+    /// measurable, and record the median per-iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: aim for samples of at least ~1ms or 10 iterations.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters_per_sample =
+            ((Duration::from_millis(1).as_nanos() / once.as_nanos()).max(1) as usize).min(10_000);
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = per_iter[per_iter.len() / 2];
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark (default 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            median_ns: f64::NAN,
+        };
+        f(&mut bencher);
+        report(&self.name, &id.id, bencher.median_ns);
+        self
+    }
+
+    /// Run one benchmark against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, id: &str, median_ns: f64) {
+    let (value, unit) = if median_ns >= 1e9 {
+        (median_ns / 1e9, "s")
+    } else if median_ns >= 1e6 {
+        (median_ns / 1e6, "ms")
+    } else if median_ns >= 1e3 {
+        (median_ns / 1e3, "µs")
+    } else {
+        (median_ns, "ns")
+    };
+    println!("{group}/{id:<32} median {value:8.2} {unit}/iter");
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+}
+
+/// Collect benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_measures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut ran = 0usize;
+        group.bench_function("id", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("f", 7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,289 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds hermetically, so this shim re-implements the
+//! subset of proptest's API its property tests use: the [`proptest!`]
+//! macro, [`strategy::Strategy`] with `prop_map`/`prop_shuffle`/`boxed`,
+//! numeric-range and string-pattern strategies, [`collection::vec`],
+//! [`bool::ANY`], [`sample::select`], [`option::of`], [`prop_oneof!`],
+//! `Just`, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Semantics: each test runs `ProptestConfig::cases` randomised cases
+//! from a generator seeded deterministically by the test's name, so runs
+//! are reproducible. There is no shrinking — a failing case panics with
+//! the generated inputs' debug representation via the assertion message.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    /// The any-boolean strategy.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A half-open size range for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// `Vec` strategy: length drawn from `size`, elements from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..self.size.max_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies over explicit option sets.
+pub mod sample {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+
+    /// Strategy choosing uniformly among fixed options.
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Choose uniformly from `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.options.choose(rng).expect("non-empty").clone()
+        }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy yielding `None` or a generated `Some`.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// `None` half the time, `Some(value)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen_bool(0.5) {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// `prop::…` namespace alias, as in upstream proptest's prelude.
+pub mod prop {
+    pub use crate::{bool, collection, option, sample};
+}
+
+/// The items property tests import.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Assert inside a property; panics (no shrinking) with the message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property; panics (no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Choose uniformly among heterogeneous strategies with a common value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` randomised, reproducible cases.
+#[macro_export]
+macro_rules! proptest {
+    (@funcs $cfg:expr; $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                $body
+            }
+        }
+        $crate::proptest!(@funcs $cfg; $($rest)*);
+    };
+    (@funcs $cfg:expr;) => {};
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn ranges_tuples_and_maps_generate_in_bounds() {
+        let mut rng = rng_for("shim-smoke");
+        let strat = (0u32..5, -3i64..3, 0.0f64..1.0).prop_map(|(a, b, c)| (a, b, c));
+        for _ in 0..200 {
+            let (a, b, c) = strat.generate(&mut rng);
+            assert!(a < 5);
+            assert!((-3..3).contains(&b));
+            assert!((0.0..1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn collection_vec_and_shuffle_preserve_elements() {
+        let mut rng = rng_for("shim-vec");
+        let strat = prop::collection::vec(0u8..10, 3..7);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+        }
+        let shuffled = Just((0..10u16).collect::<Vec<u16>>()).prop_shuffle();
+        let mut v = shuffled.generate(&mut rng);
+        v.sort_unstable();
+        assert_eq!(v, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn oneof_select_option_and_str_patterns() {
+        let mut rng = rng_for("shim-misc");
+        let u = prop_oneof![Just(1u8), Just(2), 5u8..7];
+        let sel = prop::sample::select(vec!["a", "b"]);
+        let opt = prop::option::of(0u8..3);
+        let pat = ".{0,8}";
+        let mut saw_none = false;
+        let mut saw_some = false;
+        for _ in 0..200 {
+            let x = u.generate(&mut rng);
+            assert!([1, 2, 5, 6].contains(&x));
+            assert!(["a", "b"].contains(&sel.generate(&mut rng)));
+            match opt.generate(&mut rng) {
+                None => saw_none = true,
+                Some(v) => {
+                    saw_some = true;
+                    assert!(v < 3);
+                }
+            }
+            let s = Strategy::generate(&pat, &mut rng);
+            assert!(s.chars().count() <= 8);
+        }
+        assert!(saw_none && saw_some);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_runs(x in 0u32..10, ys in prop::collection::vec(0u8..4, 0..5)) {
+            prop_assert!(x < 10);
+            prop_assert!(ys.len() < 5);
+            prop_assert!(ys.iter().all(|&y| y < 4));
+        }
+    }
+}
