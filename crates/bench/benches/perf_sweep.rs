@@ -1,0 +1,36 @@
+//! P5 — Sweep-engine throughput: serial vs parallel grid execution.
+//!
+//! The sweep engine's contract is that a worker pool changes wall-clock
+//! only, never output. This benchmark times one fixed grid (2 policies
+//! × 2 scenarios × 4 seeds = 16 simulate+audit cases) at increasing
+//! `--jobs`, so the speedup — which should approach the core count on
+//! multi-core hardware and stay flat on one core — is a number `cargo
+//! bench` regenerates rather than a claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faircrowd::sweep::{run_grid, SweepGrid};
+use std::hint::black_box;
+
+const GRID: &str = "policy=round_robin,requester_centric;scenario=baseline,spam_campaign;\
+                    seed=0..4;rounds=24";
+
+fn bench_sweep_jobs(c: &mut Criterion) {
+    let grid = SweepGrid::parse(GRID).expect("benchmark grid parses");
+    let cases = grid.expand().expect("benchmark grid expands").len();
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    let mut group = c.benchmark_group(format!("sweep_{cases}_cases"));
+    group.sample_size(10);
+    for jobs in [1, 2, 4, cores.max(8)] {
+        group.bench_with_input(BenchmarkId::new("jobs", jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                let result = run_grid(black_box(&grid), jobs).expect("grid runs");
+                black_box(result.groups.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_jobs);
+criterion_main!(benches);

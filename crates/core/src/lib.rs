@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod audit;
 pub mod axiom;
 pub mod axioms;
@@ -30,6 +31,7 @@ pub mod enforce;
 pub mod metrics;
 pub mod report;
 
+pub use aggregate::{AxiomAggregate, ReportAggregate, ScoreStats};
 pub use audit::{AuditConfig, AuditEngine, FairnessReport};
 pub use axiom::{Axiom, AxiomId, AxiomReport, Violation};
 pub use faircrowd_model::similarity::SimilarityConfig;

@@ -26,6 +26,13 @@ pub enum FaircrowdError {
         /// The names the registry does know.
         available: Vec<String>,
     },
+    /// A scenario name did not resolve in the scenario catalog.
+    UnknownScenario {
+        /// The name that failed to resolve.
+        name: String,
+        /// The names the catalog does know.
+        available: Vec<String>,
+    },
     /// A policy produced an outcome violating the structural feasibility
     /// invariants (slot limits, capacities, qualification, visibility).
     InfeasibleAssignment {
@@ -84,6 +91,13 @@ impl fmt::Display for FaircrowdError {
                 write!(
                     f,
                     "unknown policy `{name}`; available: {}",
+                    available.join(", ")
+                )
+            }
+            FaircrowdError::UnknownScenario { name, available } => {
+                write!(
+                    f,
+                    "unknown scenario `{name}`; available: {}",
                     available.join(", ")
                 )
             }

@@ -203,7 +203,8 @@ impl Trace {
     }
 
     /// [`Trace::validate`] as a `Result`: `Ok` for a well-formed trace,
-    /// [`FaircrowdError::InvalidTrace`] carrying the problems otherwise.
+    /// [`crate::error::FaircrowdError::InvalidTrace`] carrying the
+    /// problems otherwise.
     pub fn ensure_valid(&self) -> Result<(), crate::error::FaircrowdError> {
         let problems = self.validate();
         if problems.is_empty() {

@@ -428,6 +428,30 @@ impl ScenarioConfig {
     }
 }
 
+impl ScenarioConfig {
+    /// The same marketplace at `factor`× scale: worker-population
+    /// counts, campaign task counts and cancel-at-target thresholds are
+    /// multiplied (rounded, floored at 1 so a scaled scenario stays
+    /// runnable), everything else — rates, rewards, policies — is left
+    /// untouched. This is the `scale` axis of the sweep grid: one
+    /// scenario shape probed at growing sizes.
+    #[must_use]
+    pub fn at_scale(&self, factor: f64) -> ScenarioConfig {
+        let scale_u32 = |n: u32| -> u32 { ((f64::from(n) * factor).round() as u32).max(1) };
+        let mut scaled = self.clone();
+        for pop in &mut scaled.workers {
+            pop.count = scale_u32(pop.count);
+        }
+        for campaign in &mut scaled.campaigns {
+            campaign.n_tasks = scale_u32(campaign.n_tasks);
+            // Targets scale with the work, or a bigger market would
+            // cancel proportionally earlier (and a smaller one never).
+            campaign.target_approved = campaign.target_approved.map(scale_u32);
+        }
+        scaled
+    }
+}
+
 impl Default for ScenarioConfig {
     fn default() -> Self {
         ScenarioConfig {
@@ -514,6 +538,29 @@ mod tests {
         let s = WorkerPopulation::of(WorkerArchetype::UniformSpammer, 5);
         assert_eq!(s.archetype, WorkerArchetype::UniformSpammer);
         assert_eq!(s.participation, d.participation);
+    }
+
+    #[test]
+    fn at_scale_multiplies_counts_only() {
+        let base = ScenarioConfig::default();
+        let doubled = base.at_scale(2.0);
+        assert_eq!(doubled.workers[0].count, 2 * base.workers[0].count);
+        assert_eq!(doubled.campaigns[0].n_tasks, 2 * base.campaigns[0].n_tasks);
+        assert_eq!(doubled.rounds, base.rounds);
+        assert_eq!(doubled.seed, base.seed);
+        // Cancel-at-target thresholds scale with the work.
+        let mut targeted = base.clone();
+        targeted.campaigns[0].target_approved = Some(12);
+        assert_eq!(
+            targeted.at_scale(2.0).campaigns[0].target_approved,
+            Some(24)
+        );
+        assert_eq!(doubled.campaigns[0].target_approved, None);
+        // Tiny factors floor at 1 instead of emptying the market.
+        let tiny = base.at_scale(0.001);
+        assert_eq!(tiny.workers[0].count, 1);
+        assert_eq!(tiny.campaigns[0].n_tasks, 1);
+        assert!(tiny.validate().is_ok());
     }
 
     #[test]

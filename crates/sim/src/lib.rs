@@ -22,11 +22,17 @@
 //! Behavioural assumptions (worker frustration, quit hazard, motivation)
 //! are documented on [`agents::WorkerState`] and in DESIGN.md — they are
 //! the synthetic stand-in for the user studies the paper proposes.
+//!
+//! Scenarios are either built field-by-field ([`config::ScenarioConfig`])
+//! or taken from the named [`catalog`] (`"baseline"`,
+//! `"spam_campaign"`, …) that the CLI and the sweep engine address by
+//! string.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod agents;
+pub mod catalog;
 pub mod config;
 pub mod gen;
 pub mod platform;

@@ -24,7 +24,12 @@
 //!
 //! The [`pipeline::Pipeline`] is the front door: it owns the paper's
 //! §4.1 validation loop (scenario → simulate → audit → enforce →
-//! re-audit) end to end.
+//! re-audit) end to end. The [`sweep`] module scales that loop to the
+//! full validation *matrix* — grids of scenarios × policies × seeds ×
+//! scales run on a thread pool and folded into deterministic aggregate
+//! statistics. Scenarios come from the named catalog
+//! ([`sim::catalog`]): `"baseline"`, `"spam_campaign"`,
+//! `"transparent_utopia"`, ….
 //!
 //! ```
 //! use faircrowd::prelude::*;
@@ -64,13 +69,23 @@ pub use faircrowd_quality as quality;
 pub use faircrowd_sim as sim;
 
 pub mod pipeline;
+pub mod sweep;
 
 pub use faircrowd_model::FaircrowdError;
 pub use pipeline::{Enforcement, Pipeline, PipelineResult};
+pub use sweep::{SweepGrid, SweepResult};
+
+/// Compile every fenced Rust block in the README as a doctest, so the
+/// quickstart the README teaches is guaranteed to build against the
+/// current API.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
 
 /// The items most programs need.
 pub mod prelude {
     pub use crate::pipeline::{Enforcement, Pipeline, PipelineResult, RunArtifacts};
+    pub use crate::sweep::{SweepGrid, SweepResult};
     pub use faircrowd_core::{AuditConfig, AuditEngine, AxiomId, FairnessReport, SimilarityConfig};
     pub use faircrowd_model::prelude::*;
     pub use faircrowd_sim::{

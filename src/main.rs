@@ -6,7 +6,8 @@
 //! faircrowd axioms                         print the paper's seven axioms
 //! faircrowd run   [OPTS] [--enforce E]...  full pipeline incl. enforcement re-audit
 //! faircrowd audit [OPTS]                   simulate a market and audit it
-//! faircrowd sweep [OPTS]                   audit every registry policy, one table
+//! faircrowd sweep [--grid G] [--jobs N] [--format F]   parallel grid sweep
+//! faircrowd scenarios                      list the named scenario catalog
 //! faircrowd policies                       list the TPL platform catalog
 //! faircrowd render <policy>                human-readable policy description
 //! faircrowd compare <a> <b>                diff two catalog policies
@@ -14,15 +15,19 @@
 //!
 //! Every market command goes through [`faircrowd::Pipeline`] and selects
 //! assignment policies via the registry
-//! ([`faircrowd::assign::registry`]), so the CLI, examples and tests
-//! exercise the same code path.
+//! ([`faircrowd::assign::registry`]) and scenarios via the catalog
+//! ([`faircrowd::sim::catalog`]), so the CLI, examples and tests
+//! exercise the same code path. `sweep` runs whole grids
+//! (scenarios × policies × seeds × scales × enforcements) through
+//! [`faircrowd::sweep`] on a worker pool; its aggregate output is
+//! byte-identical whatever `--jobs` says.
 
 use faircrowd::assign::registry;
-use faircrowd::core::report::TextTable;
 use faircrowd::lang::{catalog, compare, printer, render};
 use faircrowd::model::disclosure::DisclosureSet;
 use faircrowd::model::FaircrowdError;
 use faircrowd::prelude::*;
+use faircrowd::sim::catalog as scenarios;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -33,6 +38,7 @@ fn main() -> ExitCode {
         Some("run") => run_cmd(&args[1..], true),
         Some("audit") => run_cmd(&args[1..], false),
         Some("sweep") => sweep(&args[1..]),
+        Some("scenarios") => scenarios_cmd(),
         Some("policies") => policies(),
         Some("render") => render_cmd(&args[1..]),
         Some("compare") => compare_cmd(&args[1..]),
@@ -62,21 +68,43 @@ fn usage() {
          faircrowd axioms                         print the paper's seven axioms\n  \
          faircrowd run   [OPTS] [--enforce E]...  full pipeline incl. enforcement re-audit\n  \
          faircrowd audit [OPTS]                   simulate a market and audit it\n  \
-         faircrowd sweep [OPTS]                   audit every registry policy, one table\n  \
+         faircrowd sweep [SWEEP-OPTS]             parallel grid sweep, aggregate stats\n  \
+         faircrowd scenarios                      list the named scenario catalog\n  \
          faircrowd policies                       list the TPL platform catalog\n  \
          faircrowd render <policy>                human-readable policy description\n  \
          faircrowd compare <a> <b>                diff two catalog policies\n\n\
          OPTS:\n  \
+         --scenario NAME  start from a catalog scenario (default: flag-built market)\n  \
          --policy NAME    assignment policy (default self_selection)\n  \
          --seed N         simulation seed (default 42)\n  \
          --rounds N       market rounds (default 48)\n  \
-         --workers N      diligent workers (default 30)\n  \
+         --workers N      diligent workers (default 30; ignored with --scenario)\n  \
          --opaque         run the platform with an opaque disclosure set\n\n\
-         enforcements for --enforce (repeatable):\n  \
+         SWEEP-OPTS:\n  \
+         --grid SPEC      axes as `axis=v1,v2;…` over scenario | policy | seed |\n                   \
+         scale | rounds | enforce — `*` for every name, `a..b` seed\n                   \
+         ranges, `+`-stacked enforcements (default `policy=*`)\n  \
+         --jobs N         worker threads (default: available cores)\n  \
+         --format F       table | json | csv (default table)\n\n\
+         enforcements for --enforce (repeatable) and the enforce axis:\n  \
          parity | floor:N | transparency | grace\n\n\
-         assignment policies (registry names):\n  {}",
-        registry::NAMES.join(" | ")
+         assignment policies (registry names):\n  {}\n\n\
+         scenario catalog (see `faircrowd scenarios` for descriptions):\n  {}",
+        registry::NAMES.join(" | "),
+        scenarios::NAMES.join(" | ")
     );
+}
+
+fn scenarios_cmd() -> Result<(), FaircrowdError> {
+    println!("scenario catalog (faircrowd-sim::catalog):\n");
+    for (name, description) in scenarios::entries() {
+        println!("  {name:<20} {description}");
+    }
+    println!(
+        "\nuse `faircrowd run --scenario <name>` to audit one, or sweep them all:\n  \
+         faircrowd sweep --grid 'scenario=*;policy=*;seed=0..4' --jobs 8"
+    );
+    Ok(())
 }
 
 fn axioms() -> Result<(), FaircrowdError> {
@@ -86,11 +114,19 @@ fn axioms() -> Result<(), FaircrowdError> {
     Ok(())
 }
 
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+/// The value following `flag`, `Ok(None)` when the flag is absent, and
+/// a usage error when the flag dangles at the end of the line — a
+/// dangling flag silently falling back to defaults would report results
+/// for a run the user didn't ask for.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, FaircrowdError> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .map(String::as_str)
+            .map(Some)
+            .ok_or_else(|| FaircrowdError::usage(format!("{flag} requires a value"))),
+    }
 }
 
 fn parse_flag<T: std::str::FromStr>(
@@ -98,7 +134,7 @@ fn parse_flag<T: std::str::FromStr>(
     flag: &str,
     default: T,
 ) -> Result<T, FaircrowdError> {
-    match flag_value(args, flag) {
+    match flag_value(args, flag)? {
         None => Ok(default),
         Some(raw) => raw
             .parse()
@@ -106,54 +142,33 @@ fn parse_flag<T: std::str::FromStr>(
     }
 }
 
-fn parse_enforcement(raw: &str) -> Result<Enforcement, FaircrowdError> {
-    if let Some(min) = raw.strip_prefix("floor:") {
-        let min = min
-            .parse()
-            .map_err(|_| FaircrowdError::usage(format!("invalid floor size in `{raw}`")))?;
-        return Ok(Enforcement::ExposureFloor(min));
-    }
-    match raw {
-        "parity" => Ok(Enforcement::ExposureParity),
-        "transparency" => Ok(Enforcement::MinimalTransparency),
-        "grace" => Ok(Enforcement::GraceFinish),
-        _ => Err(FaircrowdError::usage(format!(
-            "unknown enforcement `{raw}`; expected parity | floor:N | transparency | grace"
-        ))),
-    }
-}
-
-/// The shared market scenario behind `run`, `audit` and `sweep`: two
-/// comparable labeling campaigns over a full-participation diligent
+/// The shared market scenario behind `run` and `audit`: a catalog
+/// preset when `--scenario` names one, else the flag-built default —
+/// two comparable labeling campaigns over a full-participation diligent
 /// population, so Axioms 1–3 have pairs to quantify over.
 fn scenario_from_flags(args: &[String]) -> Result<ScenarioConfig, FaircrowdError> {
-    let seed = parse_flag(args, "--seed", 42u64)?;
-    let rounds = parse_flag(args, "--rounds", 48u32)?;
-    let workers = parse_flag(args, "--workers", 30u32)?;
-    let opaque = args.iter().any(|a| a == "--opaque");
-
-    let mut population = WorkerPopulation::diligent(workers);
-    population.participation = 1.0;
-    Ok(ScenarioConfig {
-        seed,
-        rounds,
-        n_skills: 6,
-        workers: vec![population],
-        campaigns: vec![
-            CampaignSpec::labeling("acme", 50, 10),
-            CampaignSpec::labeling("globex", 50, 10),
-        ],
-        disclosure: if opaque {
-            DisclosureSet::opaque()
-        } else {
-            DisclosureSet::fully_transparent()
-        },
-        ..Default::default()
-    })
+    let mut config = if let Some(name) = flag_value(args, "--scenario")? {
+        scenarios::get(name)?
+    } else {
+        // The flag-built default market IS the catalog baseline —
+        // resolved from the catalog so the two can never drift apart;
+        // --workers resizes its single diligent population.
+        let mut config = scenarios::get("baseline")?;
+        config.workers[0].count = parse_flag(args, "--workers", config.workers[0].count)?;
+        config
+    };
+    // Explicit flags override whichever base was chosen; a catalog
+    // scenario's own seed/rounds survive when the flag is absent.
+    config.seed = parse_flag(args, "--seed", config.seed)?;
+    config.rounds = parse_flag(args, "--rounds", config.rounds)?;
+    if args.iter().any(|a| a == "--opaque") {
+        config.disclosure = DisclosureSet::opaque();
+    }
+    Ok(config)
 }
 
 fn pipeline_from_flags(args: &[String], with_enforce: bool) -> Result<Pipeline, FaircrowdError> {
-    let policy_name = flag_value(args, "--policy").unwrap_or("self_selection");
+    let policy_name = flag_value(args, "--policy")?.unwrap_or("self_selection");
     let mut pipeline = Pipeline::new()
         .scenario(scenario_from_flags(args)?)
         .policy_name(policy_name)?;
@@ -165,7 +180,7 @@ fn pipeline_from_flags(args: &[String], with_enforce: bool) -> Result<Pipeline, 
                     "--enforce requires a value (parity | floor:N | transparency | grace)",
                 )
             })?;
-            pipeline = pipeline.enforce(parse_enforcement(raw)?);
+            pipeline = pipeline.enforce(Enforcement::parse(raw)?);
             rest = &rest[i + 2..];
         }
     } else if args.iter().any(|a| a == "--enforce") {
@@ -189,35 +204,61 @@ fn run_cmd(args: &[String], with_enforce: bool) -> Result<(), FaircrowdError> {
     Ok(())
 }
 
-fn sweep(args: &[String]) -> Result<(), FaircrowdError> {
-    let base = Pipeline::new().scenario(scenario_from_flags(args)?);
-    let results = base.sweep_policies(&registry::NAMES)?;
+/// The only flags `sweep` reads; anything else is rejected rather than
+/// silently ignored (the grid's axes subsume `run`'s market flags).
+const SWEEP_FLAGS: [&str; 5] = ["--grid", "--jobs", "--format", "--seed", "--rounds"];
 
-    let mut table = TextTable::new([
-        "policy",
-        "fairness",
-        "transparency",
-        "overall",
-        "violations",
-        "retention",
-    ])
-    .numeric();
-    for (name, result) in &results {
-        let report = &result.baseline.report;
-        table.row([
-            name.clone(),
-            format!("{:.3}", report.fairness_score()),
-            format!("{:.3}", report.transparency_score()),
-            format!("{:.3}", report.overall_score()),
-            format!("{}", report.total_violations()),
-            format!("{:.1}%", result.baseline.summary.retention * 100.0),
-        ]);
+fn sweep(args: &[String]) -> Result<(), FaircrowdError> {
+    if let Some(bad) = args
+        .iter()
+        .find(|a| a.starts_with("--") && !SWEEP_FLAGS.contains(&a.as_str()))
+    {
+        return Err(FaircrowdError::usage(format!(
+            "unknown flag `{bad}` for `faircrowd sweep`; supported: {} \
+             (scenario, policy and enforcement are grid axes, e.g. \
+             --grid 'scenario=spam_campaign;policy=*;enforce=parity')",
+            SWEEP_FLAGS.join(" ")
+        )));
     }
-    // Report the seed/rounds the pipelines actually ran under (identical
-    // across the sweep) rather than re-deriving them from the flags.
-    let ran = &results.first().expect("registry is non-empty").1.config;
-    println!("policy sweep: seed={}, rounds={}\n", ran.seed, ran.rounds);
-    print!("{}", table.render());
+    let spec = flag_value(args, "--grid")?.unwrap_or("policy=*");
+    let mut grid = SweepGrid::parse(spec)?;
+    // --seed/--rounds act as axis defaults when the grid omits them.
+    if grid.seeds.is_none() {
+        if let Some(raw) = flag_value(args, "--seed")? {
+            grid.seeds = Some(vec![raw.parse().map_err(|_| {
+                FaircrowdError::usage(format!("invalid value `{raw}` for --seed"))
+            })?]);
+        }
+    }
+    if grid.rounds.is_none() {
+        if let Some(raw) = flag_value(args, "--rounds")? {
+            grid.rounds = Some(vec![raw.parse().map_err(|_| {
+                FaircrowdError::usage(format!("invalid value `{raw}` for --rounds"))
+            })?]);
+        }
+    }
+    let default_jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let jobs = parse_flag(args, "--jobs", default_jobs)?;
+    let format = flag_value(args, "--format")?.unwrap_or("table");
+
+    let result = faircrowd::sweep::run_grid(&grid, jobs)?;
+    match format {
+        "table" => {
+            println!(
+                "grid sweep: {} case(s) over {} cell(s), {jobs} job(s)\n",
+                result.cases.len(),
+                result.groups.len()
+            );
+            print!("{}", result.render_table());
+        }
+        "json" => print!("{}", result.to_json()),
+        "csv" => print!("{}", result.to_csv()),
+        other => {
+            return Err(FaircrowdError::usage(format!(
+                "unknown format `{other}`; expected table | json | csv"
+            )))
+        }
+    }
     Ok(())
 }
 
@@ -287,34 +328,89 @@ mod tests {
     #[test]
     fn flag_value_extracts_pairs() {
         let args = argv(&["--seed", "7", "--policy", "kos"]);
-        assert_eq!(flag_value(&args, "--seed"), Some("7"));
-        assert_eq!(flag_value(&args, "--policy"), Some("kos"));
-        assert_eq!(flag_value(&args, "--rounds"), None);
-        // flag at the end with no value
+        assert_eq!(flag_value(&args, "--seed").unwrap(), Some("7"));
+        assert_eq!(flag_value(&args, "--policy").unwrap(), Some("kos"));
+        assert_eq!(flag_value(&args, "--rounds").unwrap(), None);
+        // A flag dangling at the end of the line is an error, not a
+        // silent fall-back to the default.
         let dangling = argv(&["--seed"]);
-        assert_eq!(flag_value(&dangling, "--seed"), None);
+        assert!(matches!(
+            flag_value(&dangling, "--seed"),
+            Err(FaircrowdError::Usage { .. })
+        ));
+    }
+
+    #[test]
+    fn sweep_rejects_flags_it_would_ignore() {
+        for args in [
+            argv(&["--opaque"]),
+            argv(&["--workers", "10"]),
+            argv(&["--scenario", "spam_campaign"]),
+            argv(&["--enforce", "parity"]),
+        ] {
+            let err = sweep(&args).unwrap_err();
+            assert!(matches!(err, FaircrowdError::Usage { .. }), "{args:?}");
+            assert!(err.to_string().contains("--grid"), "{err}");
+        }
+    }
+
+    #[test]
+    fn default_market_is_the_catalog_baseline() {
+        let config = scenario_from_flags(&[]).unwrap();
+        assert_eq!(config, scenarios::get("baseline").unwrap());
+        // --workers only resizes the baseline's population.
+        let config = scenario_from_flags(&argv(&["--workers", "12"])).unwrap();
+        assert_eq!(config.workers[0].count, 12);
     }
 
     #[test]
     fn enforcements_parse_and_reject() {
         assert_eq!(
-            parse_enforcement("parity").unwrap(),
+            Enforcement::parse("parity").unwrap(),
             Enforcement::ExposureParity
         );
         assert_eq!(
-            parse_enforcement("floor:5").unwrap(),
+            Enforcement::parse("floor:5").unwrap(),
             Enforcement::ExposureFloor(5)
         );
         assert_eq!(
-            parse_enforcement("transparency").unwrap(),
+            Enforcement::parse("transparency").unwrap(),
             Enforcement::MinimalTransparency
         );
         assert_eq!(
-            parse_enforcement("grace").unwrap(),
+            Enforcement::parse("grace").unwrap(),
             Enforcement::GraceFinish
         );
-        assert!(parse_enforcement("floor:x").is_err());
-        assert!(parse_enforcement("magic").is_err());
+        assert!(Enforcement::parse("floor:x").is_err());
+        assert!(Enforcement::parse("magic").is_err());
+    }
+
+    #[test]
+    fn scenario_flag_selects_catalog_presets() {
+        // A preset keeps its own seed/rounds when flags are absent…
+        let args = argv(&["--scenario", "worker_churn"]);
+        let config = scenario_from_flags(&args).unwrap();
+        assert_eq!(config.rounds, 60);
+        // …and explicit flags still win.
+        let args = argv(&[
+            "--scenario",
+            "worker-churn",
+            "--rounds",
+            "12",
+            "--seed",
+            "7",
+        ]);
+        let config = scenario_from_flags(&args).unwrap();
+        assert_eq!(config.rounds, 12);
+        assert_eq!(config.seed, 7);
+        // Unknown names list the catalog.
+        let args = argv(&["--scenario", "atlantis"]);
+        match scenario_from_flags(&args) {
+            Err(FaircrowdError::UnknownScenario { available, .. }) => {
+                assert_eq!(available.len(), scenarios::NAMES.len());
+            }
+            other => panic!("wrong result: {other:?}"),
+        }
     }
 
     #[test]

@@ -52,6 +52,25 @@ pub enum Enforcement {
 }
 
 impl Enforcement {
+    /// Parse the CLI/grid spelling of an enforcement: `parity`,
+    /// `floor:N`, `transparency` or `grace`.
+    pub fn parse(raw: &str) -> Result<Self, FaircrowdError> {
+        if let Some(min) = raw.strip_prefix("floor:") {
+            let min = min.parse().map_err(|_| {
+                FaircrowdError::usage(format!("invalid floor size in enforcement `{raw}`"))
+            })?;
+            return Ok(Enforcement::ExposureFloor(min));
+        }
+        match raw {
+            "parity" => Ok(Enforcement::ExposureParity),
+            "transparency" => Ok(Enforcement::MinimalTransparency),
+            "grace" => Ok(Enforcement::GraceFinish),
+            _ => Err(FaircrowdError::usage(format!(
+                "unknown enforcement `{raw}`; expected parity | floor:N | transparency | grace"
+            ))),
+        }
+    }
+
     /// Short display label.
     pub fn label(&self) -> String {
         match self {
@@ -132,6 +151,13 @@ impl PipelineResult {
             .map_or(&self.baseline.trace, |e| &e.artifacts.trace)
     }
 
+    /// The final market summary (enforced when present, else baseline).
+    pub fn summary(&self) -> &TraceSummary {
+        self.enforced
+            .as_ref()
+            .map_or(&self.baseline.summary, |e| &e.artifacts.summary)
+    }
+
     /// Render the full result: market summary, baseline report, and —
     /// when enforcement ran — the repairs and the re-audit.
     pub fn render(&self) -> String {
@@ -198,6 +224,13 @@ impl Pipeline {
     pub fn configure(mut self, f: impl FnOnce(&mut ScenarioConfig)) -> Self {
         f(&mut self.scenario);
         self
+    }
+
+    /// Replace the scenario with a named preset from the catalog
+    /// ([`crate::sim::catalog`]): `"baseline"`, `"spam_campaign"`, ….
+    pub fn scenario_name(mut self, name: &str) -> Result<Self, FaircrowdError> {
+        self.scenario = crate::sim::catalog::get(name)?;
+        Ok(self)
     }
 
     /// Set the assignment policy.

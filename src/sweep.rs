@@ -1,0 +1,799 @@
+//! The parallel scenario-sweep engine: grids of audits, one report.
+//!
+//! The paper's validation protocol (§4.1) is a *matrix*, not a run:
+//! every objective measure — contribution quality for fairness, worker
+//! retention for transparency — is taken across assignment policies,
+//! seeds and marketplace scales before any conclusion is drawn. This
+//! module executes that matrix. A [`SweepGrid`] names the axes
+//! (scenarios × policies × seeds × scales × rounds × enforcement
+//! stacks), [`SweepGrid::expand`] takes their Cartesian product into
+//! concrete [`SweepCase`]s, and [`run_grid`] drives every case through
+//! the [`Pipeline`] on a `std::thread::scope` worker
+//! pool, folding the resulting reports into per-cell aggregates
+//! ([`faircrowd_core::aggregate`]) exportable as a table, JSON or CSV.
+//!
+//! Two guarantees shape the design:
+//!
+//! 1. **Determinism across parallelism.** Each case is a pure function
+//!    of its config (the simulator is seeded; see `faircrowd-sim`), the
+//!    worker pool writes results by case index, and every reduction is
+//!    order-independent — so `--jobs 1` and `--jobs 8` produce
+//!    byte-identical JSON and CSV.
+//! 2. **Fail-fast validation.** All scenario, policy and enforcement
+//!    names resolve during [`SweepGrid::expand`], before any thread
+//!    spawns, with errors listing the valid names.
+//!
+//! Grid syntax (the CLI's `--grid` argument): `;`-separated
+//! `axis=value,value,…` entries —
+//!
+//! ```text
+//! policy=*;seed=0..8;scenario=baseline,spam_campaign;scale=1,2;enforce=none,parity+grace
+//! ```
+//!
+//! `policy=*` means every registry policy, `scenario=*` every catalog
+//! scenario; `seed` accepts half-open `a..b` ranges; `enforce` stacks
+//! repairs with `+` (`none` for the empty stack). Omitted axes default
+//! to a single point: the `baseline` scenario, its own policy and round
+//! count, seed 42, scale 1, no enforcement.
+//!
+//! ```
+//! use faircrowd::sweep::{self, SweepGrid};
+//!
+//! let grid = SweepGrid::parse("policy=round_robin,kos;seed=0..4;rounds=8")?;
+//! let result = sweep::run_grid(&grid, 2)?;
+//! assert_eq!(result.cases.len(), 8); // 2 policies × 4 seeds
+//! assert_eq!(result.groups.len(), 2); // aggregated across seeds
+//! println!("{}", result.render_table());
+//! # Ok::<(), faircrowd::FaircrowdError>(())
+//! ```
+
+use crate::core::aggregate::{ReportAggregate, ScoreStats};
+use crate::core::report::TextTable;
+use crate::core::FairnessReport;
+use crate::model::FaircrowdError;
+use crate::pipeline::{Enforcement, Pipeline};
+use crate::sim::{catalog, PolicyChoice, TraceSummary};
+use faircrowd_assign::registry;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The axes of a sweep. Every field is an optional axis; `None` means
+/// the single default point documented on [the module](self). Parse one
+/// from the CLI grid syntax with [`SweepGrid::parse`] or build it
+/// programmatically.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepGrid {
+    /// Catalog scenario names (default: `["baseline"]`).
+    pub scenarios: Option<Vec<String>>,
+    /// Registry policy names overriding each scenario's own policy
+    /// (default: keep the scenario's policy).
+    pub policies: Option<Vec<String>>,
+    /// Simulation seeds (default: `[42]`).
+    pub seeds: Option<Vec<u64>>,
+    /// Marketplace scale factors applied via
+    /// [`ScenarioConfig::at_scale`](crate::sim::ScenarioConfig::at_scale)
+    /// (default: `[1.0]`).
+    pub scales: Option<Vec<f64>>,
+    /// Market-round overrides (default: each scenario's own rounds).
+    pub rounds: Option<Vec<u32>>,
+    /// Enforcement stacks; the empty stack audits without repair
+    /// (default: `[[]]`).
+    pub enforcements: Option<Vec<Vec<Enforcement>>>,
+}
+
+impl SweepGrid {
+    /// Parse the CLI grid syntax; see [the module docs](self) for the
+    /// grammar. Unknown axes and malformed values are usage errors that
+    /// name what is valid.
+    pub fn parse(spec: &str) -> Result<SweepGrid, FaircrowdError> {
+        let mut grid = SweepGrid::default();
+        for entry in spec.split(';').filter(|e| !e.trim().is_empty()) {
+            let (key, values) = entry.split_once('=').ok_or_else(|| {
+                FaircrowdError::usage(format!("grid entry `{entry}` is not `axis=value[,value…]`"))
+            })?;
+            let key = key.trim();
+            let values = values.trim();
+            if values.is_empty() {
+                return Err(FaircrowdError::usage(format!("grid axis `{key}` is empty")));
+            }
+            let taken = match key {
+                "scenario" => replace_axis(
+                    &mut grid.scenarios,
+                    parse_star_list(values, &catalog::NAMES),
+                ),
+                "policy" => replace_axis(
+                    &mut grid.policies,
+                    parse_star_list(values, &registry::NAMES),
+                ),
+                "seed" => replace_axis(&mut grid.seeds, parse_seeds(values)?),
+                "scale" => replace_axis(&mut grid.scales, parse_scales(values)?),
+                "rounds" => replace_axis(&mut grid.rounds, parse_list(values, key)?),
+                "enforce" => replace_axis(&mut grid.enforcements, parse_enforce_axis(values)?),
+                _ => {
+                    return Err(FaircrowdError::usage(format!(
+                        "unknown grid axis `{key}`; valid axes: \
+                         scenario | policy | seed | scale | rounds | enforce"
+                    )))
+                }
+            };
+            if !taken {
+                return Err(FaircrowdError::usage(format!(
+                    "grid axis `{key}` given twice"
+                )));
+            }
+        }
+        Ok(grid)
+    }
+
+    /// Expand the grid into concrete cases — the Cartesian product of
+    /// all axes, seeds innermost so each aggregate group is one
+    /// contiguous run of cases. Resolves and validates every scenario,
+    /// policy and enforcement name up front.
+    pub fn expand(&self) -> Result<Vec<SweepCase>, FaircrowdError> {
+        let scenarios = self
+            .scenarios
+            .clone()
+            .unwrap_or_else(|| vec!["baseline".to_owned()]);
+        let seeds = self.seeds.clone().unwrap_or_else(|| vec![42]);
+        let scales = self.scales.clone().unwrap_or_else(|| vec![1.0]);
+        let stacks = self
+            .enforcements
+            .clone()
+            .unwrap_or_else(|| vec![Vec::new()]);
+
+        let mut cases = Vec::new();
+        for scenario in &scenarios {
+            let base = catalog::get(scenario)?;
+            // (policy override, display label) pairs for this scenario.
+            let policies: Vec<(Option<String>, String)> = match &self.policies {
+                None => vec![(None, base.policy.label())],
+                Some(names) => names
+                    .iter()
+                    .map(|n| Ok((Some(n.clone()), PolicyChoice::by_name(n)?.label())))
+                    .collect::<Result<_, FaircrowdError>>()?,
+            };
+            let rounds_axis = self.rounds.clone().unwrap_or_else(|| vec![base.rounds]);
+            for (policy, policy_label) in &policies {
+                for &scale in &scales {
+                    for &rounds in &rounds_axis {
+                        for stack in &stacks {
+                            for &seed in &seeds {
+                                cases.push(SweepCase {
+                                    scenario: scenario.clone(),
+                                    policy: policy.clone(),
+                                    policy_label: policy_label.clone(),
+                                    seed,
+                                    scale,
+                                    rounds,
+                                    enforcements: stack.clone(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(cases)
+    }
+
+    /// Number of seeds per aggregate group (the innermost axis length).
+    fn seeds_per_group(&self) -> usize {
+        self.seeds.as_ref().map_or(1, Vec::len)
+    }
+}
+
+/// Replace an axis slot, reporting whether it was still unset.
+fn replace_axis<T>(slot: &mut Option<T>, value: T) -> bool {
+    let fresh = slot.is_none();
+    *slot = Some(value);
+    fresh
+}
+
+/// `*` → the full name list; otherwise a comma-separated list (names
+/// are validated later, at expansion, so errors carry the catalog).
+fn parse_star_list(values: &str, all: &[&str]) -> Vec<String> {
+    if values == "*" {
+        all.iter().map(|n| (*n).to_owned()).collect()
+    } else {
+        values.split(',').map(|v| v.trim().to_owned()).collect()
+    }
+}
+
+fn parse_list<T: std::str::FromStr>(values: &str, axis: &str) -> Result<Vec<T>, FaircrowdError> {
+    values
+        .split(',')
+        .map(|v| {
+            v.trim().parse().map_err(|_| {
+                FaircrowdError::usage(format!("invalid value `{v}` for grid axis `{axis}`"))
+            })
+        })
+        .collect()
+}
+
+/// Seeds: comma-separated integers and half-open `a..b` ranges.
+fn parse_seeds(values: &str) -> Result<Vec<u64>, FaircrowdError> {
+    let mut seeds = Vec::new();
+    for part in values.split(',') {
+        let part = part.trim();
+        if let Some((lo, hi)) = part.split_once("..") {
+            let parse = |s: &str| -> Result<u64, FaircrowdError> {
+                s.trim()
+                    .parse()
+                    .map_err(|_| FaircrowdError::usage(format!("invalid seed range `{part}`")))
+            };
+            let (lo, hi) = (parse(lo)?, parse(hi)?);
+            if lo >= hi {
+                return Err(FaircrowdError::usage(format!(
+                    "empty seed range `{part}` (use lo..hi with lo < hi)"
+                )));
+            }
+            seeds.extend(lo..hi);
+        } else {
+            seeds.push(
+                part.parse()
+                    .map_err(|_| FaircrowdError::usage(format!("invalid seed `{part}`")))?,
+            );
+        }
+    }
+    Ok(seeds)
+}
+
+fn parse_scales(values: &str) -> Result<Vec<f64>, FaircrowdError> {
+    let scales: Vec<f64> = parse_list(values, "scale")?;
+    for &s in &scales {
+        if !(s.is_finite() && s > 0.0) {
+            return Err(FaircrowdError::usage(format!(
+                "scale factors must be positive and finite, got `{s}`"
+            )));
+        }
+    }
+    Ok(scales)
+}
+
+/// Enforcement stacks: `none` or `+`-joined enforcement specs.
+fn parse_enforce_axis(values: &str) -> Result<Vec<Vec<Enforcement>>, FaircrowdError> {
+    values
+        .split(',')
+        .map(|stack| {
+            let stack = stack.trim();
+            if stack == "none" {
+                return Ok(Vec::new());
+            }
+            stack
+                .split('+')
+                .map(|e| Enforcement::parse(e.trim()))
+                .collect()
+        })
+        .collect()
+}
+
+/// Display label for an enforcement stack.
+pub fn stack_label(stack: &[Enforcement]) -> String {
+    if stack.is_empty() {
+        "none".to_owned()
+    } else {
+        stack
+            .iter()
+            .map(Enforcement::label)
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+}
+
+/// One fully resolved grid cell × seed: everything needed to run one
+/// pipeline pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCase {
+    /// Catalog scenario name.
+    pub scenario: String,
+    /// Policy override (registry name), `None` to keep the scenario's.
+    pub policy: Option<String>,
+    /// Display label of the effective policy.
+    pub policy_label: String,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Marketplace scale factor.
+    pub scale: f64,
+    /// Market rounds.
+    pub rounds: u32,
+    /// Enforcement stack applied before the second audit pass.
+    pub enforcements: Vec<Enforcement>,
+}
+
+impl SweepCase {
+    /// Build the pipeline this case describes.
+    pub fn pipeline(&self) -> Result<Pipeline, FaircrowdError> {
+        let mut config = catalog::get(&self.scenario)?.at_scale(self.scale);
+        config.seed = self.seed;
+        config.rounds = self.rounds;
+        let mut pipeline = Pipeline::new().scenario(config);
+        if let Some(name) = &self.policy {
+            pipeline = pipeline.policy_name(name)?;
+        }
+        for enforcement in &self.enforcements {
+            pipeline = pipeline.enforce(enforcement.clone());
+        }
+        Ok(pipeline)
+    }
+
+    /// Run the case: simulate, audit (and repair + re-audit when the
+    /// stack is non-empty), keeping the final report and summary.
+    pub fn run(&self) -> Result<CaseOutcome, FaircrowdError> {
+        let result = self.pipeline()?.run()?;
+        Ok(CaseOutcome {
+            report: result.report().clone(),
+            summary: result.summary().clone(),
+            case: self.clone(),
+        })
+    }
+}
+
+/// What one executed case contributes to the aggregates.
+#[derive(Debug, Clone)]
+pub struct CaseOutcome {
+    /// The case that ran.
+    pub case: SweepCase,
+    /// The final audit (the re-audit when enforcement ran).
+    pub report: FairnessReport,
+    /// The final market summary.
+    pub summary: TraceSummary,
+}
+
+/// One grid cell's aggregate across its seeds.
+#[derive(Debug, Clone)]
+pub struct GroupSummary {
+    /// Scenario name.
+    pub scenario: String,
+    /// Effective policy label.
+    pub policy: String,
+    /// Scale factor.
+    pub scale: f64,
+    /// Market rounds.
+    pub rounds: u32,
+    /// Enforcement-stack label (`"none"` when empty).
+    pub enforce: String,
+    /// The seeds folded into this cell, ascending.
+    pub seeds: Vec<u64>,
+    /// Axiom/score aggregate across the seeds.
+    pub aggregate: ReportAggregate,
+    /// Worker-retention statistics across the seeds.
+    pub retention: ScoreStats,
+}
+
+/// The result of running a grid: per-case outcomes (grid order) and
+/// per-cell aggregates.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Every executed case, in grid-expansion order.
+    pub cases: Vec<CaseOutcome>,
+    /// Per-cell aggregates across seeds, in grid order.
+    pub groups: Vec<GroupSummary>,
+}
+
+/// Run every case of `grid` on a pool of `jobs` worker threads
+/// (clamped to at least 1) and fold the reports into per-cell
+/// aggregates. Output is deterministic: identical for any `jobs`.
+pub fn run_grid(grid: &SweepGrid, jobs: usize) -> Result<SweepResult, FaircrowdError> {
+    let cases = grid.expand()?;
+    let outcomes = run_cases(&cases, jobs)?;
+    Ok(SweepResult {
+        groups: fold_groups(&outcomes, grid.seeds_per_group()),
+        cases: outcomes,
+    })
+}
+
+/// Execute `cases` on `jobs` scoped worker threads. Work is pulled off
+/// a shared atomic counter; results land in their case's slot, so the
+/// output order is the input order regardless of thread scheduling.
+fn run_cases(cases: &[SweepCase], jobs: usize) -> Result<Vec<CaseOutcome>, FaircrowdError> {
+    let jobs = jobs.max(1).min(cases.len().max(1));
+    let slots: Vec<Mutex<Option<Result<CaseOutcome, FaircrowdError>>>> =
+        cases.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(case) = cases.get(i) else { break };
+                let outcome = case.run();
+                *slots[i].lock().expect("result slot poisoned") = Some(outcome);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every case index was claimed by a worker")
+        })
+        .collect()
+}
+
+/// Fold outcomes into per-cell aggregates. Expansion puts seeds
+/// innermost, so each cell is one contiguous chunk of `seeds_per_group`
+/// outcomes; within a chunk, reports are re-sorted by seed so the fold
+/// never depends on axis ordering.
+fn fold_groups(outcomes: &[CaseOutcome], seeds_per_group: usize) -> Vec<GroupSummary> {
+    outcomes
+        .chunks(seeds_per_group.max(1))
+        .map(|chunk| {
+            let mut by_seed: Vec<&CaseOutcome> = chunk.iter().collect();
+            by_seed.sort_by_key(|o| o.case.seed);
+            let reports: Vec<FairnessReport> = by_seed.iter().map(|o| o.report.clone()).collect();
+            let retention: Vec<f64> = by_seed.iter().map(|o| o.summary.retention).collect();
+            let first = &chunk[0].case;
+            GroupSummary {
+                scenario: first.scenario.clone(),
+                policy: first.policy_label.clone(),
+                scale: first.scale,
+                rounds: first.rounds,
+                enforce: stack_label(&first.enforcements),
+                seeds: by_seed.iter().map(|o| o.case.seed).collect(),
+                aggregate: ReportAggregate::of(&reports),
+                retention: ScoreStats::of(&retention),
+            }
+        })
+        .collect()
+}
+
+impl SweepResult {
+    /// Render the per-cell aggregates as an aligned text table.
+    pub fn render_table(&self) -> String {
+        let mut table = TextTable::new([
+            "scenario",
+            "policy",
+            "scale",
+            "rounds",
+            "enforce",
+            "seeds",
+            "fairness",
+            "transparency",
+            "overall",
+            "min..max",
+            "violations",
+            "retention",
+        ])
+        .numeric();
+        for g in &self.groups {
+            table.row([
+                g.scenario.clone(),
+                g.policy.clone(),
+                format!("{}", g.scale),
+                g.rounds.to_string(),
+                g.enforce.clone(),
+                g.seeds.len().to_string(),
+                format!("{:.3}", g.aggregate.fairness.mean),
+                format!("{:.3}", g.aggregate.transparency.mean),
+                format!("{:.3}", g.aggregate.overall.mean),
+                format!(
+                    "{:.3}..{:.3}",
+                    g.aggregate.overall.min, g.aggregate.overall.max
+                ),
+                g.aggregate.total_violations.to_string(),
+                format!("{:.1}%", g.retention.mean * 100.0),
+            ]);
+        }
+        table.render()
+    }
+
+    /// Serialise the aggregates (and per-case rows) as JSON. The output
+    /// is a pure function of the grid — the number of worker threads
+    /// used never appears — so parallel and serial sweeps are
+    /// byte-identical.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"groups\": [");
+        for (i, g) in self.groups.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            let _ = write!(
+                out,
+                "\"scenario\": {}, \"policy\": {}, \"scale\": {}, \"rounds\": {}, \
+                 \"enforce\": {}, \"seeds\": [{}], \"runs\": {}, \"all_hold_runs\": {}, \
+                 \"total_violations\": {},",
+                json_str(&g.scenario),
+                json_str(&g.policy),
+                json_f64(g.scale),
+                g.rounds,
+                json_str(&g.enforce),
+                g.seeds
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                g.aggregate.runs,
+                g.aggregate.all_hold_runs,
+                g.aggregate.total_violations,
+            );
+            for (label, stats) in [
+                ("fairness", &g.aggregate.fairness),
+                ("transparency", &g.aggregate.transparency),
+                ("overall", &g.aggregate.overall),
+                ("retention", &g.retention),
+            ] {
+                let _ = write!(out, " \"{}\": {},", label, json_stats(stats));
+            }
+            out.push_str(" \"axioms\": [");
+            for (j, a) in g.aggregate.axioms.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"axiom\": {}, \"runs\": {}, \"passes\": {}, \"pass_rate\": {}, \
+                     \"score\": {}, \"violations\": {}}}",
+                    json_str(a.axiom.label()),
+                    a.runs,
+                    a.passes,
+                    json_f64(a.pass_rate),
+                    json_stats(&a.score),
+                    a.violations,
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  ],\n  \"cases\": [");
+        for (i, c) in self.cases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"scenario\": {}, \"policy\": {}, \"seed\": {}, \"scale\": {}, \
+                 \"rounds\": {}, \"enforce\": {}, \"fairness\": {}, \"transparency\": {}, \
+                 \"overall\": {}, \"violations\": {}, \"retention\": {}}}",
+                json_str(&c.case.scenario),
+                json_str(&c.case.policy_label),
+                c.case.seed,
+                json_f64(c.case.scale),
+                c.case.rounds,
+                json_str(&stack_label(&c.case.enforcements)),
+                json_f64(c.report.fairness_score()),
+                json_f64(c.report.transparency_score()),
+                json_f64(c.report.overall_score()),
+                c.report.total_violations(),
+                json_f64(c.summary.retention),
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Serialise the per-cell aggregates as CSV (one row per grid
+    /// cell). Deterministic for the same grid regardless of `jobs`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "scenario,policy,scale,rounds,enforce,runs,\
+             fairness_mean,fairness_min,fairness_max,\
+             transparency_mean,transparency_min,transparency_max,\
+             overall_mean,overall_min,overall_max,\
+             retention_mean,total_violations,all_hold_runs",
+        );
+        for id in crate::core::AxiomId::ALL {
+            let _ = write!(out, ",{}_pass_rate", id.label());
+        }
+        out.push('\n');
+        for g in &self.groups {
+            let _ = write!(
+                out,
+                "{},{},{},{},{},{}",
+                csv_field(&g.scenario),
+                csv_field(&g.policy),
+                json_f64(g.scale),
+                g.rounds,
+                csv_field(&g.enforce),
+                g.aggregate.runs,
+            );
+            for stats in [
+                &g.aggregate.fairness,
+                &g.aggregate.transparency,
+                &g.aggregate.overall,
+            ] {
+                let _ = write!(
+                    out,
+                    ",{},{},{}",
+                    json_f64(stats.mean),
+                    json_f64(stats.min),
+                    json_f64(stats.max)
+                );
+            }
+            let _ = write!(
+                out,
+                ",{},{},{}",
+                json_f64(g.retention.mean),
+                g.aggregate.total_violations,
+                g.aggregate.all_hold_runs
+            );
+            for id in crate::core::AxiomId::ALL {
+                match g.aggregate.axiom(id) {
+                    Some(a) => {
+                        let _ = write!(out, ",{}", json_f64(a.pass_rate));
+                    }
+                    None => out.push(','),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// JSON string literal with the escapes our label alphabet can need.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Shortest round-trip decimal for a float (Rust's `Display`), which is
+/// deterministic and therefore safe for byte-identical exports.
+fn json_f64(x: f64) -> String {
+    if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
+        // keep JSON numbers as numbers but make integers explicit floats
+        format!("{x:.1}")
+    } else {
+        format!("{x}")
+    }
+}
+
+fn json_stats(s: &ScoreStats) -> String {
+    format!(
+        "{{\"mean\": {}, \"min\": {}, \"max\": {}}}",
+        json_f64(s.mean),
+        json_f64(s.min),
+        json_f64(s.max)
+    )
+}
+
+/// Quote a CSV field only when it needs quoting.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_is_one_baseline_case() {
+        let cases = SweepGrid::default().expand().unwrap();
+        assert_eq!(cases.len(), 1);
+        assert_eq!(cases[0].scenario, "baseline");
+        assert_eq!(cases[0].seed, 42);
+        assert_eq!(cases[0].rounds, 48);
+        assert!(cases[0].policy.is_none());
+        assert!(cases[0].enforcements.is_empty());
+    }
+
+    #[test]
+    fn parse_covers_every_axis() {
+        let grid = SweepGrid::parse(
+            "policy=round_robin,kos;seed=0..3,11;scenario=baseline;scale=1,2.5;rounds=8;\
+             enforce=none,parity+grace,floor:4",
+        )
+        .unwrap();
+        assert_eq!(grid.policies.as_deref().unwrap().len(), 2);
+        assert_eq!(grid.seeds.as_deref().unwrap(), &[0, 1, 2, 11]);
+        assert_eq!(grid.scales.as_deref().unwrap(), &[1.0, 2.5]);
+        assert_eq!(grid.rounds.as_deref().unwrap(), &[8]);
+        let stacks = grid.enforcements.as_deref().unwrap();
+        assert_eq!(stacks.len(), 3);
+        assert!(stacks[0].is_empty());
+        assert_eq!(stacks[1].len(), 2);
+        assert_eq!(stacks[2], vec![Enforcement::ExposureFloor(4)]);
+        // 1 scenario × 2 policies × 2 scales × 1 rounds × 3 stacks × 4 seeds
+        assert_eq!(grid.expand().unwrap().len(), 48);
+    }
+
+    #[test]
+    fn star_expands_to_full_registries() {
+        let grid = SweepGrid::parse("policy=*;scenario=*").unwrap();
+        assert_eq!(
+            grid.policies.as_deref().unwrap().len(),
+            registry::NAMES.len()
+        );
+        assert_eq!(
+            grid.scenarios.as_deref().unwrap().len(),
+            catalog::NAMES.len()
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "policy",        // no `=`
+            "policy=",       // empty axis
+            "seed=x",        // not a number
+            "seed=5..5",     // empty range
+            "scale=0",       // non-positive
+            "scale=nan",     // non-finite
+            "rounds=a",      // not a number
+            "enforce=magic", // unknown enforcement
+            "orbit=1",       // unknown axis
+            "seed=1;seed=2", // duplicate axis
+        ] {
+            assert!(SweepGrid::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn expand_validates_names_up_front() {
+        let grid = SweepGrid::parse("scenario=atlantis").unwrap();
+        assert!(matches!(
+            grid.expand(),
+            Err(FaircrowdError::UnknownScenario { .. })
+        ));
+        let grid = SweepGrid::parse("policy=magic").unwrap();
+        assert!(matches!(
+            grid.expand(),
+            Err(FaircrowdError::UnknownPolicy { .. })
+        ));
+    }
+
+    #[test]
+    fn grid_runs_and_groups_across_seeds() {
+        let grid =
+            SweepGrid::parse("policy=self_selection,round_robin;seed=1,2,3;rounds=6").unwrap();
+        let result = run_grid(&grid, 2).unwrap();
+        assert_eq!(result.cases.len(), 6);
+        assert_eq!(result.groups.len(), 2);
+        for g in &result.groups {
+            assert_eq!(g.seeds, vec![1, 2, 3]);
+            assert_eq!(g.aggregate.runs, 3);
+        }
+        let table = result.render_table();
+        assert!(table.contains("self-selection"));
+        assert!(table.contains("round-robin"));
+    }
+
+    #[test]
+    fn exports_are_wellformed() {
+        let grid = SweepGrid::parse("seed=1,2;rounds=6").unwrap();
+        let result = run_grid(&grid, 1).unwrap();
+        let json = result.to_json();
+        assert!(json.contains("\"groups\""));
+        assert!(json.contains("\"cases\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let csv = result.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2, "header + one group");
+        assert_eq!(
+            lines[0].split(',').count(),
+            lines[1].split(',').count(),
+            "csv arity"
+        );
+    }
+
+    #[test]
+    fn enforcement_axis_changes_outcomes() {
+        let grid =
+            SweepGrid::parse("scenario=worker_churn;rounds=12;enforce=none,transparency").unwrap();
+        let result = run_grid(&grid, 2).unwrap();
+        assert_eq!(result.groups.len(), 2);
+        let none = &result.groups[0];
+        let repaired = &result.groups[1];
+        assert!(
+            repaired.aggregate.transparency.mean >= none.aggregate.transparency.mean,
+            "minimal-transparency repair should not lower the transparency score"
+        );
+    }
+}
