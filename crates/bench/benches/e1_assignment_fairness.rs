@@ -12,7 +12,7 @@
 //! appear as additional rows over the most discriminatory base policy.
 
 use faircrowd_bench::{banner, f2, f3, mean, presets, run_seeds, TextTable};
-use faircrowd_core::{metrics, AuditConfig, AuditEngine, AxiomId, SimilarityConfig};
+use faircrowd_core::{metrics, AuditConfig, AuditEngine, AxiomId, SimilarityConfig, TraceIndex};
 use faircrowd_sim::PolicyChoice;
 
 fn main() {
@@ -48,11 +48,12 @@ fn main() {
 
     for policy in policies {
         let traces = run_seeds(|seed| presets::labeling_market(seed, policy.clone()));
-        let reports: Vec<_> = traces
+        let indexes: Vec<TraceIndex> = traces.iter().map(TraceIndex::new).collect();
+        let reports: Vec<_> = indexes
             .iter()
-            .map(|t| {
-                engine.run_axioms(
-                    t,
+            .map(|ix| {
+                engine.run_indexed(
+                    ix,
                     &[AxiomId::A1WorkerAssignment, AxiomId::A2RequesterAssignment],
                 )
             })
@@ -67,23 +68,23 @@ fn main() {
                 .iter()
                 .map(|r| r.score_of(AxiomId::A2RequesterAssignment)),
         );
-        let gini = mean(traces.iter().map(metrics::exposure_gini));
+        let gini = mean(indexes.iter().map(metrics::exposure_gini));
         let disparity = mean(
-            traces
+            indexes
                 .iter()
-                .map(|t| metrics::access_disparity(t, &engine.config().similarity)),
+                .map(|ix| metrics::access_disparity(ix, &engine.config().similarity)),
         );
         let quality = mean(
-            traces
+            indexes
                 .iter()
-                .map(|t| metrics::label_quality(t).unwrap_or(0.0)),
+                .map(|ix| metrics::label_quality(ix).unwrap_or(0.0)),
         );
         let paid = mean(
-            traces
+            indexes
                 .iter()
-                .map(|t| metrics::total_payout(t).as_dollars_f64()),
+                .map(|ix| metrics::total_payout(ix).as_dollars_f64()),
         );
-        let retention = mean(traces.iter().map(metrics::retention));
+        let retention = mean(indexes.iter().map(metrics::retention));
 
         table.row([
             policy.label(),
@@ -123,6 +124,7 @@ fn main() {
         let engine = AuditEngine::new(AuditConfig {
             similarity,
             max_witnesses: 0,
+            ..AuditConfig::default()
         });
         let reports: Vec<_> = traces
             .iter()

@@ -12,7 +12,7 @@
 //! distinction the axioms are designed to draw.
 
 use faircrowd_bench::{banner, f2, f3, mean, run_seeds, TextTable};
-use faircrowd_core::{metrics, AuditEngine, AxiomId};
+use faircrowd_core::{metrics, AuditEngine, AxiomId, TraceIndex};
 use faircrowd_model::disclosure::DisclosureSet;
 use faircrowd_model::money::Credits;
 use faircrowd_pay::scheme::BonusPolicy;
@@ -141,20 +141,21 @@ fn main() {
 
     for regime in &regimes {
         let traces = run_seeds(|seed| base(seed, regime));
-        let a3 = mean(traces.iter().map(|t| {
+        let indexes: Vec<TraceIndex> = traces.iter().map(TraceIndex::new).collect();
+        let a3 = mean(indexes.iter().map(|ix| {
             engine
-                .run_axioms(t, &[AxiomId::A3Compensation])
+                .run_indexed(ix, &[AxiomId::A3Compensation])
                 .score_of(AxiomId::A3Compensation)
         }));
-        let wages: Vec<_> = traces.iter().map(metrics::wage_stats).collect();
+        let wages: Vec<_> = indexes.iter().map(metrics::wage_stats).collect();
         let gini = mean(wages.iter().map(|w| w.gini));
         let hourly = mean(wages.iter().map(|w| w.mean));
         let cost = mean(
-            traces
+            indexes
                 .iter()
-                .map(|t| metrics::total_payout(t).as_dollars_f64()),
+                .map(|ix| metrics::total_payout(ix).as_dollars_f64()),
         );
-        let retention = mean(traces.iter().map(metrics::retention));
+        let retention = mean(indexes.iter().map(metrics::retention));
         table.row([
             regime.label.to_owned(),
             f3(a3),

@@ -13,7 +13,7 @@
 //! every posted HIT.
 
 use faircrowd_bench::{banner, f2, f3, mean, presets, run_seeds, TextTable};
-use faircrowd_core::{metrics, AuditEngine, AxiomId};
+use faircrowd_core::{metrics, AuditEngine, AxiomId, TraceIndex};
 use faircrowd_model::event::EventKind;
 use faircrowd_sim::CancellationPolicy;
 
@@ -55,9 +55,10 @@ fn main() {
 
     for (label, policy) in policies {
         let traces = run_seeds(|seed| presets::survey_market(seed, policy));
-        let a5 = mean(traces.iter().map(|t| {
+        let indexes: Vec<TraceIndex> = traces.iter().map(TraceIndex::new).collect();
+        let a5 = mean(indexes.iter().map(|ix| {
             engine
-                .run_axioms(t, &[AxiomId::A5NoInterruption])
+                .run_indexed(ix, &[AxiomId::A5NoInterruption])
                 .score_of(AxiomId::A5NoInterruption)
         }));
         let interrupted = mean(traces.iter().map(|t| {
@@ -65,9 +66,9 @@ fn main() {
                 .count_where(|k| matches!(k, EventKind::WorkInterrupted { .. })) as f64
         }));
         let unpaid_min = mean(
-            traces
+            indexes
                 .iter()
-                .map(|t| metrics::unpaid_interrupted_seconds(t) as f64 / 60.0),
+                .map(|ix| metrics::unpaid_interrupted_seconds(ix) as f64 / 60.0),
         );
         let approved = mean(traces.iter().map(|t| {
             t.events
@@ -75,11 +76,11 @@ fn main() {
                 as f64
         }));
         let cost = mean(
-            traces
+            indexes
                 .iter()
-                .map(|t| metrics::total_payout(t).as_dollars_f64()),
+                .map(|ix| metrics::total_payout(ix).as_dollars_f64()),
         );
-        let retention = mean(traces.iter().map(metrics::retention));
+        let retention = mean(indexes.iter().map(metrics::retention));
         table.row([
             label.to_owned(),
             f3(a5),

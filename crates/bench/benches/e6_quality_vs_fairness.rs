@@ -12,7 +12,7 @@
 //! (good-faith workers' effective accuracy degrades with frustration).
 
 use faircrowd_bench::{banner, f2, f3, mean, run_seeds, TextTable};
-use faircrowd_core::{enforce, metrics, AuditEngine};
+use faircrowd_core::{enforce, metrics, AuditEngine, AxiomId, TraceIndex};
 use faircrowd_model::disclosure::DisclosureSet;
 use faircrowd_quality::spam::WorkerArchetype;
 use faircrowd_sim::{
@@ -158,20 +158,24 @@ fn main() {
 
     for level in &levels {
         let traces = run_seeds(level.configure);
-        let reports: Vec<_> = traces.iter().map(|t| engine.run(t)).collect();
+        let indexes: Vec<TraceIndex> = traces.iter().map(TraceIndex::new).collect();
+        let reports: Vec<_> = indexes
+            .iter()
+            .map(|ix| engine.run_indexed(ix, &AxiomId::ALL))
+            .collect();
         let fairness = mean(reports.iter().map(|r| r.fairness_score()));
         let transparency = mean(reports.iter().map(|r| r.transparency_score()));
         let quality = mean(
-            traces
+            indexes
                 .iter()
-                .map(|t| metrics::label_quality(t).unwrap_or(0.0)),
+                .map(|ix| metrics::label_quality(ix).unwrap_or(0.0)),
         );
         let participation = mean(
             traces
                 .iter()
                 .map(|t| t.submissions.len() as f64 / t.workers.len() as f64),
         );
-        let retention = mean(traces.iter().map(metrics::retention));
+        let retention = mean(indexes.iter().map(metrics::retention));
         table.row([
             level.label.to_owned(),
             f3(fairness),

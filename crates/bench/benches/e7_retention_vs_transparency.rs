@@ -12,7 +12,7 @@
 //! coverage in, retention out.
 
 use faircrowd_bench::{banner, f2, f3, mean, run_seeds, TextTable};
-use faircrowd_core::{metrics, AuditEngine, AxiomId};
+use faircrowd_core::{metrics, AuditEngine, AxiomId, TraceIndex};
 use faircrowd_lang::catalog;
 use faircrowd_model::disclosure::{Audience, DisclosureItem, DisclosureSet};
 use faircrowd_model::event::{EventKind, QuitReason};
@@ -97,17 +97,18 @@ fn main() {
 
     for (label, disclosure) in treatments() {
         let traces = run_seeds(|seed| market(seed, disclosure.clone()));
-        let a6 = mean(traces.iter().map(|t| {
+        let indexes: Vec<TraceIndex> = traces.iter().map(TraceIndex::new).collect();
+        let a6 = mean(indexes.iter().map(|ix| {
             engine
-                .run_axioms(t, &[AxiomId::A6RequesterTransparency])
+                .run_indexed(ix, &[AxiomId::A6RequesterTransparency])
                 .score_of(AxiomId::A6RequesterTransparency)
         }));
-        let a7 = mean(traces.iter().map(|t| {
+        let a7 = mean(indexes.iter().map(|ix| {
             engine
-                .run_axioms(t, &[AxiomId::A7PlatformTransparency])
+                .run_indexed(ix, &[AxiomId::A7PlatformTransparency])
                 .score_of(AxiomId::A7PlatformTransparency)
         }));
-        let retention = mean(traces.iter().map(metrics::retention));
+        let retention = mean(indexes.iter().map(metrics::retention));
         let frustration_quits = mean(traces.iter().map(|t| {
             t.events.count_where(|k| {
                 matches!(

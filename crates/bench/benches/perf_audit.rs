@@ -1,54 +1,99 @@
-//! P1 — Audit-engine throughput.
+//! P1 — Audit-engine throughput: naive vs indexed, serial vs parallel.
 //!
-//! Criterion micro-benchmark: full seven-axiom audits over traces of
-//! increasing size. The axiom checkers are quadratic in worker/task pairs
-//! (the quantifier domains), so this is the scaling knob that matters for
-//! auditing a real platform's day of logs.
+//! Full seven-axiom audits over the `baseline` catalog scenario at
+//! scales 1 / 4 / 16, through the three execution paths the engine
+//! offers:
+//!
+//! * `naive` — the retained reference implementation
+//!   ([`faircrowd_core::axioms::naive`]): per-axiom map re-derivation
+//!   and exhaustive pairwise scans;
+//! * `indexed_serial` — one shared [`TraceIndex`] (single event-log
+//!   replay, shared qualification matrices, blocked candidate pairs),
+//!   axioms run back to back;
+//! * `indexed_parallel` — the same index with the axioms fanned out
+//!   over a scoped thread pool.
+//!
+//! All three produce bit-identical reports (pinned by the
+//! `index_equivalence` property suite), so every gap measured here is
+//! pure overhead removed. `cargo run --release --bin audit_baseline`
+//! writes the same comparison as `BENCH_audit.json` at the repo root.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use faircrowd_bench::presets;
-use faircrowd_core::AuditEngine;
+use faircrowd_core::{AuditConfig, AuditEngine, AxiomId, TraceIndex};
 use faircrowd_model::trace::Trace;
-use faircrowd_sim::{PolicyChoice, Simulation, WorkerPopulation};
+use faircrowd_sim::{catalog, Simulation};
 use std::hint::black_box;
 
-fn trace_of_size(workers: u32, tasks: u32) -> Trace {
-    let mut cfg = presets::labeling_market(7, PolicyChoice::SelfSelection);
-    cfg.workers = vec![WorkerPopulation::diligent(workers)];
-    cfg.campaigns[0].n_tasks = tasks;
-    cfg.campaigns[1].n_tasks = tasks;
-    cfg.rounds = 24;
+fn trace_at_scale(scale: f64) -> Trace {
+    let cfg = catalog::get("baseline")
+        .expect("baseline is in the catalog")
+        .at_scale(scale);
     Simulation::new(cfg).run()
 }
 
-fn bench_audit(c: &mut Criterion) {
-    let mut group = c.benchmark_group("audit_full");
+fn bench_audit_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("audit_paths");
     group.sample_size(10);
-    for (workers, tasks) in [(25u32, 40u32), (50, 80), (100, 160)] {
-        let trace = trace_of_size(workers, tasks);
-        let engine = AuditEngine::with_defaults();
+    let parallel = AuditEngine::with_defaults();
+    let serial = AuditEngine::new(AuditConfig {
+        parallel: false,
+        ..AuditConfig::default()
+    });
+    for scale in [1u32, 4, 16] {
+        let trace = trace_at_scale(f64::from(scale));
+        group.bench_with_input(BenchmarkId::new("naive", scale), &trace, |b, t| {
+            b.iter(|| black_box(parallel.run_naive(black_box(t), &AxiomId::ALL)))
+        });
+        group.bench_with_input(BenchmarkId::new("indexed_serial", scale), &trace, |b, t| {
+            b.iter(|| black_box(serial.run(black_box(t))))
+        });
         group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{workers}w-{}t", tasks * 2)),
+            BenchmarkId::new("indexed_parallel", scale),
             &trace,
-            |b, trace| b.iter(|| black_box(engine.run(black_box(trace)))),
+            |b, t| b.iter(|| black_box(parallel.run(black_box(t)))),
         );
     }
     group.finish();
 }
 
-fn bench_single_axioms(c: &mut Criterion) {
-    use faircrowd_core::AxiomId;
-    let trace = trace_of_size(50, 80);
+fn bench_index_build_vs_audit(c: &mut Criterion) {
+    // How much of an audit is index construction vs axiom checking —
+    // the case for sharing one index across audit, metrics and re-audit.
+    let trace = trace_at_scale(4.0);
     let engine = AuditEngine::with_defaults();
+    let mut group = c.benchmark_group("audit_index_reuse");
+    group.sample_size(10);
+    group.bench_function("index_build_only", |b| {
+        b.iter(|| black_box(TraceIndex::new(black_box(&trace))))
+    });
+    group.bench_function("audit_over_prebuilt_index", |b| {
+        let ix = TraceIndex::new(&trace);
+        // Warm every lazy slice (dense matrices, buckets, positions) by
+        // running one full audit before measuring.
+        let _ = engine.run_indexed(&ix, &AxiomId::ALL);
+        b.iter(|| black_box(engine.run_indexed(black_box(&ix), &AxiomId::ALL)))
+    });
+    group.finish();
+}
+
+fn bench_single_axioms(c: &mut Criterion) {
+    let trace = trace_at_scale(4.0);
+    let engine = AuditEngine::with_defaults();
+    let ix = TraceIndex::new(&trace);
     let mut group = c.benchmark_group("audit_single_axiom");
     group.sample_size(10);
     for id in AxiomId::ALL {
         group.bench_with_input(BenchmarkId::from_parameter(id.label()), &id, |b, &id| {
-            b.iter(|| black_box(engine.run_axioms(black_box(&trace), &[id])))
+            b.iter(|| black_box(engine.run_indexed(black_box(&ix), &[id])))
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_audit, bench_single_axioms);
+criterion_group!(
+    benches,
+    bench_audit_paths,
+    bench_index_build_vs_audit,
+    bench_single_axioms
+);
 criterion_main!(benches);

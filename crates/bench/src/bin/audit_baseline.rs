@@ -1,0 +1,94 @@
+//! Writes the audit perf baseline (`BENCH_audit.json`).
+//!
+//! Times full seven-axiom audits of the `baseline` catalog scenario at
+//! scales 1 / 4 / 16 through the three engine paths — naive reference,
+//! indexed serial, indexed parallel — and prints a JSON summary. The
+//! repo keeps a checked-in copy at the root so the perf trajectory is
+//! tracked in review:
+//!
+//! ```text
+//! cargo run --release --bin audit_baseline > BENCH_audit.json
+//! ```
+//!
+//! Timings are medians over repeated runs on whatever machine executes
+//! this; the meaningful numbers are the *speedup ratios*, which are
+//! hardware-stable. All three paths return bit-identical reports (the
+//! binary asserts it), so the ratios compare equal work.
+
+use faircrowd_core::{AuditConfig, AuditEngine, AxiomId};
+use faircrowd_model::trace::Trace;
+use faircrowd_sim::{catalog, Simulation};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median wall-clock milliseconds of `runs` executions of `f`.
+fn median_ms<F: FnMut()>(runs: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let parallel = AuditEngine::with_defaults();
+    let serial = AuditEngine::new(AuditConfig {
+        parallel: false,
+        ..AuditConfig::default()
+    });
+
+    let mut rows = String::new();
+    for (i, scale) in [1u32, 4, 16].into_iter().enumerate() {
+        let config = catalog::get("baseline")
+            .expect("baseline is in the catalog")
+            .at_scale(f64::from(scale));
+        let trace: Trace = Simulation::new(config).run();
+
+        // Equal work or the ratios are meaningless.
+        let reference = parallel.run_naive(&trace, &AxiomId::ALL);
+        assert_eq!(parallel.run(&trace), reference, "parallel ≠ naive");
+        assert_eq!(serial.run(&trace), reference, "serial ≠ naive");
+
+        let runs = match scale {
+            1 => 15,
+            4 => 9,
+            _ => 5,
+        };
+        let naive_ms = median_ms(runs, || {
+            black_box(parallel.run_naive(black_box(&trace), &AxiomId::ALL));
+        });
+        let serial_ms = median_ms(runs, || {
+            black_box(serial.run(black_box(&trace)));
+        });
+        let parallel_ms = median_ms(runs, || {
+            black_box(parallel.run(black_box(&trace)));
+        });
+
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        let _ = write!(
+            rows,
+            "    {{\"scale\": {scale}, \"workers\": {}, \"tasks\": {}, \"events\": {}, \
+             \"naive_ms\": {naive_ms:.3}, \"indexed_serial_ms\": {serial_ms:.3}, \
+             \"indexed_parallel_ms\": {parallel_ms:.3}, \
+             \"speedup_serial\": {:.2}, \"speedup_parallel\": {:.2}}}",
+            trace.workers.len(),
+            trace.tasks.len(),
+            trace.events.len(),
+            naive_ms / serial_ms,
+            naive_ms / parallel_ms,
+        );
+    }
+
+    println!(
+        "{{\n  \"bench\": \"audit\",\n  \"scenario\": \"baseline\",\n  \"axioms\": 7,\n  \
+         \"paths\": [\"naive\", \"indexed_serial\", \"indexed_parallel\"],\n  \
+         \"unit\": \"ms (median)\",\n  \"scales\": [\n{rows}\n  ]\n}}"
+    );
+}

@@ -5,13 +5,24 @@
 //! [`FairnessReport`] with per-axiom scores, violation witnesses and the
 //! aggregate fairness/transparency indices used throughout the
 //! experiments.
+//!
+//! The engine builds one [`TraceIndex`] per trace (or audits through a
+//! caller-provided one via [`AuditEngine::run_indexed`]) and, unless
+//! [`AuditConfig::parallel`] is off, fans the requested axioms out over
+//! a scoped thread pool. Each axiom writes into its request-order slot,
+//! so the report is deterministic and identical to a serial run — and,
+//! via the lossless blocking in [`crate::index`], identical to the
+//! retained naive reference path ([`AuditEngine::run_naive`]).
 
 use crate::axiom::{AxiomId, AxiomReport};
-use crate::axioms::checker_for;
+use crate::axioms::{checker_for, naive};
+use crate::index::TraceIndex;
 use faircrowd_model::similarity::SimilarityConfig;
 use faircrowd_model::stats;
 use faircrowd_model::trace::Trace;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Audit configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -20,6 +31,10 @@ pub struct AuditConfig {
     pub similarity: SimilarityConfig,
     /// Maximum violation witnesses retained per axiom.
     pub max_witnesses: usize,
+    /// Fan the axioms out over a scoped thread pool (default). Reports
+    /// are identical either way; serial runs exist for benchmarking and
+    /// for embedding in already-parallel callers like the sweep engine.
+    pub parallel: bool,
 }
 
 impl Default for AuditConfig {
@@ -27,6 +42,7 @@ impl Default for AuditConfig {
         AuditConfig {
             similarity: SimilarityConfig::default(),
             max_witnesses: 25,
+            parallel: true,
         }
     }
 }
@@ -121,15 +137,77 @@ impl AuditEngine {
         self.run_axioms(trace, &AxiomId::ALL)
     }
 
-    /// Run a chosen subset of axioms, in the given order.
+    /// Run a chosen subset of axioms, in the given order. Builds a fresh
+    /// [`TraceIndex`]; callers holding one should use
+    /// [`AuditEngine::run_indexed`] instead.
     pub fn run_axioms(&self, trace: &Trace, ids: &[AxiomId]) -> FairnessReport {
-        let axioms = ids
-            .iter()
-            .map(|&id| {
-                checker_for(id).check(trace, &self.config.similarity, self.config.max_witnesses)
-            })
-            .collect();
-        FairnessReport { axioms }
+        self.run_indexed(&TraceIndex::new(trace), ids)
+    }
+
+    /// Run axioms against a pre-built index — the hot path the pipeline
+    /// and sweep engine use, sharing one index per trace across audit,
+    /// metrics and (via slice reuse) the re-audit.
+    pub fn run_indexed(&self, ix: &TraceIndex<'_>, ids: &[AxiomId]) -> FairnessReport {
+        let check = |id: AxiomId| {
+            checker_for(id).check(ix, &self.config.similarity, self.config.max_witnesses)
+        };
+        let threads = if self.config.parallel {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .min(ids.len())
+        } else {
+            1
+        };
+        if threads <= 1 {
+            return FairnessReport {
+                axioms: ids.iter().map(|&id| check(id)).collect(),
+            };
+        }
+        // Index-ordered slots + an atomic work counter (the PR 2 sweep
+        // pattern): report order is request order whatever the thread
+        // schedule was.
+        let slots: Vec<Mutex<Option<AxiomReport>>> = ids.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&id) = ids.get(i) else { break };
+                    *slots[i].lock().expect("axiom slot poisoned") = Some(check(id));
+                });
+            }
+        });
+        FairnessReport {
+            axioms: slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("axiom slot poisoned")
+                        .expect("every axiom slot was claimed by a worker")
+                })
+                .collect(),
+        }
+    }
+
+    /// Run axioms through the retained naive reference implementation
+    /// ([`crate::axioms::naive`]): no index, no blocking, no threads.
+    /// Exists as the correctness oracle for the property tests and the
+    /// fixed baseline for the perf benches.
+    pub fn run_naive(&self, trace: &Trace, ids: &[AxiomId]) -> FairnessReport {
+        FairnessReport {
+            axioms: ids
+                .iter()
+                .map(|&id| {
+                    naive::check(
+                        id,
+                        trace,
+                        &self.config.similarity,
+                        self.config.max_witnesses,
+                    )
+                })
+                .collect(),
+        }
     }
 }
 
@@ -173,6 +251,31 @@ mod tests {
         assert!(report.axiom(AxiomId::A1WorkerAssignment).is_none());
         // unran axioms default to 1.0
         assert_eq!(report.score_of(AxiomId::A1WorkerAssignment), 1.0);
+    }
+
+    #[test]
+    fn serial_parallel_and_naive_reports_are_identical() {
+        use faircrowd_model::contribution::Contribution;
+        // A trace with violations on several axioms, checked three ways.
+        let mut trace = crate::axioms::fixtures::skeleton(vec![
+            crate::axioms::fixtures::task(0, 0, &[0, 0], 10),
+            crate::axioms::fixtures::task(1, 1, &[0, 0], 10),
+        ]);
+        crate::axioms::fixtures::show(&mut trace, 1, 0, 0);
+        let s0 = crate::axioms::fixtures::submit(&mut trace, 100, 0, 0, Contribution::Label(1));
+        let _s1 = crate::axioms::fixtures::submit(&mut trace, 110, 0, 1, Contribution::Label(1));
+        crate::axioms::fixtures::pay(&mut trace, 200, s0, 0, 10);
+
+        let parallel = AuditEngine::with_defaults().run(&trace);
+        let serial = AuditEngine::new(AuditConfig {
+            parallel: false,
+            ..AuditConfig::default()
+        })
+        .run(&trace);
+        let naive = AuditEngine::with_defaults().run_naive(&trace, &AxiomId::ALL);
+        assert_eq!(parallel, serial);
+        assert_eq!(parallel, naive);
+        assert!(parallel.total_violations() > 0, "fixture must violate");
     }
 
     #[test]

@@ -1,10 +1,14 @@
 //! The axiom-checker interface.
 //!
 //! Each of the paper's seven axioms becomes an [`Axiom`] implementation:
-//! a pure function from a [`Trace`] and a similarity regime to an
+//! a pure function from a [`TraceIndex`] and a similarity regime to an
 //! [`AxiomReport`] carrying a satisfaction score in `[0, 1]`, the size of
 //! the quantifier domain it examined, and concrete violation witnesses.
+//! Checkers read the trace through the shared index, so an audit derives
+//! its visibility/audience/payment maps and qualification matrices once
+//! instead of once per axiom.
 
+use crate::index::TraceIndex;
 use faircrowd_model::similarity::SimilarityConfig;
 use faircrowd_model::trace::Trace;
 use serde::{Deserialize, Serialize};
@@ -166,8 +170,27 @@ pub trait Axiom {
     /// Which axiom this checks.
     fn id(&self) -> AxiomId;
 
-    /// Check the axiom over a trace under the given similarity regime.
-    fn check(&self, trace: &Trace, cfg: &SimilarityConfig, max_witnesses: usize) -> AxiomReport;
+    /// Check the axiom over an indexed trace under the given similarity
+    /// regime.
+    fn check(
+        &self,
+        ix: &TraceIndex<'_>,
+        cfg: &SimilarityConfig,
+        max_witnesses: usize,
+    ) -> AxiomReport;
+
+    /// Convenience for one-off checks: index the trace, then check. An
+    /// audit running several axioms should build one [`TraceIndex`] and
+    /// call [`Axiom::check`] instead (that is what
+    /// [`crate::audit::AuditEngine`] does).
+    fn check_trace(
+        &self,
+        trace: &Trace,
+        cfg: &SimilarityConfig,
+        max_witnesses: usize,
+    ) -> AxiomReport {
+        self.check(&TraceIndex::new(trace), cfg, max_witnesses)
+    }
 }
 
 /// Collect violations with a cap, tracking the true total.

@@ -10,14 +10,17 @@
 //! *both* qualify for — a platform is not at fault for withholding a task
 //! a worker could not take. The per-pair score is the Jaccard overlap of
 //! those access sets; the axiom score is the mean over pairs.
+//!
+//! Candidate pairs come pre-blocked from the [`TraceIndex`]
+//! (skill-count buckets); the exact composite similarity is still
+//! applied to every candidate, so the result is identical to the
+//! exhaustive scan.
 
 use crate::axiom::{Axiom, AxiomId, AxiomReport, ViolationCollector};
-use crate::axioms::{set_jaccard, worker_similarity};
-use faircrowd_model::ids::TaskId;
+use crate::axioms::worker_similarity;
+use crate::index::TraceIndex;
 use faircrowd_model::similarity::SimilarityConfig;
 use faircrowd_model::stats;
-use faircrowd_model::trace::Trace;
-use std::collections::BTreeSet;
 
 /// Checker for Axiom 1.
 #[derive(Debug, Clone, Copy, Default)]
@@ -28,64 +31,34 @@ impl Axiom for WorkerAssignmentFairness {
         AxiomId::A1WorkerAssignment
     }
 
-    fn check(&self, trace: &Trace, cfg: &SimilarityConfig, max_witnesses: usize) -> AxiomReport {
-        let visibility = trace.visibility_map();
-        // Pre-compute each worker's qualified task set.
-        let qualified: Vec<BTreeSet<TaskId>> = trace
-            .workers
-            .iter()
-            .map(|w| {
-                trace
-                    .tasks
-                    .iter()
-                    .filter(|t| w.qualifies_for(t))
-                    .map(|t| t.id)
-                    .collect()
-            })
-            .collect();
+    fn check(
+        &self,
+        ix: &TraceIndex<'_>,
+        cfg: &SimilarityConfig,
+        max_witnesses: usize,
+    ) -> AxiomReport {
+        let trace = ix.trace();
 
         let mut overlaps = Vec::new();
         let mut collector = ViolationCollector::new(self.id(), max_witnesses);
-        for i in 0..trace.workers.len() {
-            for j in (i + 1)..trace.workers.len() {
-                let (wi, wj) = (&trace.workers[i], &trace.workers[j]);
-                let sim = worker_similarity(wi, wj, cfg);
-                if sim < cfg.worker_threshold {
-                    continue;
-                }
-                let common: BTreeSet<TaskId> =
-                    qualified[i].intersection(&qualified[j]).copied().collect();
-                let empty = BTreeSet::new();
-                let ai: BTreeSet<TaskId> = visibility
-                    .get(&wi.id)
-                    .unwrap_or(&empty)
-                    .intersection(&common)
-                    .copied()
-                    .collect();
-                let aj: BTreeSet<TaskId> = visibility
-                    .get(&wj.id)
-                    .unwrap_or(&empty)
-                    .intersection(&common)
-                    .copied()
-                    .collect();
-                let overlap = set_jaccard(&ai, &aj);
-                overlaps.push(overlap);
-                if overlap < 1.0 - 1e-9 {
-                    collector.push(
-                        1.0 - overlap,
-                        format!(
-                            "workers {} and {} are similar (sim {:.2}) but saw different \
-                             tasks: {} vs {} of {} common-qualified (overlap {:.2})",
-                            wi.id,
-                            wj.id,
-                            sim,
-                            ai.len(),
-                            aj.len(),
-                            common.len(),
-                            overlap
-                        ),
-                    );
-                }
+        for (i, j) in ix.similar_worker_candidates(cfg) {
+            let (wi, wj) = (&trace.workers[i], &trace.workers[j]);
+            let sim = worker_similarity(wi, wj, cfg);
+            if sim < cfg.worker_threshold {
+                continue;
+            }
+            let o = ix.worker_access_overlap(i, j);
+            let overlap = o.jaccard();
+            overlaps.push(overlap);
+            if overlap < 1.0 - 1e-9 {
+                collector.push(
+                    1.0 - overlap,
+                    format!(
+                        "workers {} and {} are similar (sim {:.2}) but saw different \
+                         tasks: {} vs {} of {} common-qualified (overlap {:.2})",
+                        wi.id, wj.id, sim, o.left, o.right, o.common, overlap
+                    ),
+                );
             }
         }
 
@@ -124,7 +97,7 @@ mod tests {
             show(&mut trace, 1, tid, 0);
             show(&mut trace, 1, tid, 1);
         }
-        let r = WorkerAssignmentFairness.check(&trace, &cfg(), 10);
+        let r = WorkerAssignmentFairness.check_trace(&trace, &cfg(), 10);
         assert_eq!(r.checked, 1);
         assert!((r.score - 1.0).abs() < 1e-12);
         assert!(r.holds());
@@ -136,7 +109,7 @@ mod tests {
         // identical workers, but only w0 sees anything
         show(&mut trace, 1, 0, 0);
         show(&mut trace, 1, 1, 0);
-        let r = WorkerAssignmentFairness.check(&trace, &cfg(), 10);
+        let r = WorkerAssignmentFairness.check_trace(&trace, &cfg(), 10);
         assert_eq!(r.violation_count, 1);
         assert_eq!(r.score, 0.0, "total exclusion is maximal discrimination");
         assert!(r.violations[0].description.contains("w0"));
@@ -155,7 +128,7 @@ mod tests {
         show(&mut trace, 1, 1, 0);
         show(&mut trace, 1, 0, 1);
         show(&mut trace, 1, 2, 1);
-        let r = WorkerAssignmentFairness.check(&trace, &cfg(), 10);
+        let r = WorkerAssignmentFairness.check_trace(&trace, &cfg(), 10);
         assert!((r.score - 1.0 / 3.0).abs() < 1e-9);
     }
 
@@ -165,7 +138,7 @@ mod tests {
         // make w1 clearly different in skills
         trace.workers[1] = worker(1, &[0, 0]);
         show(&mut trace, 1, 0, 0);
-        let r = WorkerAssignmentFairness.check(&trace, &cfg(), 10);
+        let r = WorkerAssignmentFairness.check_trace(&trace, &cfg(), 10);
         assert_eq!(r.checked, 0);
         assert_eq!(r.score, 1.0, "vacuously satisfied");
     }
@@ -178,7 +151,7 @@ mod tests {
         trace.workers[1] = worker(1, &[1, 1, 0]);
         show(&mut trace, 1, 0, 0);
         show(&mut trace, 1, 0, 1);
-        let r = WorkerAssignmentFairness.check(&trace, &cfg(), 10);
+        let r = WorkerAssignmentFairness.check_trace(&trace, &cfg(), 10);
         assert!((r.score - 1.0).abs() < 1e-12);
     }
 
@@ -188,7 +161,7 @@ mod tests {
         let mut trace = skeleton(vec![task(0, 0, &[0, 0], 10)]);
         trace.workers = (0..4).map(|i| worker(i, &[1, 1])).collect();
         show(&mut trace, 1, 0, 0);
-        let r = WorkerAssignmentFairness.check(&trace, &cfg(), 2);
+        let r = WorkerAssignmentFairness.check_trace(&trace, &cfg(), 2);
         assert_eq!(r.violation_count, 3);
         assert_eq!(r.violations.len(), 2);
         assert!(r.truncated);

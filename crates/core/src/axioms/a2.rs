@@ -12,12 +12,9 @@
 //! workers qualified for both.
 
 use crate::axiom::{Axiom, AxiomId, AxiomReport, ViolationCollector};
-use crate::axioms::set_jaccard;
-use faircrowd_model::ids::WorkerId;
+use crate::index::TraceIndex;
 use faircrowd_model::similarity::SimilarityConfig;
 use faircrowd_model::stats;
-use faircrowd_model::trace::Trace;
-use std::collections::BTreeSet;
 
 /// Checker for Axiom 2.
 #[derive(Debug, Clone, Copy, Default)]
@@ -28,73 +25,49 @@ impl Axiom for RequesterAssignmentFairness {
         AxiomId::A2RequesterAssignment
     }
 
-    fn check(&self, trace: &Trace, cfg: &SimilarityConfig, max_witnesses: usize) -> AxiomReport {
-        let audience = trace.audience_map();
-        // Workers qualified per task.
-        let qualified: Vec<BTreeSet<WorkerId>> = trace
-            .tasks
-            .iter()
-            .map(|t| {
-                trace
-                    .workers
-                    .iter()
-                    .filter(|w| w.qualifies_for(t))
-                    .map(|w| w.id)
-                    .collect()
-            })
-            .collect();
+    fn check(
+        &self,
+        ix: &TraceIndex<'_>,
+        cfg: &SimilarityConfig,
+        max_witnesses: usize,
+    ) -> AxiomReport {
+        let trace = ix.trace();
 
         let mut overlaps = Vec::new();
         let mut collector = ViolationCollector::new(self.id(), max_witnesses);
-        for i in 0..trace.tasks.len() {
-            for j in (i + 1)..trace.tasks.len() {
-                let (ti, tj) = (&trace.tasks[i], &trace.tasks[j]);
-                if ti.requester == tj.requester {
-                    continue; // the axiom compares *different* requesters
-                }
-                let skill_sim = cfg.skill_measure.score(&ti.skills, &tj.skills);
-                if skill_sim < cfg.task_skill_threshold
-                    || !ti.reward_comparable(tj, cfg.reward_tolerance)
-                {
-                    continue;
-                }
-                let common: BTreeSet<WorkerId> =
-                    qualified[i].intersection(&qualified[j]).copied().collect();
-                let empty = BTreeSet::new();
-                let ai: BTreeSet<WorkerId> = audience
-                    .get(&ti.id)
-                    .unwrap_or(&empty)
-                    .intersection(&common)
-                    .copied()
-                    .collect();
-                let aj: BTreeSet<WorkerId> = audience
-                    .get(&tj.id)
-                    .unwrap_or(&empty)
-                    .intersection(&common)
-                    .copied()
-                    .collect();
-                let overlap = set_jaccard(&ai, &aj);
-                overlaps.push(overlap);
-                if overlap < 1.0 - 1e-9 {
-                    collector.push(
-                        1.0 - overlap,
-                        format!(
-                            "tasks {} ({}) and {} ({}) are comparable (skill sim {:.2}, \
-                             rewards {} vs {}) but reached different audiences \
-                             ({} vs {} workers, overlap {:.2})",
-                            ti.id,
-                            ti.requester,
-                            tj.id,
-                            tj.requester,
-                            skill_sim,
-                            ti.reward,
-                            tj.reward,
-                            ai.len(),
-                            aj.len(),
-                            overlap
-                        ),
-                    );
-                }
+        for (i, j) in ix.comparable_task_candidates(cfg) {
+            let (ti, tj) = (&trace.tasks[i], &trace.tasks[j]);
+            if ti.requester == tj.requester {
+                continue; // the axiom compares *different* requesters
+            }
+            let skill_sim = cfg.skill_measure.score(&ti.skills, &tj.skills);
+            if skill_sim < cfg.task_skill_threshold
+                || !ti.reward_comparable(tj, cfg.reward_tolerance)
+            {
+                continue;
+            }
+            let o = ix.task_audience_overlap(i, j);
+            let overlap = o.jaccard();
+            overlaps.push(overlap);
+            if overlap < 1.0 - 1e-9 {
+                collector.push(
+                    1.0 - overlap,
+                    format!(
+                        "tasks {} ({}) and {} ({}) are comparable (skill sim {:.2}, \
+                         rewards {} vs {}) but reached different audiences \
+                         ({} vs {} workers, overlap {:.2})",
+                        ti.id,
+                        ti.requester,
+                        tj.id,
+                        tj.requester,
+                        skill_sim,
+                        ti.reward,
+                        tj.reward,
+                        o.left,
+                        o.right,
+                        overlap
+                    ),
+                );
             }
         }
 
@@ -137,7 +110,7 @@ mod tests {
             show(&mut trace, 1, tid, 0);
             show(&mut trace, 1, tid, 1);
         }
-        let r = RequesterAssignmentFairness.check(&trace, &cfg(), 10);
+        let r = RequesterAssignmentFairness.check_trace(&trace, &cfg(), 10);
         assert_eq!(r.checked, 1);
         assert!((r.score - 1.0).abs() < 1e-12);
     }
@@ -148,7 +121,7 @@ mod tests {
         // r0's task shown to both workers; r1's comparable task shown to none
         show(&mut trace, 1, 0, 0);
         show(&mut trace, 1, 0, 1);
-        let r = RequesterAssignmentFairness.check(&trace, &cfg(), 10);
+        let r = RequesterAssignmentFairness.check_trace(&trace, &cfg(), 10);
         assert_eq!(r.violation_count, 1);
         assert_eq!(r.score, 0.0);
         assert!(r.violations[0].description.contains("r1"));
@@ -158,7 +131,7 @@ mod tests {
     fn same_requester_pairs_skipped() {
         let mut trace = skeleton(vec![task(0, 0, &[1, 0], 10), task(1, 0, &[1, 0], 10)]);
         show(&mut trace, 1, 0, 0);
-        let r = RequesterAssignmentFairness.check(&trace, &cfg(), 10);
+        let r = RequesterAssignmentFairness.check_trace(&trace, &cfg(), 10);
         assert_eq!(r.checked, 0, "same-requester pairs are out of scope");
     }
 
@@ -166,7 +139,7 @@ mod tests {
     fn incomparable_rewards_skipped() {
         let mut trace = skeleton(vec![task(0, 0, &[1, 0], 10), task(1, 1, &[1, 0], 50)]);
         show(&mut trace, 1, 0, 0);
-        let r = RequesterAssignmentFairness.check(&trace, &cfg(), 10);
+        let r = RequesterAssignmentFairness.check_trace(&trace, &cfg(), 10);
         assert_eq!(r.checked, 0, "5x reward difference is not comparable");
     }
 
@@ -174,7 +147,7 @@ mod tests {
     fn dissimilar_skills_skipped() {
         let mut trace = skeleton(vec![task(0, 0, &[1, 0], 10), task(1, 1, &[0, 1], 10)]);
         show(&mut trace, 1, 0, 0);
-        let r = RequesterAssignmentFairness.check(&trace, &cfg(), 10);
+        let r = RequesterAssignmentFairness.check_trace(&trace, &cfg(), 10);
         assert_eq!(r.checked, 0);
     }
 
@@ -185,7 +158,7 @@ mod tests {
         trace.workers[1] = worker(1, &[0, 1]);
         show(&mut trace, 1, 0, 0);
         show(&mut trace, 1, 1, 0);
-        let r = RequesterAssignmentFairness.check(&trace, &cfg(), 10);
+        let r = RequesterAssignmentFairness.check_trace(&trace, &cfg(), 10);
         assert!((r.score - 1.0).abs() < 1e-12);
     }
 }

@@ -13,9 +13,9 @@
 //! identical to paid work is caught here.
 
 use crate::axiom::{Axiom, AxiomId, AxiomReport, ViolationCollector};
+use crate::index::{contribution_candidates, TraceIndex};
 use faircrowd_model::money::Credits;
 use faircrowd_model::similarity::SimilarityConfig;
-use faircrowd_model::trace::Trace;
 
 /// Checker for Axiom 3.
 #[derive(Debug, Clone, Copy, Default)]
@@ -26,42 +26,49 @@ impl Axiom for CompensationFairness {
         AxiomId::A3Compensation
     }
 
-    fn check(&self, trace: &Trace, cfg: &SimilarityConfig, max_witnesses: usize) -> AxiomReport {
-        let payments = trace.payment_by_submission();
-        let by_task = trace.submissions_by_task();
+    fn check(
+        &self,
+        ix: &TraceIndex<'_>,
+        cfg: &SimilarityConfig,
+        max_witnesses: usize,
+    ) -> AxiomReport {
+        let payments = ix.payments();
 
         let mut pairs = 0usize;
         let mut satisfied = 0usize;
         let mut collector = ViolationCollector::new(self.id(), max_witnesses);
 
-        for (task, subs) in by_task {
-            for i in 0..subs.len() {
-                for j in (i + 1)..subs.len() {
-                    let (si, sj) = (subs[i], subs[j]);
-                    if si.worker == sj.worker {
-                        continue; // the axiom compares *distinct* workers
-                    }
-                    let sim = si.contribution.similarity(&sj.contribution);
-                    if sim < cfg.contribution_threshold {
-                        continue;
-                    }
-                    pairs += 1;
-                    let pi = payments.get(&si.id).copied().unwrap_or(Credits::ZERO);
-                    let pj = payments.get(&sj.id).copied().unwrap_or(Credits::ZERO);
-                    if pi == pj {
-                        satisfied += 1;
-                    } else {
-                        let max = pi.max(pj).millicents().max(1) as f64;
-                        let severity = pi.abs_diff(pj).millicents() as f64 / max;
-                        collector.push(
-                            severity,
-                            format!(
-                                "task {task}: workers {} and {} made similar contributions \
-                                 (sim {:.2}) but were paid {} vs {}",
-                                si.worker, sj.worker, sim, pi, pj
-                            ),
-                        );
-                    }
+        for (task, subs) in ix.submissions_by_task() {
+            // Candidate pairs come kind/label-blocked: any pruned pair
+            // has similarity exactly 0 and could never clear a positive
+            // threshold.
+            for (i, j) in
+                contribution_candidates(subs, |s| &s.contribution, cfg.contribution_threshold)
+            {
+                let (si, sj) = (subs[i], subs[j]);
+                if si.worker == sj.worker {
+                    continue; // the axiom compares *distinct* workers
+                }
+                let sim = si.contribution.similarity(&sj.contribution);
+                if sim < cfg.contribution_threshold {
+                    continue;
+                }
+                pairs += 1;
+                let pi = payments.get(&si.id).copied().unwrap_or(Credits::ZERO);
+                let pj = payments.get(&sj.id).copied().unwrap_or(Credits::ZERO);
+                if pi == pj {
+                    satisfied += 1;
+                } else {
+                    let max = pi.max(pj).millicents().max(1) as f64;
+                    let severity = pi.abs_diff(pj).millicents() as f64 / max;
+                    collector.push(
+                        severity,
+                        format!(
+                            "task {task}: workers {} and {} made similar contributions \
+                             (sim {:.2}) but were paid {} vs {}",
+                            si.worker, sj.worker, sim, pi, pj
+                        ),
+                    );
                 }
             }
         }
@@ -104,7 +111,7 @@ mod tests {
         let s1 = submit(&mut trace, 110, 0, 1, Contribution::Label(1));
         pay(&mut trace, 200, s0, 0, 10);
         pay(&mut trace, 200, s1, 1, 10);
-        let r = CompensationFairness.check(&trace, &cfg(), 10);
+        let r = CompensationFairness.check_trace(&trace, &cfg(), 10);
         assert_eq!(r.checked, 1);
         assert!((r.score - 1.0).abs() < 1e-12);
         assert!(r.holds());
@@ -117,7 +124,7 @@ mod tests {
         let _s1 = submit(&mut trace, 110, 0, 1, Contribution::Label(1));
         pay(&mut trace, 200, s0, 0, 10);
         // w1 never paid (wrongful rejection)
-        let r = CompensationFairness.check(&trace, &cfg(), 10);
+        let r = CompensationFairness.check_trace(&trace, &cfg(), 10);
         assert_eq!(r.violation_count, 1);
         assert_eq!(r.score, 0.0);
         assert!((r.violations[0].severity - 1.0).abs() < 1e-9);
@@ -130,7 +137,7 @@ mod tests {
         let s0 = submit(&mut trace, 100, 0, 0, Contribution::Label(1));
         let _s1 = submit(&mut trace, 110, 0, 1, Contribution::Label(0));
         pay(&mut trace, 200, s0, 0, 10);
-        let r = CompensationFairness.check(&trace, &cfg(), 10);
+        let r = CompensationFairness.check_trace(&trace, &cfg(), 10);
         assert_eq!(r.checked, 0, "different answers need not be paid alike");
     }
 
@@ -143,7 +150,7 @@ mod tests {
         let s1 = submit(&mut trace, 110, 0, 1, Contribution::Text(text_b.into()));
         pay(&mut trace, 200, s0, 0, 20);
         pay(&mut trace, 200, s1, 1, 5);
-        let r = CompensationFairness.check(&trace, &cfg(), 10);
+        let r = CompensationFairness.check_trace(&trace, &cfg(), 10);
         assert_eq!(r.violation_count, 1);
         assert!(r.violations[0].severity > 0.5);
     }
@@ -154,7 +161,7 @@ mod tests {
         let s0 = submit(&mut trace, 100, 0, 0, Contribution::Label(1));
         let _s1 = submit(&mut trace, 110, 0, 0, Contribution::Label(1));
         pay(&mut trace, 200, s0, 0, 10);
-        let r = CompensationFairness.check(&trace, &cfg(), 10);
+        let r = CompensationFairness.check_trace(&trace, &cfg(), 10);
         assert_eq!(r.checked, 0);
     }
 
@@ -165,7 +172,7 @@ mod tests {
         let s1 = submit(&mut trace, 110, 1, 1, Contribution::Label(1));
         pay(&mut trace, 200, s0, 0, 10);
         pay(&mut trace, 200, s1, 1, 50);
-        let r = CompensationFairness.check(&trace, &cfg(), 10);
+        let r = CompensationFairness.check_trace(&trace, &cfg(), 10);
         assert_eq!(r.checked, 0, "different tasks may pay differently");
     }
 
@@ -176,7 +183,7 @@ mod tests {
         let s1 = submit(&mut trace, 110, 0, 1, Contribution::Label(1));
         pay(&mut trace, 200, s0, 0, 10);
         pay(&mut trace, 200, s1, 1, 8);
-        let r = CompensationFairness.check(&trace, &cfg(), 10);
+        let r = CompensationFairness.check_trace(&trace, &cfg(), 10);
         assert_eq!(r.violation_count, 1);
         assert!((r.violations[0].severity - 0.2).abs() < 1e-9);
     }

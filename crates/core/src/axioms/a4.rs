@@ -13,10 +13,9 @@
 //! defend themselves (the Vuurens 40%-spam scenario of §2.1).
 
 use crate::axiom::{Axiom, AxiomId, AxiomReport, ViolationCollector};
-use faircrowd_model::event::EventKind;
+use crate::index::TraceIndex;
 use faircrowd_model::ids::WorkerId;
 use faircrowd_model::similarity::SimilarityConfig;
-use faircrowd_model::trace::Trace;
 use std::collections::BTreeSet;
 
 /// Checker for Axiom 4.
@@ -28,18 +27,17 @@ impl Axiom for MaliceDetection {
         AxiomId::A4MaliceDetection
     }
 
-    fn check(&self, trace: &Trace, _cfg: &SimilarityConfig, max_witnesses: usize) -> AxiomReport {
-        let flagged: BTreeSet<WorkerId> = trace
-            .events
-            .iter()
-            .filter_map(|e| match &e.kind {
-                EventKind::WorkerFlagged { worker, .. } => Some(*worker),
-                _ => None,
-            })
-            .collect();
+    fn check(
+        &self,
+        ix: &TraceIndex<'_>,
+        _cfg: &SimilarityConfig,
+        max_witnesses: usize,
+    ) -> AxiomReport {
+        let trace = ix.trace();
+        let flagged = ix.flagged();
         let malicious = &trace.ground_truth.malicious_workers;
         // Only workers who actually submitted can be detected or need to be.
-        let active: BTreeSet<WorkerId> = trace.submissions.iter().map(|s| s.worker).collect();
+        let active = ix.submitters();
         let active_malicious: BTreeSet<WorkerId> =
             malicious.intersection(&active).copied().collect();
 
@@ -79,7 +77,7 @@ impl Axiom for MaliceDetection {
 
         let tp = flagged.intersection(&active_malicious).count();
         let fp = flagged.difference(malicious).count();
-        let fn_ = active_malicious.difference(&flagged).count();
+        let fn_ = active_malicious.difference(flagged).count();
         let precision = if tp + fp == 0 {
             1.0
         } else {
@@ -96,7 +94,7 @@ impl Axiom for MaliceDetection {
             2.0 * precision * recall / (precision + recall)
         };
 
-        for w in active_malicious.difference(&flagged) {
+        for w in active_malicious.difference(flagged) {
             collector.push(0.8, format!("malicious worker {w} was never flagged"));
         }
         for w in flagged.difference(malicious) {
@@ -125,7 +123,9 @@ mod tests {
     use super::*;
     use crate::axioms::fixtures::*;
     use faircrowd_model::contribution::Contribution;
+    use faircrowd_model::event::EventKind;
     use faircrowd_model::time::SimTime;
+    use faircrowd_model::trace::Trace;
 
     fn cfg() -> SimilarityConfig {
         SimilarityConfig::default()
@@ -158,7 +158,7 @@ mod tests {
         let mut trace = spam_trace();
         flag(&mut trace, 200, 2, 0.9);
         flag(&mut trace, 200, 3, 0.8);
-        let r = MaliceDetection.check(&trace, &cfg(), 10);
+        let r = MaliceDetection.check_trace(&trace, &cfg(), 10);
         assert!((r.score - 1.0).abs() < 1e-12);
         assert!(r.holds());
     }
@@ -166,7 +166,7 @@ mod tests {
     #[test]
     fn no_detection_capability_scores_zero() {
         let trace = spam_trace();
-        let r = MaliceDetection.check(&trace, &cfg(), 10);
+        let r = MaliceDetection.check_trace(&trace, &cfg(), 10);
         assert_eq!(r.score, 0.0);
         assert_eq!(r.violation_count, 1);
         assert!(r.violations[0].description.contains("no detection events"));
@@ -178,7 +178,7 @@ mod tests {
         flag(&mut trace, 200, 2, 0.9); // true positive
         flag(&mut trace, 200, 0, 0.7); // false positive
                                        // w3 missed
-        let r = MaliceDetection.check(&trace, &cfg(), 10);
+        let r = MaliceDetection.check_trace(&trace, &cfg(), 10);
         // precision 1/2, recall 1/2 -> F1 = 1/2
         assert!((r.score - 0.5).abs() < 1e-9);
         assert_eq!(r.violation_count, 2);
@@ -188,7 +188,7 @@ mod tests {
     fn clean_workforce_is_vacuous() {
         let mut trace = spam_trace();
         trace.ground_truth.malicious_workers.clear();
-        let r = MaliceDetection.check(&trace, &cfg(), 10);
+        let r = MaliceDetection.check_trace(&trace, &cfg(), 10);
         assert_eq!(r.score, 1.0);
         assert_eq!(r.checked, 0);
     }
@@ -198,7 +198,7 @@ mod tests {
         let mut trace = spam_trace();
         trace.ground_truth.malicious_workers.clear();
         flag(&mut trace, 200, 0, 0.9);
-        let r = MaliceDetection.check(&trace, &cfg(), 10);
+        let r = MaliceDetection.check_trace(&trace, &cfg(), 10);
         assert!(r.score < 1.0);
         assert!(r.notes.iter().any(|n| n.contains("false alarms")));
     }
@@ -211,7 +211,7 @@ mod tests {
         trace.ground_truth.malicious_workers.insert(w(9));
         flag(&mut trace, 200, 2, 0.9);
         flag(&mut trace, 200, 3, 0.8);
-        let r = MaliceDetection.check(&trace, &cfg(), 10);
+        let r = MaliceDetection.check_trace(&trace, &cfg(), 10);
         assert!(
             (r.score - 1.0).abs() < 1e-12,
             "only active spammers need detecting: {}",

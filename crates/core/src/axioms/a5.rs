@@ -10,9 +10,8 @@
 //! work items that ran to completion, weighted accordingly.
 
 use crate::axiom::{Axiom, AxiomId, AxiomReport, ViolationCollector};
-use faircrowd_model::event::EventKind;
+use crate::index::TraceIndex;
 use faircrowd_model::similarity::SimilarityConfig;
-use faircrowd_model::trace::Trace;
 
 /// Checker for Axiom 5.
 #[derive(Debug, Clone, Copy, Default)]
@@ -23,10 +22,13 @@ impl Axiom for NoInterruption {
         AxiomId::A5NoInterruption
     }
 
-    fn check(&self, trace: &Trace, _cfg: &SimilarityConfig, max_witnesses: usize) -> AxiomReport {
-        let started = trace
-            .events
-            .count_where(|k| matches!(k, EventKind::WorkStarted { .. }));
+    fn check(
+        &self,
+        ix: &TraceIndex<'_>,
+        _cfg: &SimilarityConfig,
+        max_witnesses: usize,
+    ) -> AxiomReport {
+        let started = ix.work_started();
         if started == 0 {
             return AxiomReport::vacuous(self.id(), "no work was started in the trace");
         }
@@ -35,35 +37,29 @@ impl Axiom for NoInterruption {
         let mut weighted = 0.0f64;
         let mut uncompensated = 0usize;
         let mut compensated = 0usize;
-        for e in &trace.events {
-            if let EventKind::WorkInterrupted {
-                task,
-                worker,
-                invested,
-                compensated: comp,
-            } = &e.kind
-            {
-                let severity = if *comp {
-                    compensated += 1;
-                    0.5
-                } else {
-                    uncompensated += 1;
-                    1.0
-                };
-                weighted += severity;
-                collector.push(
-                    severity,
-                    format!(
-                        "worker {worker} was interrupted on task {task} after investing \
-                         {invested}{}",
-                        if *comp {
-                            " (partially compensated)"
-                        } else {
-                            " (unpaid)"
-                        }
-                    ),
-                );
-            }
+        for intr in ix.interruptions() {
+            let severity = if intr.compensated {
+                compensated += 1;
+                0.5
+            } else {
+                uncompensated += 1;
+                1.0
+            };
+            weighted += severity;
+            collector.push(
+                severity,
+                format!(
+                    "worker {} was interrupted on task {} after investing {}{}",
+                    intr.worker,
+                    intr.task,
+                    intr.invested,
+                    if intr.compensated {
+                        " (partially compensated)"
+                    } else {
+                        " (unpaid)"
+                    }
+                ),
+            );
         }
 
         AxiomReport {
@@ -85,7 +81,9 @@ impl Axiom for NoInterruption {
 mod tests {
     use super::*;
     use crate::axioms::fixtures::*;
+    use faircrowd_model::event::EventKind;
     use faircrowd_model::time::{SimDuration, SimTime};
+    use faircrowd_model::trace::Trace;
 
     fn cfg() -> SimilarityConfig {
         SimilarityConfig::default()
@@ -118,7 +116,7 @@ mod tests {
         let mut trace = skeleton(vec![task(0, 0, &[0, 0], 10)]);
         start(&mut trace, 10, 0, 0);
         start(&mut trace, 10, 0, 1);
-        let r = NoInterruption.check(&trace, &cfg(), 10);
+        let r = NoInterruption.check_trace(&trace, &cfg(), 10);
         assert!((r.score - 1.0).abs() < 1e-12);
         assert_eq!(r.checked, 2);
         assert!(r.holds());
@@ -130,7 +128,7 @@ mod tests {
         start(&mut trace, 10, 0, 0);
         start(&mut trace, 10, 0, 1);
         interrupt(&mut trace, 20, 0, 1, false);
-        let r = NoInterruption.check(&trace, &cfg(), 10);
+        let r = NoInterruption.check_trace(&trace, &cfg(), 10);
         assert!((r.score - 0.5).abs() < 1e-12);
         assert_eq!(r.violation_count, 1);
         assert!((r.violations[0].severity - 1.0).abs() < 1e-12);
@@ -143,7 +141,7 @@ mod tests {
         start(&mut trace, 10, 0, 0);
         start(&mut trace, 10, 0, 1);
         interrupt(&mut trace, 20, 0, 1, true);
-        let r = NoInterruption.check(&trace, &cfg(), 10);
+        let r = NoInterruption.check_trace(&trace, &cfg(), 10);
         assert!((r.score - 0.75).abs() < 1e-12);
         assert!((r.violations[0].severity - 0.5).abs() < 1e-12);
         assert!(r.violations[0].description.contains("compensated"));
@@ -152,7 +150,7 @@ mod tests {
     #[test]
     fn no_work_is_vacuous() {
         let trace = skeleton(vec![task(0, 0, &[0, 0], 10)]);
-        let r = NoInterruption.check(&trace, &cfg(), 10);
+        let r = NoInterruption.check_trace(&trace, &cfg(), 10);
         assert_eq!(r.checked, 0);
         assert_eq!(r.score, 1.0);
     }
@@ -163,7 +161,7 @@ mod tests {
         start(&mut trace, 10, 0, 0);
         interrupt(&mut trace, 20, 0, 0, false);
         interrupt(&mut trace, 21, 0, 0, false); // pathological double event
-        let r = NoInterruption.check(&trace, &cfg(), 10);
+        let r = NoInterruption.check_trace(&trace, &cfg(), 10);
         assert_eq!(r.score, 0.0);
     }
 }

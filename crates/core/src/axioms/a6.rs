@@ -14,18 +14,18 @@
 //! obligation coverage over tasks.
 
 use crate::axiom::{Axiom, AxiomId, AxiomReport, ViolationCollector};
+use crate::index::TraceIndex;
 use faircrowd_model::disclosure::{Audience, DisclosureItem};
 use faircrowd_model::similarity::SimilarityConfig;
 use faircrowd_model::stats;
 use faircrowd_model::task::Task;
-use faircrowd_model::trace::Trace;
 
 /// Checker for Axiom 6.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RequesterTransparency;
 
 /// The five obligations: item + whether the task's own conditions carry it.
-fn obligations(task: &Task) -> [(DisclosureItem, bool); 5] {
+pub(crate) fn obligations(task: &Task) -> [(DisclosureItem, bool); 5] {
     let c = &task.conditions;
     [
         (DisclosureItem::HourlyWage, c.stated_hourly_wage.is_some()),
@@ -53,7 +53,13 @@ impl Axiom for RequesterTransparency {
         AxiomId::A6RequesterTransparency
     }
 
-    fn check(&self, trace: &Trace, _cfg: &SimilarityConfig, max_witnesses: usize) -> AxiomReport {
+    fn check(
+        &self,
+        ix: &TraceIndex<'_>,
+        _cfg: &SimilarityConfig,
+        max_witnesses: usize,
+    ) -> AxiomReport {
+        let trace = ix.trace();
         if trace.tasks.is_empty() {
             return AxiomReport::vacuous(self.id(), "no tasks in the trace");
         }
@@ -105,6 +111,7 @@ mod tests {
     use faircrowd_model::money::Credits;
     use faircrowd_model::task::TaskConditions;
     use faircrowd_model::time::SimDuration;
+    use faircrowd_model::trace::Trace;
 
     fn cfg() -> SimilarityConfig {
         SimilarityConfig::default()
@@ -115,7 +122,7 @@ mod tests {
         let mut trace = skeleton(vec![task(0, 0, &[0, 0], 10)]);
         trace.tasks[0].conditions =
             TaskConditions::fully_disclosed(Credits::from_dollars(6), SimDuration::from_days(1));
-        let r = RequesterTransparency.check(&trace, &cfg(), 10);
+        let r = RequesterTransparency.check_trace(&trace, &cfg(), 10);
         assert!((r.score - 1.0).abs() < 1e-12);
         assert!(r.holds());
     }
@@ -123,7 +130,7 @@ mod tests {
     #[test]
     fn opaque_task_scores_zero_and_lists_missing() {
         let trace = skeleton(vec![task(0, 0, &[0, 0], 10)]);
-        let r = RequesterTransparency.check(&trace, &cfg(), 10);
+        let r = RequesterTransparency.check_trace(&trace, &cfg(), 10);
         assert_eq!(r.score, 0.0);
         assert_eq!(r.violation_count, 1);
         assert!(r.violations[0].description.contains("hourly_wage"));
@@ -136,7 +143,7 @@ mod tests {
         trace.disclosure = DisclosureSet::opaque()
             .with(DisclosureItem::HourlyWage, Audience::Workers)
             .with(DisclosureItem::PaymentDelay, Audience::Public);
-        let r = RequesterTransparency.check(&trace, &cfg(), 10);
+        let r = RequesterTransparency.check_trace(&trace, &cfg(), 10);
         assert!((r.score - 0.4).abs() < 1e-12);
     }
 
@@ -145,7 +152,7 @@ mod tests {
         let mut trace = skeleton(vec![task(0, 0, &[0, 0], 10)]);
         trace.tasks[0].conditions.rejection_criteria = Some("gold failures".into());
         trace.tasks[0].conditions.evaluation_scheme = Some("majority".into());
-        let r = RequesterTransparency.check(&trace, &cfg(), 10);
+        let r = RequesterTransparency.check_trace(&trace, &cfg(), 10);
         assert!((r.score - 0.4).abs() < 1e-12);
         assert!((r.violations[0].severity - 0.6).abs() < 1e-9);
     }
@@ -155,7 +162,7 @@ mod tests {
         let mut trace = skeleton(vec![task(0, 0, &[0, 0], 10), task(1, 1, &[0, 0], 10)]);
         trace.tasks[0].conditions =
             TaskConditions::fully_disclosed(Credits::from_dollars(6), SimDuration::from_days(1));
-        let r = RequesterTransparency.check(&trace, &cfg(), 10);
+        let r = RequesterTransparency.check_trace(&trace, &cfg(), 10);
         assert!((r.score - 0.5).abs() < 1e-12);
         assert_eq!(r.violation_count, 1);
     }
@@ -163,7 +170,7 @@ mod tests {
     #[test]
     fn empty_trace_is_vacuous() {
         let trace = Trace::default();
-        let r = RequesterTransparency.check(&trace, &cfg(), 10);
+        let r = RequesterTransparency.check_trace(&trace, &cfg(), 10);
         assert_eq!(r.checked, 0);
         assert_eq!(r.score, 1.0);
     }

@@ -13,12 +13,9 @@
 //!   that grants access nobody ever renders is transparency on paper only.
 
 use crate::axiom::{Axiom, AxiomId, AxiomReport, ViolationCollector};
+use crate::index::TraceIndex;
 use faircrowd_model::disclosure::{Audience, DisclosureItem};
-use faircrowd_model::event::EventKind;
-use faircrowd_model::ids::WorkerId;
 use faircrowd_model::similarity::SimilarityConfig;
-use faircrowd_model::trace::Trace;
-use std::collections::BTreeSet;
 
 /// Checker for Axiom 7.
 #[derive(Debug, Clone, Copy, Default)]
@@ -29,7 +26,13 @@ impl Axiom for PlatformTransparency {
         AxiomId::A7PlatformTransparency
     }
 
-    fn check(&self, trace: &Trace, _cfg: &SimilarityConfig, max_witnesses: usize) -> AxiomReport {
+    fn check(
+        &self,
+        ix: &TraceIndex<'_>,
+        _cfg: &SimilarityConfig,
+        max_witnesses: usize,
+    ) -> AxiomReport {
+        let trace = ix.trace();
         let coverage = trace.disclosure.axiom7_coverage();
         let mut collector = ViolationCollector::new(self.id(), max_witnesses);
         for item in DisclosureItem::AXIOM7_REQUIRED {
@@ -41,30 +44,16 @@ impl Axiom for PlatformTransparency {
             }
         }
 
-        let active: BTreeSet<WorkerId> = trace
-            .events
-            .iter()
-            .filter_map(|e| match &e.kind {
-                EventKind::SessionStarted { worker } => Some(*worker),
-                _ => None,
-            })
-            .collect();
-        let informed: BTreeSet<WorkerId> = trace
-            .events
-            .iter()
-            .filter_map(|e| match &e.kind {
-                EventKind::DisclosureShown { worker, .. } => Some(*worker),
-                _ => None,
-            })
-            .collect();
+        let active = ix.session_workers();
+        let informed = ix.informed_workers();
 
         let evidence = if active.is_empty() {
             1.0 // nobody to inform
         } else {
-            active.intersection(&informed).count() as f64 / active.len() as f64
+            active.intersection(informed).count() as f64 / active.len() as f64
         };
         if coverage > 0.0 && evidence < 1.0 {
-            let uninformed = active.difference(&informed).count();
+            let uninformed = active.difference(informed).count();
             collector.push(
                 (1.0 - evidence).min(1.0),
                 format!(
@@ -100,7 +89,9 @@ mod tests {
     use super::*;
     use crate::axioms::fixtures::*;
     use faircrowd_model::disclosure::DisclosureSet;
+    use faircrowd_model::event::EventKind;
     use faircrowd_model::time::SimTime;
+    use faircrowd_model::trace::Trace;
 
     fn cfg() -> SimilarityConfig {
         SimilarityConfig::default()
@@ -133,7 +124,7 @@ mod tests {
         shown(&mut trace, 1, 0);
         session(&mut trace, 2, 1);
         shown(&mut trace, 2, 1);
-        let r = PlatformTransparency.check(&trace, &cfg(), 10);
+        let r = PlatformTransparency.check_trace(&trace, &cfg(), 10);
         assert!((r.score - 1.0).abs() < 1e-12);
         assert!(r.holds());
     }
@@ -143,7 +134,7 @@ mod tests {
         let mut trace = skeleton(vec![]);
         trace.disclosure = DisclosureSet::opaque();
         session(&mut trace, 1, 0);
-        let r = PlatformTransparency.check(&trace, &cfg(), 10);
+        let r = PlatformTransparency.check_trace(&trace, &cfg(), 10);
         assert_eq!(r.score, 0.0);
         assert_eq!(
             r.violation_count,
@@ -159,7 +150,7 @@ mod tests {
         session(&mut trace, 1, 0);
         session(&mut trace, 2, 1);
         shown(&mut trace, 2, 1); // only w1 ever saw anything
-        let r = PlatformTransparency.check(&trace, &cfg(), 10);
+        let r = PlatformTransparency.check_trace(&trace, &cfg(), 10);
         assert!((r.score - 0.5).abs() < 1e-12);
         assert!(r
             .violations
@@ -178,7 +169,7 @@ mod tests {
         shown(&mut trace, 1, 0);
         session(&mut trace, 1, 1);
         shown(&mut trace, 1, 1);
-        let r = PlatformTransparency.check(&trace, &cfg(), 10);
+        let r = PlatformTransparency.check_trace(&trace, &cfg(), 10);
         assert!((r.score - 0.5).abs() < 1e-12);
         assert_eq!(r.violation_count, 3);
     }
@@ -189,7 +180,7 @@ mod tests {
             disclosure: DisclosureSet::fully_transparent(),
             ..Trace::default()
         };
-        let r = PlatformTransparency.check(&trace, &cfg(), 10);
+        let r = PlatformTransparency.check_trace(&trace, &cfg(), 10);
         assert!((r.score - 1.0).abs() < 1e-12);
     }
 }

@@ -1,8 +1,11 @@
 //! The seven axiom checkers.
 //!
 //! One module per axiom, in the paper's numbering. All checkers are pure
-//! functions of `(trace, similarity config)` and can be run individually
-//! or through the [`crate::audit::AuditEngine`].
+//! functions of `(indexed trace, similarity config)` and can be run
+//! individually or through the [`crate::audit::AuditEngine`], which
+//! builds one [`crate::index::TraceIndex`] and fans the axioms out over
+//! it. The [`naive`] module retains the original unindexed
+//! implementations as the correctness oracle and perf baseline.
 
 pub mod a1;
 pub mod a2;
@@ -11,6 +14,7 @@ pub mod a4;
 pub mod a5;
 pub mod a6;
 pub mod a7;
+pub mod naive;
 
 #[cfg(test)]
 pub(crate) mod fixtures;

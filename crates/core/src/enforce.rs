@@ -29,7 +29,11 @@ use std::collections::BTreeMap;
 /// Groups are the connected components of the "similar at or above
 /// `threshold`" graph: if a~b and b~c, all three are paid alike even when
 /// a and c fall just below the threshold — fairness repairs should not
-/// depend on comparison order.
+/// depend on comparison order. The pair scan reuses the audit layer's
+/// contribution blocking ([`crate::index::contribution_candidates`]):
+/// pruned pairs have similarity exactly 0, which for a positive
+/// threshold can never be a union edge, so the components are identical
+/// to the exhaustive scan's.
 pub fn equalize_payments(
     submissions: &[(SubmissionId, Contribution, Credits)],
     threshold: f64,
@@ -44,14 +48,12 @@ pub fn equalize_payments(
         }
         parent[i]
     }
-    for (i, (_, ci, _)) in submissions.iter().enumerate() {
-        for (j, (_, cj, _)) in submissions.iter().enumerate().skip(i + 1) {
-            let sim = ci.similarity(cj);
-            if sim >= threshold {
-                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
-                if ri != rj {
-                    parent[ri] = rj;
-                }
+    for (i, j) in crate::index::contribution_candidates(submissions, |(_, c, _)| c, threshold) {
+        let sim = submissions[i].1.similarity(&submissions[j].1);
+        if sim >= threshold {
+            let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+            if ri != rj {
+                parent[ri] = rj;
             }
         }
     }

@@ -28,6 +28,7 @@ pub mod audit;
 pub mod axiom;
 pub mod axioms;
 pub mod enforce;
+pub mod index;
 pub mod metrics;
 pub mod report;
 
@@ -35,3 +36,4 @@ pub use aggregate::{AxiomAggregate, ReportAggregate, ScoreStats};
 pub use audit::{AuditConfig, AuditEngine, FairnessReport};
 pub use axiom::{Axiom, AxiomId, AxiomReport, Violation};
 pub use faircrowd_model::similarity::SimilarityConfig;
+pub use index::TraceIndex;

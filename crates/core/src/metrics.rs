@@ -3,72 +3,63 @@
 //! "Objective measures such as quality of worker contribution and worker
 //! retention can be used in controlled experiments to quantify the level
 //! of fairness and transparency of a system as well as its effectiveness."
-//! These are those measures, computed from traces.
+//! These are those measures, computed from an indexed trace: build one
+//! [`TraceIndex`] per trace and take every measure off it, instead of
+//! re-replaying the event log once per measure.
 
+use crate::index::TraceIndex;
 use faircrowd_model::contribution::Contribution;
-use faircrowd_model::event::EventKind;
 use faircrowd_model::ids::WorkerId;
 use faircrowd_model::money::Credits;
 use faircrowd_model::similarity::SimilarityConfig;
 use faircrowd_model::stats;
 use faircrowd_model::time::SimDuration;
-use faircrowd_model::trace::Trace;
 use faircrowd_pay::wage::WageStats;
 use std::collections::BTreeMap;
 
 /// Per-worker exposure counts (how many distinct tasks each worker saw).
-pub fn exposure_counts(trace: &Trace) -> BTreeMap<WorkerId, usize> {
-    trace
-        .visibility_map()
-        .into_iter()
-        .map(|(w, tasks)| (w, tasks.len()))
+pub fn exposure_counts(ix: &TraceIndex<'_>) -> BTreeMap<WorkerId, usize> {
+    ix.visibility()
+        .iter()
+        .map(|(w, tasks)| (*w, tasks.len()))
         .collect()
 }
 
 /// Gini coefficient of the exposure distribution — the headline
 /// exposure-inequality number in E1.
-pub fn exposure_gini(trace: &Trace) -> f64 {
-    let counts: Vec<f64> = exposure_counts(trace).values().map(|&c| c as f64).collect();
+pub fn exposure_gini(ix: &TraceIndex<'_>) -> f64 {
+    let counts: Vec<f64> = ix.visibility().values().map(|t| t.len() as f64).collect();
     stats::gini(&counts)
 }
 
 /// Jain fairness index of exposure.
-pub fn exposure_jain(trace: &Trace) -> f64 {
-    let counts: Vec<f64> = exposure_counts(trace).values().map(|&c| c as f64).collect();
+pub fn exposure_jain(ix: &TraceIndex<'_>) -> f64 {
+    let counts: Vec<f64> = ix.visibility().values().map(|t| t.len() as f64).collect();
     stats::jain_index(&counts)
 }
 
 /// Mean access disparity among similar worker pairs: `1 − mean Jaccard
 /// overlap` of their qualified access sets (0 = perfectly equal access).
 /// Returns 0.0 when the trace has no similar pairs.
-pub fn access_disparity(trace: &Trace, cfg: &SimilarityConfig) -> f64 {
-    let report = crate::axioms::a1::WorkerAssignmentFairness.check_for_disparity(trace, cfg);
+pub fn access_disparity(ix: &TraceIndex<'_>, cfg: &SimilarityConfig) -> f64 {
+    let report = crate::axioms::a1::WorkerAssignmentFairness.check_for_disparity(ix, cfg);
     1.0 - report
 }
 
 /// Worker retention: `1 − quits / active workers` (1.0 with no activity).
-pub fn retention(trace: &Trace) -> f64 {
-    let mut active = std::collections::BTreeSet::new();
-    let mut quits = 0usize;
-    for e in &trace.events {
-        match &e.kind {
-            EventKind::SessionStarted { worker } => {
-                active.insert(*worker);
-            }
-            EventKind::WorkerQuit { .. } => quits += 1,
-            _ => {}
-        }
-    }
-    if active.is_empty() {
+pub fn retention(ix: &TraceIndex<'_>) -> f64 {
+    let active = ix.session_workers().len();
+    if active == 0 {
         1.0
     } else {
-        1.0 - quits as f64 / active.len() as f64
+        1.0 - ix.quits().len() as f64 / active as f64
     }
 }
 
 /// Mean objective quality of label submissions against ground truth
 /// (the §4.1 contribution-quality measure); `None` with no label work.
-pub fn label_quality(trace: &Trace) -> Option<f64> {
+pub fn label_quality(ix: &TraceIndex<'_>) -> Option<f64> {
+    let trace = ix.trace();
     let mut sum = 0.0;
     let mut n = 0usize;
     for s in &trace.submissions {
@@ -89,19 +80,14 @@ pub fn label_quality(trace: &Trace) -> Option<f64> {
 /// Effective hourly-wage statistics across workers: total earnings (pay +
 /// bonuses) over total invested time (submission durations plus
 /// interrupted invested time).
-pub fn wage_stats(trace: &Trace) -> WageStats {
-    let earnings = trace.earnings_by_worker();
+pub fn wage_stats(ix: &TraceIndex<'_>) -> WageStats {
+    let earnings = ix.earnings();
     let mut worked: BTreeMap<WorkerId, u64> = BTreeMap::new();
-    for s in &trace.submissions {
+    for s in &ix.trace().submissions {
         *worked.entry(s.worker).or_insert(0) += s.work_duration().as_secs();
     }
-    for e in &trace.events {
-        if let EventKind::WorkInterrupted {
-            worker, invested, ..
-        } = &e.kind
-        {
-            *worked.entry(*worker).or_insert(0) += invested.as_secs();
-        }
+    for intr in ix.interruptions() {
+        *worked.entry(intr.worker).or_insert(0) += intr.invested.as_secs();
     }
     let pairs: Vec<(Credits, SimDuration)> = worked
         .into_iter()
@@ -116,42 +102,27 @@ pub fn wage_stats(trace: &Trace) -> WageStats {
 }
 
 /// Total amount the requesters spent (payments plus honoured bonuses).
-pub fn total_payout(trace: &Trace) -> Credits {
-    trace
-        .events
-        .iter()
-        .map(|e| match &e.kind {
-            EventKind::PaymentIssued { amount, .. } | EventKind::BonusPaid { amount, .. } => {
-                *amount
-            }
-            _ => Credits::ZERO,
-        })
-        .sum()
+pub fn total_payout(ix: &TraceIndex<'_>) -> Credits {
+    // Earnings aggregate exactly the payment and bonus events, per worker.
+    ix.earnings().values().copied().sum()
 }
 
 /// Unpaid invested time across interruptions (the worker-harm measure
 /// of E4), in seconds.
-pub fn unpaid_interrupted_seconds(trace: &Trace) -> u64 {
-    trace
-        .events
+pub fn unpaid_interrupted_seconds(ix: &TraceIndex<'_>) -> u64 {
+    ix.interruptions()
         .iter()
-        .map(|e| match &e.kind {
-            EventKind::WorkInterrupted {
-                invested,
-                compensated: false,
-                ..
-            } => invested.as_secs(),
-            _ => 0,
-        })
+        .filter(|i| !i.compensated)
+        .map(|i| i.invested.as_secs())
         .sum()
 }
 
 impl crate::axioms::a1::WorkerAssignmentFairness {
     /// Mean access overlap among similar pairs (1.0 with no pairs) —
     /// shared with [`access_disparity`].
-    pub(crate) fn check_for_disparity(&self, trace: &Trace, cfg: &SimilarityConfig) -> f64 {
+    pub(crate) fn check_for_disparity(&self, ix: &TraceIndex<'_>, cfg: &SimilarityConfig) -> f64 {
         use crate::axiom::Axiom;
-        let report = self.check(trace, cfg, 0);
+        let report = self.check(ix, cfg, 0);
         if report.checked == 0 {
             1.0
         } else {
@@ -164,11 +135,12 @@ impl crate::axioms::a1::WorkerAssignmentFairness {
 mod tests {
     use super::*;
     use faircrowd_model::attributes::DeclaredAttrs;
-    use faircrowd_model::event::QuitReason;
+    use faircrowd_model::event::{EventKind, QuitReason};
     use faircrowd_model::ids::{RequesterId, SubmissionId, TaskId};
     use faircrowd_model::skills::SkillVector;
     use faircrowd_model::task::TaskBuilder;
     use faircrowd_model::time::SimTime;
+    use faircrowd_model::trace::Trace;
     use faircrowd_model::worker::Worker;
 
     fn trace_with_exposure() -> Trace {
@@ -216,24 +188,26 @@ mod tests {
     #[test]
     fn exposure_counts_and_indices() {
         let trace = trace_with_exposure();
-        let counts = exposure_counts(&trace);
+        let ix = TraceIndex::new(&trace);
+        let counts = exposure_counts(&ix);
         assert_eq!(counts[&WorkerId::new(0)], 4);
         assert_eq!(counts[&WorkerId::new(1)], 2);
         assert_eq!(counts[&WorkerId::new(2)], 0);
-        let g = exposure_gini(&trace);
+        let g = exposure_gini(&ix);
         assert!(g > 0.3, "uneven exposure must show in gini: {g}");
-        let j = exposure_jain(&trace);
+        let j = exposure_jain(&ix);
         assert!(j < 0.8);
     }
 
     #[test]
     fn access_disparity_detects_exclusion() {
         let trace = trace_with_exposure();
-        let d = access_disparity(&trace, &SimilarityConfig::default());
+        let d = access_disparity(&TraceIndex::new(&trace), &SimilarityConfig::default());
         assert!(d > 0.3, "identical workers, unequal access: {d}");
         // empty trace has no pairs -> no disparity
+        let empty = Trace::default();
         assert_eq!(
-            access_disparity(&Trace::default(), &SimilarityConfig::default()),
+            access_disparity(&TraceIndex::new(&empty), &SimilarityConfig::default()),
             0.0
         );
     }
@@ -256,8 +230,9 @@ mod tests {
                 reason: QuitReason::Frustration,
             },
         );
-        assert!((retention(&trace) - 0.75).abs() < 1e-12);
-        assert_eq!(retention(&Trace::default()), 1.0);
+        assert!((retention(&TraceIndex::new(&trace)) - 0.75).abs() < 1e-12);
+        let empty = Trace::default();
+        assert_eq!(retention(&TraceIndex::new(&empty)), 1.0);
     }
 
     #[test]
@@ -285,8 +260,9 @@ mod tests {
                 started_at: SimTime::ZERO,
                 submitted_at: SimTime::from_secs(60),
             });
-        assert!((label_quality(&trace).unwrap() - 0.5).abs() < 1e-12);
-        assert!(label_quality(&Trace::default()).is_none());
+        assert!((label_quality(&TraceIndex::new(&trace)).unwrap() - 0.5).abs() < 1e-12);
+        let empty = Trace::default();
+        assert!(label_quality(&TraceIndex::new(&empty)).is_none());
     }
 
     #[test]
@@ -320,9 +296,10 @@ mod tests {
                 compensated: false,
             },
         );
-        assert_eq!(total_payout(&trace), Credits::from_cents(20));
-        assert_eq!(unpaid_interrupted_seconds(&trace), 300);
-        let ws = wage_stats(&trace);
+        let ix = TraceIndex::new(&trace);
+        assert_eq!(total_payout(&ix), Credits::from_cents(20));
+        assert_eq!(unpaid_interrupted_seconds(&ix), 300);
+        let ws = wage_stats(&ix);
         // w0 earned $0.20 in 10 minutes -> $1.20/h; w1 earned 0 in 5 min
         assert_eq!(ws.n, 2);
         assert!(ws.mean > 0.0);

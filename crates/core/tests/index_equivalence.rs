@@ -1,0 +1,317 @@
+//! Equivalence of the indexed, blocked, parallel audit and the naive
+//! reference implementation.
+//!
+//! The `TraceIndex` refactor promises that blocking and parallel axiom
+//! fan-out are **lossless**: for any trace, the reports — scores, holds,
+//! violation witnesses, truncation, notes — are bit-identical to the
+//! retained naive path ([`faircrowd_core::axioms::naive`]). These
+//! property tests generate adversarial random traces (deliberately
+//! larger than the index's exhaustive-scan fallback, so the blocking
+//! buckets actually engage) and assert exact `FairnessReport` equality
+//! across all three execution modes, under all three similarity regimes.
+
+use faircrowd_core::{AuditConfig, AuditEngine, AxiomId, SimilarityConfig};
+use faircrowd_model::attributes::{AttrValue, DeclaredAttrs};
+use faircrowd_model::contribution::{Contribution, Submission};
+use faircrowd_model::disclosure::DisclosureSet;
+use faircrowd_model::event::{EventKind, QuitReason};
+use faircrowd_model::ids::{RequesterId, SkillId, SubmissionId, TaskId, WorkerId};
+use faircrowd_model::money::Credits;
+use faircrowd_model::requester::Requester;
+use faircrowd_model::skills::SkillVector;
+use faircrowd_model::task::TaskBuilder;
+use faircrowd_model::time::{SimDuration, SimTime};
+use faircrowd_model::trace::Trace;
+use faircrowd_model::worker::Worker;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N_SKILLS: usize = 6;
+
+/// A messy random trace: random entities, visibility, submissions,
+/// payments, flags, interruptions, sessions and ground truth — enough
+/// structure to exercise every axiom's quantifier domain.
+fn random_trace(seed: u64, n_workers: usize, n_tasks: usize, n_subs: usize) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = Trace {
+        disclosure: match rng.gen_range(0..3u8) {
+            0 => DisclosureSet::fully_transparent(),
+            1 => DisclosureSet::opaque(),
+            _ => faircrowd_core::enforce::minimal_transparent_set(),
+        },
+        ..Trace::default()
+    };
+
+    let regions = ["north", "south"];
+    for i in 0..n_workers {
+        let mut skills = SkillVector::with_len(N_SKILLS);
+        for s in 0..N_SKILLS {
+            if rng.gen_bool(0.4) {
+                skills.set(SkillId::new(s as u32), true);
+            }
+        }
+        let declared = DeclaredAttrs::new().with(
+            "region",
+            AttrValue::Text(regions[rng.gen_range(0..regions.len())].to_owned()),
+        );
+        trace
+            .workers
+            .push(Worker::new(WorkerId::new(i as u32), declared, skills));
+        if rng.gen_bool(0.15) {
+            trace
+                .ground_truth
+                .malicious_workers
+                .insert(WorkerId::new(i as u32));
+        }
+    }
+
+    for i in 0..3 {
+        trace
+            .requesters
+            .push(Requester::new(RequesterId::new(i), format!("r{i}")));
+    }
+
+    for i in 0..n_tasks {
+        let mut skills = SkillVector::with_len(N_SKILLS);
+        for s in 0..N_SKILLS {
+            if rng.gen_bool(0.3) {
+                skills.set(SkillId::new(s as u32), true);
+            }
+        }
+        let reward = [10i64, 11, 12, 50][rng.gen_range(0..4usize)];
+        trace.tasks.push(
+            TaskBuilder::new(
+                TaskId::new(i as u32),
+                RequesterId::new(rng.gen_range(0..3u32)),
+                skills,
+                Credits::from_cents(reward),
+            )
+            .build(),
+        );
+        if rng.gen_bool(0.7) {
+            trace
+                .ground_truth
+                .true_labels
+                .insert(TaskId::new(i as u32), rng.gen_range(0..3u8));
+        }
+    }
+
+    let mut clock = 0u64;
+    let mut tick = |rng: &mut StdRng| {
+        clock += rng.gen_range(0..5u64);
+        SimTime::from_secs(clock)
+    };
+
+    // Visibility + sessions + disclosures.
+    if n_workers > 0 && n_tasks > 0 {
+        for _ in 0..(n_workers * 3) {
+            let worker = WorkerId::new(rng.gen_range(0..n_workers) as u32);
+            let task = TaskId::new(rng.gen_range(0..n_tasks) as u32);
+            let t = tick(&mut rng);
+            trace
+                .events
+                .push(t, EventKind::TaskVisible { task, worker });
+        }
+    }
+    for i in 0..n_workers {
+        if rng.gen_bool(0.8) {
+            let worker = WorkerId::new(i as u32);
+            let t = tick(&mut rng);
+            trace.events.push(t, EventKind::SessionStarted { worker });
+            if rng.gen_bool(0.6) {
+                let t = tick(&mut rng);
+                trace.events.push(
+                    t,
+                    EventKind::DisclosureShown {
+                        worker,
+                        item: faircrowd_model::disclosure::DisclosureItem::WorkerAcceptanceRatio,
+                    },
+                );
+            }
+        }
+    }
+
+    // Work started / interrupted.
+    if n_workers > 0 && n_tasks > 0 {
+        for _ in 0..n_workers {
+            let worker = WorkerId::new(rng.gen_range(0..n_workers) as u32);
+            let task = TaskId::new(rng.gen_range(0..n_tasks) as u32);
+            let t = tick(&mut rng);
+            trace
+                .events
+                .push(t, EventKind::WorkStarted { task, worker });
+            if rng.gen_bool(0.25) {
+                let t = tick(&mut rng);
+                trace.events.push(
+                    t,
+                    EventKind::WorkInterrupted {
+                        task,
+                        worker,
+                        invested: SimDuration::from_secs(rng.gen_range(1..600u64)),
+                        compensated: rng.gen_bool(0.5),
+                    },
+                );
+            }
+        }
+    }
+
+    // Submissions + payments + flags + quits.
+    let texts = [
+        "the quick brown fox jumps over the lazy dog",
+        "the quick brown fox jumped over the lazy dogs",
+        "completely unrelated gibberish zzz qqq xyzzy",
+    ];
+    if n_workers > 0 && n_tasks > 0 {
+        for i in 0..n_subs {
+            let worker = WorkerId::new(rng.gen_range(0..n_workers) as u32);
+            let task = TaskId::new(rng.gen_range(0..n_tasks) as u32);
+            let contribution = match rng.gen_range(0..4u8) {
+                0 | 1 => Contribution::Label(rng.gen_range(0..3u8)),
+                2 => Contribution::Text(texts[rng.gen_range(0..texts.len())].to_owned()),
+                _ => Contribution::Numeric(f64::from(rng.gen_range(0..5u32))),
+            };
+            let start = tick(&mut rng);
+            let id = SubmissionId::new(i as u32);
+            trace.submissions.push(Submission {
+                id,
+                task,
+                worker,
+                contribution,
+                started_at: start,
+                submitted_at: SimTime::from_secs(start.as_secs() + rng.gen_range(30..600u64)),
+            });
+            if rng.gen_bool(0.6) {
+                let amount = Credits::from_cents([0i64, 5, 10, 10, 10][rng.gen_range(0..5usize)]);
+                let t = tick(&mut rng);
+                trace.events.push(
+                    t,
+                    EventKind::PaymentIssued {
+                        submission: id,
+                        task,
+                        worker,
+                        amount,
+                    },
+                );
+            }
+        }
+        for _ in 0..(n_workers / 4) {
+            let worker = WorkerId::new(rng.gen_range(0..n_workers) as u32);
+            let t = tick(&mut rng);
+            trace.events.push(
+                t,
+                EventKind::WorkerFlagged {
+                    worker,
+                    score: 0.9,
+                    detector: "test".to_owned(),
+                },
+            );
+        }
+        for _ in 0..(n_workers / 6) {
+            let worker = WorkerId::new(rng.gen_range(0..n_workers) as u32);
+            let t = tick(&mut rng);
+            trace.events.push(
+                t,
+                EventKind::WorkerQuit {
+                    worker,
+                    reason: QuitReason::Frustration,
+                },
+            );
+        }
+    }
+
+    trace.horizon = SimTime::from_secs(clock + 1);
+    trace
+}
+
+fn regime(which: u8) -> SimilarityConfig {
+    match which {
+        0 => SimilarityConfig::default(),
+        1 => SimilarityConfig::lenient(),
+        _ => SimilarityConfig::exact(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline guarantee: indexed+blocked+parallel ≡ indexed serial
+    /// ≡ naive, as full `FairnessReport` equality (PartialEq covers
+    /// scores, checked counts, violations, truncation and notes).
+    #[test]
+    fn indexed_blocked_parallel_audit_matches_naive(
+        seed in 0u64..1_000_000,
+        n_workers in 0usize..60,
+        n_tasks in 0usize..48,
+        n_subs in 0usize..70,
+        which_regime in 0u8..3,
+        max_witnesses in 0usize..6,
+    ) {
+        let trace = random_trace(seed, n_workers, n_tasks, n_subs);
+        let similarity = regime(which_regime);
+        let parallel = AuditEngine::new(AuditConfig {
+            similarity: similarity.clone(),
+            max_witnesses,
+            parallel: true,
+        });
+        let serial = AuditEngine::new(AuditConfig {
+            similarity,
+            max_witnesses,
+            parallel: false,
+        });
+        let naive = parallel.run_naive(&trace, &AxiomId::ALL);
+        prop_assert_eq!(&parallel.run(&trace), &naive);
+        prop_assert_eq!(&serial.run(&trace), &naive);
+    }
+
+    /// The same guarantee holds when the audit flows through a reused
+    /// index (the pipeline's enforce → re-audit path).
+    #[test]
+    fn rebuilt_index_audits_like_a_fresh_one(
+        seed in 0u64..1_000_000,
+        n_workers in 33usize..50, // past the exhaustive-scan fallback
+        n_tasks in 33usize..44,
+    ) {
+        use faircrowd_core::TraceIndex;
+        let trace = random_trace(seed, n_workers, n_tasks, 40);
+        let engine = AuditEngine::with_defaults();
+        let first = TraceIndex::new(&trace);
+        let warmup = engine.run_indexed(&first, &AxiomId::ALL);
+
+        // A payments-only mutation: entity slices carry over.
+        let mut paid = trace.clone();
+        if let Some(s) = paid.submissions.first() {
+            let (sid, task, worker) = (s.id, s.task, s.worker);
+            paid.events.push(
+                paid.horizon,
+                EventKind::PaymentIssued { submission: sid, task, worker, amount: Credits::from_cents(3) },
+            );
+        }
+        let reused = first.rebuilt_for(&paid);
+        prop_assert_eq!(
+            &engine.run_indexed(&reused, &AxiomId::ALL),
+            &engine.run_naive(&paid, &AxiomId::ALL)
+        );
+        prop_assert_eq!(&warmup, &engine.run_naive(&trace, &AxiomId::ALL));
+    }
+}
+
+/// Deterministic end-to-end pin: simulator-produced traces from the
+/// scenario catalog audit identically through every path.
+#[test]
+fn catalog_traces_audit_identically_across_paths() {
+    for (name, scale) in [("baseline", 1.0), ("spam_campaign", 1.0), ("baseline", 2.0)] {
+        let config = faircrowd_sim::catalog::get(name)
+            .expect("catalog name")
+            .at_scale(scale);
+        let trace = faircrowd_sim::Simulation::new(config).run();
+        let engine = AuditEngine::with_defaults();
+        let serial = AuditEngine::new(AuditConfig {
+            parallel: false,
+            ..AuditConfig::default()
+        });
+        let naive = engine.run_naive(&trace, &AxiomId::ALL);
+        assert_eq!(engine.run(&trace), naive, "{name}@{scale} parallel ≠ naive");
+        assert_eq!(serial.run(&trace), naive, "{name}@{scale} serial ≠ naive");
+    }
+}

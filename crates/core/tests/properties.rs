@@ -104,11 +104,13 @@ proptest! {
         let lenient = AuditEngine::new(AuditConfig {
             similarity: SimilarityConfig::lenient(),
             max_witnesses: 5,
+            ..AuditConfig::default()
         })
         .run_axioms(&trace, &[AxiomId::A1WorkerAssignment]);
         let strict = AuditEngine::new(AuditConfig {
             similarity: SimilarityConfig::exact(),
             max_witnesses: 5,
+            ..AuditConfig::default()
         })
         .run_axioms(&trace, &[AxiomId::A1WorkerAssignment]);
         let l = lenient.axiom(AxiomId::A1WorkerAssignment).unwrap();

@@ -43,6 +43,39 @@ impl SkillMeasure {
         }
     }
 
+    /// Can two vectors with the given set-bit counts possibly score at
+    /// least `threshold` under this kernel? This is the **sound blocking
+    /// predicate** the audit index uses to prune candidate pairs before
+    /// the exact kernel runs: it may admit pairs that score below the
+    /// threshold (they are re-checked exactly), but it never rejects a
+    /// pair that could reach it, so blocked audits stay bit-identical to
+    /// exhaustive ones.
+    ///
+    /// The bounds follow from `|A ∩ B| ≤ min(|A|, |B|)`:
+    /// cosine `≤ √(min/max)`, Jaccard `≤ min/max`, Dice `≤ 2min/(min+max)`.
+    pub fn count_admissible(self, a: usize, b: usize, threshold: f64) -> bool {
+        if threshold <= 0.0 {
+            return true; // every score is ≥ 0
+        }
+        let (min, max) = (a.min(b), a.max(b));
+        if max == 0 {
+            return true; // both empty: every kernel scores 1.0
+        }
+        if min == 0 {
+            return false; // one empty: every kernel scores 0.0 < threshold
+        }
+        // Small slack so float rounding can only over-admit, never prune
+        // a pair sitting exactly on the bound.
+        const SLACK: f64 = 1e-9;
+        let ratio_floor = match self {
+            SkillMeasure::Exact => return a == b,
+            SkillMeasure::Cosine => threshold * threshold,
+            SkillMeasure::Jaccard => threshold,
+            SkillMeasure::Dice => threshold / (2.0 - threshold),
+        };
+        min as f64 >= ratio_floor * max as f64 - SLACK
+    }
+
     /// Name for reports.
     pub fn name(self) -> &'static str {
         match self {
@@ -154,6 +187,52 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn count_admissibility_never_prunes_reachable_pairs() {
+        // Exhaustive over 6-bit vectors: whenever the kernel score
+        // reaches the threshold, the count predicate must admit the pair.
+        let vecs: Vec<SkillVector> = (0u8..64)
+            .map(|x| {
+                v(&[
+                    x & 1,
+                    (x >> 1) & 1,
+                    (x >> 2) & 1,
+                    (x >> 3) & 1,
+                    (x >> 4) & 1,
+                    (x >> 5) & 1,
+                ])
+            })
+            .collect();
+        for m in SkillMeasure::ALL {
+            for t in [0.0, 0.3, 0.7, 0.85, 0.9, 1.0] {
+                for a in &vecs {
+                    for b in &vecs {
+                        if m.score(a, b) >= t {
+                            assert!(
+                                m.count_admissible(a.count(), b.count(), t),
+                                "{} pruned a pair scoring ≥ {t}",
+                                m.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_admissibility_prunes_something() {
+        // 1 bit vs 6 bits cannot reach cosine 0.9.
+        assert!(!SkillMeasure::Cosine.count_admissible(1, 6, 0.9));
+        assert!(!SkillMeasure::Jaccard.count_admissible(2, 6, 0.9));
+        assert!(!SkillMeasure::Dice.count_admissible(2, 6, 0.9));
+        assert!(!SkillMeasure::Exact.count_admissible(2, 3, 0.5));
+        // Zero thresholds admit everything; empty-vs-empty is similar.
+        assert!(SkillMeasure::Cosine.count_admissible(0, 9, 0.0));
+        assert!(SkillMeasure::Cosine.count_admissible(0, 0, 1.0));
+        assert!(!SkillMeasure::Cosine.count_admissible(0, 3, 0.5));
     }
 
     #[test]

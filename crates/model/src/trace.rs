@@ -10,12 +10,12 @@
 
 use crate::contribution::Submission;
 use crate::disclosure::DisclosureSet;
-use crate::event::{Event, EventKind, EventLog};
+use crate::event::{Event, EventKind, EventLog, QuitReason};
 use crate::ids::{RequesterId, SubmissionId, TaskId, WorkerId};
 use crate::money::Credits;
 use crate::requester::Requester;
 use crate::task::Task;
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 use crate::worker::Worker;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -33,6 +33,55 @@ pub struct GroundTruth {
     pub malicious_workers: BTreeSet<WorkerId>,
     /// True labels for labeling tasks.
     pub true_labels: BTreeMap<TaskId, u8>,
+}
+
+/// One `WorkInterrupted` audit event, in log order — the Axiom 5 witness
+/// record kept by [`EventIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interruption {
+    /// The cancelled task.
+    pub task: TaskId,
+    /// The interrupted worker.
+    pub worker: WorkerId,
+    /// Time the worker had already invested.
+    pub invested: SimDuration,
+    /// Whether the partial work was compensated.
+    pub compensated: bool,
+}
+
+/// Every event-derived structure the audit layer quantifies over, built
+/// in **one pass** over the [`EventLog`] by [`Trace::event_index`].
+///
+/// The individual [`Trace`] accessors (`visibility_map`,
+/// `audience_map`, …) delegate here, and `faircrowd-core`'s `TraceIndex`
+/// embeds one so the seven axiom checkers and the objective metrics all
+/// share a single replay of the log instead of re-deriving their own
+/// maps.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventIndex {
+    /// Per worker, the tasks made visible to her (Axiom 1 access sets).
+    /// Every known worker appears, even with an empty set — "no access
+    /// at all" is the strongest discrimination signal.
+    pub visibility: BTreeMap<WorkerId, BTreeSet<TaskId>>,
+    /// Per task, the workers it was shown to (the Axiom 2 inversion).
+    pub audience: BTreeMap<TaskId, BTreeSet<WorkerId>>,
+    /// Total amount actually paid per submission (Axiom 3).
+    pub payments: BTreeMap<SubmissionId, Credits>,
+    /// Total earnings per worker: payments plus honoured bonuses. Every
+    /// known worker appears, possibly at zero.
+    pub earnings: BTreeMap<WorkerId, Credits>,
+    /// Workers flagged by any detector (Axiom 4).
+    pub flagged: BTreeSet<WorkerId>,
+    /// Workers who had at least one session (Axiom 7, retention).
+    pub session_workers: BTreeSet<WorkerId>,
+    /// Workers who were shown at least one disclosure (Axiom 7).
+    pub informed_workers: BTreeSet<WorkerId>,
+    /// Number of `WorkStarted` events (the Axiom 5 quantifier domain).
+    pub work_started: usize,
+    /// Every interruption, in log order (Axiom 5 witnesses).
+    pub interruptions: Vec<Interruption>,
+    /// Workers who quit, with reasons, in log order.
+    pub quits: Vec<(WorkerId, QuitReason, SimTime)>,
 }
 
 /// The complete observable record of a platform run.
@@ -77,68 +126,85 @@ impl Trace {
         self.submissions.iter().find(|s| s.id == id)
     }
 
+    /// Build every event-derived structure in one pass over the log —
+    /// the shared builder the per-map accessors below delegate to.
+    pub fn event_index(&self) -> EventIndex {
+        let mut ix = EventIndex::default();
+        for w in &self.workers {
+            ix.visibility.entry(w.id).or_default();
+            ix.earnings.entry(w.id).or_insert(Credits::ZERO);
+        }
+        for t in &self.tasks {
+            ix.audience.entry(t.id).or_default();
+        }
+        for e in &self.events {
+            match &e.kind {
+                EventKind::TaskVisible { task, worker } => {
+                    ix.visibility.entry(*worker).or_default().insert(*task);
+                    ix.audience.entry(*task).or_default().insert(*worker);
+                }
+                EventKind::PaymentIssued {
+                    submission,
+                    worker,
+                    amount,
+                    ..
+                } => {
+                    *ix.payments.entry(*submission).or_insert(Credits::ZERO) += *amount;
+                    *ix.earnings.entry(*worker).or_insert(Credits::ZERO) += *amount;
+                }
+                EventKind::BonusPaid { worker, amount, .. } => {
+                    *ix.earnings.entry(*worker).or_insert(Credits::ZERO) += *amount;
+                }
+                EventKind::WorkerFlagged { worker, .. } => {
+                    ix.flagged.insert(*worker);
+                }
+                EventKind::SessionStarted { worker } => {
+                    ix.session_workers.insert(*worker);
+                }
+                EventKind::DisclosureShown { worker, .. } => {
+                    ix.informed_workers.insert(*worker);
+                }
+                EventKind::WorkStarted { .. } => ix.work_started += 1,
+                EventKind::WorkInterrupted {
+                    task,
+                    worker,
+                    invested,
+                    compensated,
+                } => ix.interruptions.push(Interruption {
+                    task: *task,
+                    worker: *worker,
+                    invested: *invested,
+                    compensated: *compensated,
+                }),
+                EventKind::WorkerQuit { worker, reason } => {
+                    ix.quits.push((*worker, *reason, e.time));
+                }
+                _ => {}
+            }
+        }
+        ix
+    }
+
     /// The access map Axioms 1–2 quantify over: for every worker, the set
     /// of tasks the platform made visible to her.
     pub fn visibility_map(&self) -> BTreeMap<WorkerId, BTreeSet<TaskId>> {
-        let mut map: BTreeMap<WorkerId, BTreeSet<TaskId>> = BTreeMap::new();
-        // Every known worker appears, even with an empty access set —
-        // "no access at all" is the strongest discrimination signal.
-        for w in &self.workers {
-            map.entry(w.id).or_default();
-        }
-        for e in &self.events {
-            if let EventKind::TaskVisible { task, worker } = e.kind {
-                map.entry(worker).or_default().insert(task);
-            }
-        }
-        map
+        self.event_index().visibility
     }
 
     /// For every task, the set of workers it was shown to (the Axiom 2
     /// view of the same events).
     pub fn audience_map(&self) -> BTreeMap<TaskId, BTreeSet<WorkerId>> {
-        let mut map: BTreeMap<TaskId, BTreeSet<WorkerId>> = BTreeMap::new();
-        for t in &self.tasks {
-            map.entry(t.id).or_default();
-        }
-        for e in &self.events {
-            if let EventKind::TaskVisible { task, worker } = e.kind {
-                map.entry(task).or_default().insert(worker);
-            }
-        }
-        map
+        self.event_index().audience
     }
 
     /// Total amount actually paid per submission.
     pub fn payment_by_submission(&self) -> BTreeMap<SubmissionId, Credits> {
-        let mut map: BTreeMap<SubmissionId, Credits> = BTreeMap::new();
-        for e in &self.events {
-            if let EventKind::PaymentIssued {
-                submission, amount, ..
-            } = e.kind
-            {
-                *map.entry(submission).or_insert(Credits::ZERO) += amount;
-            }
-        }
-        map
+        self.event_index().payments
     }
 
     /// Total earnings per worker (payments plus honoured bonuses).
     pub fn earnings_by_worker(&self) -> BTreeMap<WorkerId, Credits> {
-        let mut map: BTreeMap<WorkerId, Credits> = BTreeMap::new();
-        for w in &self.workers {
-            map.entry(w.id).or_insert(Credits::ZERO);
-        }
-        for e in &self.events {
-            match e.kind {
-                EventKind::PaymentIssued { worker, amount, .. }
-                | EventKind::BonusPaid { worker, amount, .. } => {
-                    *map.entry(worker).or_insert(Credits::ZERO) += amount;
-                }
-                _ => {}
-            }
-        }
-        map
+        self.event_index().earnings
     }
 
     /// Submissions grouped by task, in submission order.
@@ -349,6 +415,43 @@ mod tests {
             },
         );
         assert_eq!(trace.validate().len(), 1);
+    }
+
+    #[test]
+    fn event_index_matches_individual_accessors() {
+        let mut trace = tiny_trace();
+        trace.events.push(
+            SimTime::from_secs(81),
+            EventKind::SessionStarted {
+                worker: WorkerId::new(0),
+            },
+        );
+        trace.events.push(
+            SimTime::from_secs(82),
+            EventKind::WorkStarted {
+                task: TaskId::new(0),
+                worker: WorkerId::new(0),
+            },
+        );
+        trace.events.push(
+            SimTime::from_secs(83),
+            EventKind::WorkInterrupted {
+                task: TaskId::new(0),
+                worker: WorkerId::new(0),
+                invested: crate::time::SimDuration::from_mins(2),
+                compensated: false,
+            },
+        );
+        let ix = trace.event_index();
+        assert_eq!(ix.visibility, trace.visibility_map());
+        assert_eq!(ix.audience, trace.audience_map());
+        assert_eq!(ix.payments, trace.payment_by_submission());
+        assert_eq!(ix.earnings, trace.earnings_by_worker());
+        assert_eq!(ix.session_workers.len(), 1);
+        assert_eq!(ix.work_started, 1);
+        assert_eq!(ix.interruptions.len(), 1);
+        assert!(!ix.interruptions[0].compensated);
+        assert!(ix.flagged.is_empty());
     }
 
     #[test]

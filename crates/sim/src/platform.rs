@@ -235,39 +235,53 @@ impl Simulation {
         &self.cfg.campaigns[self.campaigns[campaign].spec_index]
     }
 
+    #[allow(clippy::needless_range_loop)] // ci is also stored in tasks/ids
     fn post_campaigns(&mut self, round: u32) {
-        for ci in 0..self.campaigns.len() {
-            let spec = self.cfg.campaigns[self.campaigns[ci].spec_index].clone();
-            if self.campaigns[ci].posted || spec.post_round != round {
+        // Split the borrows so each campaign's spec is *borrowed* from
+        // the config instead of cloned every round for every campaign —
+        // this runs in the per-round hot loop.
+        let Simulation {
+            cfg,
+            rng,
+            now,
+            tasks,
+            campaigns,
+            events,
+            true_labels,
+            ..
+        } = self;
+        for ci in 0..campaigns.len() {
+            let spec = &cfg.campaigns[campaigns[ci].spec_index];
+            if campaigns[ci].posted || spec.post_round != round {
                 continue;
             }
-            self.campaigns[ci].posted = true;
+            campaigns[ci].posted = true;
             for _ in 0..spec.n_tasks {
-                let tid = TaskId::new(self.tasks.len() as u32);
-                let mut skills = SkillVector::with_len(self.cfg.n_skills);
-                for s in 0..self.cfg.n_skills {
-                    if self.rng.gen_bool(spec.skill_req_prob) {
+                let tid = TaskId::new(tasks.len() as u32);
+                let mut skills = SkillVector::with_len(cfg.n_skills);
+                for s in 0..cfg.n_skills {
+                    if rng.gen_bool(spec.skill_req_prob) {
                         skills.set(SkillId::new(s as u32), true);
                     }
                 }
                 let reference = match spec.kind {
                     TaskKind::Labeling { classes } => {
-                        let truth = self.rng.gen_range(0..classes.max(2));
-                        self.true_labels.insert(tid, truth);
+                        let truth = rng.gen_range(0..classes.max(2));
+                        true_labels.insert(tid, truth);
                         Reference::Label(truth, classes.max(2))
                     }
                     TaskKind::FreeText => Reference::Text(gen::reference_text(tid.raw())),
                     TaskKind::Ranking { items } => {
                         let mut perm: Vec<u16> = (0..u16::from(items.max(2))).collect();
                         use rand::seq::SliceRandom;
-                        perm.shuffle(&mut self.rng);
+                        perm.shuffle(rng);
                         Reference::Ranking(perm)
                     }
                     TaskKind::Survey => Reference::Survey(4),
                 };
                 let task = Task {
                     id: tid,
-                    requester: self.campaigns[ci].requester,
+                    requester: campaigns[ci].requester,
                     campaign: CampaignId::new(ci as u32),
                     skills,
                     reward: spec.reward,
@@ -276,15 +290,15 @@ impl Simulation {
                     est_duration: spec.est_duration,
                     conditions: spec.conditions.clone(),
                 };
-                self.events.push(
-                    self.now,
+                events.push(
+                    *now,
                     EventKind::TaskPosted {
                         task: tid,
-                        requester: self.campaigns[ci].requester,
+                        requester: campaigns[ci].requester,
                     },
                 );
-                self.campaigns[ci].task_ids.push(tid);
-                self.tasks.push(TaskRt {
+                campaigns[ci].task_ids.push(tid);
+                tasks.push(TaskRt {
                     task,
                     reference,
                     slots_left: spec.assignments_per_task,
@@ -751,17 +765,27 @@ impl Simulation {
     }
 
     fn run_detection(&mut self, round: u32) {
-        let Some(dc) = self.cfg.detection.clone() else {
+        // Borrow the detection config in place (it used to be cloned
+        // every round, even on rounds where detection does not fire).
+        let Simulation {
+            cfg,
+            answers,
+            durations,
+            events,
+            now,
+            ..
+        } = self;
+        let Some(dc) = &cfg.detection else {
             return;
         };
         if round == 0 || !round.is_multiple_of(dc.every_rounds) {
             return;
         }
-        let scores = dc.detector.score(&self.answers, Some(&self.durations));
+        let scores = dc.detector.score(answers, Some(&*durations));
         for (worker, score) in scores {
             if score.combined >= dc.detector.threshold {
-                self.events.push(
-                    self.now,
+                events.push(
+                    *now,
                     EventKind::WorkerFlagged {
                         worker,
                         score: score.combined,

@@ -39,7 +39,7 @@ fn print_row(label: &str, artifacts: &RunArtifacts) {
         label,
         report.score_of(AxiomId::A1WorkerAssignment),
         report.score_of(AxiomId::A2RequesterAssignment),
-        metrics::exposure_gini(&artifacts.trace),
+        metrics::exposure_gini(&faircrowd::core::TraceIndex::new(&artifacts.trace)),
         report.total_violations(),
     );
     // Show one concrete witness when the policy discriminates.

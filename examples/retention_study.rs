@@ -53,7 +53,7 @@ fn study(label: &str, disclosure: DisclosureSet) -> Result<(), FaircrowdError> {
             ])
             .run()?;
         let trace = &result.baseline.trace;
-        retention += metrics::retention(trace);
+        retention += metrics::retention(&faircrowd::core::TraceIndex::new(trace));
         transparency += result.baseline.report.transparency_score();
         for e in trace.events.iter() {
             match e.kind {

@@ -32,7 +32,7 @@
 //! re-simulates and re-audits, returning both runs for comparison.
 
 use crate::core::report::render_report;
-use crate::core::{AuditConfig, AuditEngine, AxiomId, FairnessReport};
+use crate::core::{AuditConfig, AuditEngine, AxiomId, FairnessReport, TraceIndex};
 use crate::model::{FaircrowdError, Trace};
 use crate::sim::{CancellationPolicy, PolicyChoice, ScenarioConfig, TraceSummary};
 
@@ -277,29 +277,40 @@ impl Pipeline {
         self
     }
 
-    /// Run one simulate+audit pass over `config`.
-    fn run_once(&self, config: &ScenarioConfig) -> Result<RunArtifacts, FaircrowdError> {
+    /// Simulate one scenario into a validated trace.
+    fn simulate(config: &ScenarioConfig) -> Result<Trace, FaircrowdError> {
         let trace = crate::sim::run(config.clone());
         trace.ensure_valid()?;
+        Ok(trace)
+    }
+
+    /// Audit through a pre-built index (the staged axiom subset, or all
+    /// seven).
+    fn audit_indexed(&self, ix: &TraceIndex<'_>) -> FairnessReport {
         let engine = AuditEngine::new(self.audit.clone());
-        let report = match &self.axioms {
-            Some(ids) => engine.run_axioms(&trace, ids),
-            None => engine.run(&trace),
-        };
-        let summary = TraceSummary::of(&trace);
-        Ok(RunArtifacts {
-            trace,
-            summary,
-            report,
-        })
+        match &self.axioms {
+            Some(ids) => engine.run_indexed(ix, ids),
+            None => engine.run_indexed(ix, &AxiomId::ALL),
+        }
     }
 
     /// Execute the pipeline: validate, simulate, audit, then — when
     /// enforcements are staged — repair the scenario, re-simulate and
     /// re-audit.
+    ///
+    /// Each trace is indexed exactly once ([`TraceIndex`]); the audit
+    /// and the re-audit both read through that index, and the re-audit's
+    /// index is built with [`TraceIndex::rebuilt_for`], which carries
+    /// over every slice the enforcement did not touch (e.g. a
+    /// pure-transparency repair leaves the qualification matrices and
+    /// blocking buckets intact). The market summary stays on
+    /// [`TraceSummary::of`], which is a single event pass of its own.
     pub fn run(self) -> Result<PipelineResult, FaircrowdError> {
         self.scenario.validate()?;
-        let baseline = self.run_once(&self.scenario)?;
+        let baseline_trace = Self::simulate(&self.scenario)?;
+        let baseline_ix = TraceIndex::new(&baseline_trace);
+        let baseline_report = self.audit_indexed(&baseline_ix);
+        let baseline_summary = TraceSummary::of(&baseline_trace);
 
         let enforced = if self.enforcements.is_empty() {
             None
@@ -309,17 +320,30 @@ impl Pipeline {
                 enforcement.apply(&mut repaired);
             }
             repaired.validate()?;
-            let artifacts = self.run_once(&repaired)?;
+            let trace = Self::simulate(&repaired)?;
+            let ix = baseline_ix.rebuilt_for(&trace);
+            let report = self.audit_indexed(&ix);
+            let summary = TraceSummary::of(&trace);
+            drop(ix);
             Some(EnforcedRun {
                 config: repaired,
                 applied: self.enforcements.clone(),
-                artifacts,
+                artifacts: RunArtifacts {
+                    trace,
+                    summary,
+                    report,
+                },
             })
         };
+        drop(baseline_ix);
 
         Ok(PipelineResult {
             config: self.scenario,
-            baseline,
+            baseline: RunArtifacts {
+                trace: baseline_trace,
+                summary: baseline_summary,
+                report: baseline_report,
+            },
             enforced,
         })
     }

@@ -11,6 +11,9 @@
 //! the [`Pipeline`] on a `std::thread::scope` worker
 //! pool, folding the resulting reports into per-cell aggregates
 //! ([`faircrowd_core::aggregate`]) exportable as a table, JSON or CSV.
+//! Each case's trace is indexed once (`faircrowd_core::TraceIndex`) and
+//! shared across its audit and enforcement re-audit, rather than every
+//! axiom re-deriving its own maps per cell.
 //!
 //! Two guarantees shape the design:
 //!
@@ -49,7 +52,7 @@
 
 use crate::core::aggregate::{ReportAggregate, ScoreStats};
 use crate::core::report::TextTable;
-use crate::core::FairnessReport;
+use crate::core::{AuditConfig, FairnessReport};
 use crate::model::FaircrowdError;
 use crate::pipeline::{Enforcement, Pipeline};
 use crate::sim::{catalog, PolicyChoice, TraceSummary};
@@ -303,11 +306,21 @@ pub struct SweepCase {
 
 impl SweepCase {
     /// Build the pipeline this case describes.
+    ///
+    /// The pipeline indexes each simulated trace once (`TraceIndex`) and
+    /// shares it across the audit and the enforcement re-audit; the
+    /// sweep contributes nothing per-case beyond configuration. Axiom
+    /// fan-out is kept serial here — the sweep's own worker pool already
+    /// saturates the cores, and nesting thread pools would oversubscribe
+    /// without changing any output (reports are identical either way).
     pub fn pipeline(&self) -> Result<Pipeline, FaircrowdError> {
         let mut config = catalog::get(&self.scenario)?.at_scale(self.scale);
         config.seed = self.seed;
         config.rounds = self.rounds;
-        let mut pipeline = Pipeline::new().scenario(config);
+        let mut pipeline = Pipeline::new().scenario(config).audit(AuditConfig {
+            parallel: false,
+            ..AuditConfig::default()
+        });
         if let Some(name) = &self.policy {
             pipeline = pipeline.policy_name(name)?;
         }

@@ -76,7 +76,10 @@ fn traces_are_well_formed_and_internally_consistent() {
     // Earnings aggregate consistently.
     let earnings = trace.earnings_by_worker();
     let total: faircrowd::model::Credits = earnings.values().copied().sum();
-    assert_eq!(total, faircrowd::core::metrics::total_payout(trace));
+    assert_eq!(
+        total,
+        faircrowd::core::metrics::total_payout(&faircrowd::core::TraceIndex::new(trace))
+    );
 }
 
 #[test]
@@ -104,13 +107,11 @@ fn summary_statistics_are_consistent_with_the_audit() {
     let result = run_pipeline(33);
     let summary = &result.baseline.summary;
     let trace = &result.baseline.trace;
-    assert_eq!(
-        summary.retention,
-        faircrowd::core::metrics::retention(trace)
-    );
+    let ix = faircrowd::core::TraceIndex::new(trace);
+    assert_eq!(summary.retention, faircrowd::core::metrics::retention(&ix));
     assert_eq!(
         summary.total_paid,
-        faircrowd::core::metrics::total_payout(trace)
+        faircrowd::core::metrics::total_payout(&ix)
     );
     assert!(summary.submissions > 0);
     assert!((0.0..=1.0).contains(&summary.label_quality));

@@ -4,7 +4,7 @@
 //! enforce step, which returns the violating baseline and the repaired
 //! re-audit from one run.
 
-use faircrowd::core::{enforce, metrics, AxiomId};
+use faircrowd::core::{enforce, metrics, AxiomId, TraceIndex};
 use faircrowd::model::contribution::Contribution;
 use faircrowd::model::disclosure::DisclosureSet;
 use faircrowd::model::ids::SubmissionId;
@@ -68,8 +68,8 @@ fn exposure_parity_repairs_axiom1() {
     );
     // and the requesters lose nothing: same payments flow
     assert_eq!(
-        metrics::total_payout(&result.baseline.trace),
-        metrics::total_payout(&enforced.artifacts.trace),
+        metrics::total_payout(&TraceIndex::new(&result.baseline.trace)),
+        metrics::total_payout(&TraceIndex::new(&enforced.artifacts.trace)),
         "enforcement must not change what gets done and paid"
     );
 }

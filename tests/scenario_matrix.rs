@@ -114,7 +114,11 @@ fn every_payment_scheme_conserves_money() {
         // Sum of per-worker earnings equals total payout; no negative pay.
         let earnings = trace.earnings_by_worker();
         let total: faircrowd::model::Credits = earnings.values().copied().sum();
-        assert_eq!(total, metrics::total_payout(trace), "{payment:?}");
+        assert_eq!(
+            total,
+            metrics::total_payout(&faircrowd::core::TraceIndex::new(trace)),
+            "{payment:?}"
+        );
         assert!(earnings.values().all(|c| c.millicents() >= 0));
         // Nobody earns more than reward × their submissions (+ partial
         // compensations, absent here under RunToCompletion target runs).
