@@ -147,7 +147,9 @@ fn main() {
                 .run_indexed(ix, &[AxiomId::A3Compensation])
                 .score_of(AxiomId::A3Compensation)
         }));
-        let wages: Vec<_> = indexes.iter().map(metrics::wage_stats).collect();
+        // Runs where nobody invested time have no wage distribution and
+        // are skipped rather than folded in as "perfectly fair".
+        let wages: Vec<_> = indexes.iter().filter_map(metrics::wage_stats).collect();
         let gini = mean(wages.iter().map(|w| w.gini));
         let hourly = mean(wages.iter().map(|w| w.mean));
         let cost = mean(

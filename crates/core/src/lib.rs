@@ -30,6 +30,7 @@ pub mod axioms;
 pub mod enforce;
 pub mod index;
 pub mod metrics;
+pub mod persist;
 pub mod report;
 
 pub use aggregate::{AxiomAggregate, ReportAggregate, ScoreStats};

@@ -79,8 +79,11 @@ pub fn label_quality(ix: &TraceIndex<'_>) -> Option<f64> {
 
 /// Effective hourly-wage statistics across workers: total earnings (pay +
 /// bonuses) over total invested time (submission durations plus
-/// interrupted invested time).
-pub fn wage_stats(ix: &TraceIndex<'_>) -> WageStats {
+/// interrupted invested time). `None` when no worker invested any time —
+/// an empty wage distribution has no statistics (in particular it is
+/// *not* "perfectly fair"), and sweep folds skip it instead of averaging
+/// in fabricated gini-0/jain-1 values.
+pub fn wage_stats(ix: &TraceIndex<'_>) -> Option<WageStats> {
     let earnings = ix.earnings();
     let mut worked: BTreeMap<WorkerId, u64> = BTreeMap::new();
     for s in &ix.trace().submissions {
@@ -299,9 +302,18 @@ mod tests {
         let ix = TraceIndex::new(&trace);
         assert_eq!(total_payout(&ix), Credits::from_cents(20));
         assert_eq!(unpaid_interrupted_seconds(&ix), 300);
-        let ws = wage_stats(&ix);
+        let ws = wage_stats(&ix).expect("two workers invested time");
         // w0 earned $0.20 in 10 minutes -> $1.20/h; w1 earned 0 in 5 min
         assert_eq!(ws.n, 2);
         assert!(ws.mean > 0.0);
+    }
+
+    #[test]
+    fn wage_stats_of_idle_trace_are_absent() {
+        // No submissions, no interruptions — nobody invested time, so
+        // there is no wage distribution to score (and certainly not a
+        // "perfectly fair" one).
+        let trace = trace_with_exposure();
+        assert_eq!(wage_stats(&TraceIndex::new(&trace)), None);
     }
 }

@@ -1,0 +1,218 @@
+//! Trace files: write, load, validate — the audit-external-logs path.
+//!
+//! The paper's transparency tools run over *recorded* platform logs, so
+//! the audit engine must accept traces that did not come from the
+//! in-process simulator. This module is that boundary: it writes a
+//! [`Trace`] in the versioned schema of
+//! [`faircrowd_model::trace_io`] and loads one back through three
+//! gates, each reporting a [`FaircrowdError`] (never a panic):
+//!
+//! 1. **Parse** — malformed or truncated JSON/JSONL names the byte or
+//!    line where it broke ([`FaircrowdError::Persist`]);
+//! 2. **Schema** — a wrong schema name or an unsupported version is
+//!    rejected before any record is decoded;
+//! 3. **Referential integrity** — [`Trace::ensure_valid`] runs over the
+//!    decoded trace, so dangling worker/task/submission ids and a
+//!    tampered event log surface as [`FaircrowdError::InvalidTrace`]
+//!    with every problem listed.
+//!
+//! Formats: [`TraceFormat::Json`] is one pretty-printed object (easy to
+//! read and diff); [`TraceFormat::Jsonl`] is a header line plus one
+//! compact record per line (what a platform would append into).
+//! [`save`] picks by file extension (`.jsonl` vs anything else);
+//! [`load`] sniffs the content, so either format loads from any path.
+//!
+//! ```
+//! use faircrowd_core::persist;
+//! use faircrowd_model::trace::Trace;
+//!
+//! let trace = Trace::default();
+//! let text = persist::encode(&trace, persist::TraceFormat::Jsonl);
+//! let back = persist::decode(&text)?;
+//! assert_eq!(back, trace);
+//! # Ok::<(), faircrowd_model::FaircrowdError>(())
+//! ```
+
+use faircrowd_model::error::FaircrowdError;
+use faircrowd_model::json::Json;
+use faircrowd_model::trace::Trace;
+use faircrowd_model::trace_io;
+use std::path::Path;
+
+/// The two encodings of the versioned trace schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// One pretty-printed JSON object.
+    Json,
+    /// A schema header line followed by one compact record per line.
+    Jsonl,
+}
+
+impl TraceFormat {
+    /// The format implied by a path: `.jsonl` means JSONL, anything
+    /// else (including no extension) means whole-file JSON.
+    pub fn for_path(path: &Path) -> TraceFormat {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("jsonl") => TraceFormat::Jsonl,
+            _ => TraceFormat::Json,
+        }
+    }
+}
+
+/// Encode a trace to a string in the given format.
+pub fn encode(trace: &Trace, format: TraceFormat) -> String {
+    match format {
+        TraceFormat::Json => {
+            let mut text = trace_io::trace_to_json(trace).to_pretty();
+            text.push('\n');
+            text
+        }
+        TraceFormat::Jsonl => trace_io::trace_to_jsonl(trace),
+    }
+}
+
+/// Decode a trace from a string, sniffing the format from the content:
+/// a first line that is a complete JSON object carrying
+/// `"format": "jsonl"` selects the JSONL reader, anything else is read
+/// as one whole-file JSON object. Schema name/version are checked;
+/// referential integrity is **not** (see [`load`], which is the path
+/// untrusted files come through).
+pub fn decode(text: &str) -> Result<Trace, FaircrowdError> {
+    if sniff_jsonl(text) {
+        return trace_io::trace_from_jsonl(text);
+    }
+    let json = Json::parse(text).map_err(FaircrowdError::persist)?;
+    trace_io::trace_from_json(&json)
+}
+
+/// Does the first non-empty line look like a complete JSONL header?
+fn sniff_jsonl(text: &str) -> bool {
+    let Some(first) = text.lines().find(|l| !l.trim().is_empty()) else {
+        return false;
+    };
+    match Json::parse(first) {
+        Ok(header) => header.get("format").and_then(Json::as_str) == Some("jsonl"),
+        Err(_) => false,
+    }
+}
+
+/// Write a trace to `path` in the format implied by its extension
+/// (`.jsonl` → JSONL, else JSON). I/O failures carry the path.
+pub fn save(trace: &Trace, path: impl AsRef<Path>) -> Result<(), FaircrowdError> {
+    let path = path.as_ref();
+    let text = encode(trace, TraceFormat::for_path(path));
+    std::fs::write(path, text).map_err(|e| FaircrowdError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })
+}
+
+/// Load and **validate** a trace from `path`: read, sniff the format,
+/// decode under the schema-version check, then run the referential
+/// integrity pass ([`Trace::ensure_valid`]). Every failure mode is a
+/// descriptive [`FaircrowdError`] carrying the path — truncated files,
+/// wrong schema versions and dangling ids never panic.
+pub fn load(path: impl AsRef<Path>) -> Result<Trace, FaircrowdError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|e| FaircrowdError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })?;
+    let trace = decode(&text).map_err(|e| e.at_path(path.display()))?;
+    trace.ensure_valid()?;
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faircrowd_model::attributes::DeclaredAttrs;
+    use faircrowd_model::contribution::{Contribution, Submission};
+    use faircrowd_model::event::EventKind;
+    use faircrowd_model::ids::{RequesterId, SubmissionId, TaskId, WorkerId};
+    use faircrowd_model::money::Credits;
+    use faircrowd_model::requester::Requester;
+    use faircrowd_model::skills::SkillVector;
+    use faircrowd_model::task::TaskBuilder;
+    use faircrowd_model::time::SimTime;
+    use faircrowd_model::worker::Worker;
+
+    fn small_trace() -> Trace {
+        let mut trace = Trace::default();
+        trace.workers.push(Worker::new(
+            WorkerId::new(0),
+            DeclaredAttrs::new(),
+            SkillVector::with_len(2),
+        ));
+        trace
+            .requesters
+            .push(Requester::new(RequesterId::new(0), "acme"));
+        trace.tasks.push(
+            TaskBuilder::new(
+                TaskId::new(0),
+                RequesterId::new(0),
+                SkillVector::with_len(2),
+                Credits::from_cents(10),
+            )
+            .build(),
+        );
+        trace.submissions.push(Submission {
+            id: SubmissionId::new(0),
+            task: TaskId::new(0),
+            worker: WorkerId::new(0),
+            contribution: Contribution::Label(1),
+            started_at: SimTime::from_secs(5),
+            submitted_at: SimTime::from_secs(65),
+        });
+        trace.events.push(
+            SimTime::from_secs(70),
+            EventKind::PaymentIssued {
+                submission: SubmissionId::new(0),
+                task: TaskId::new(0),
+                worker: WorkerId::new(0),
+                amount: Credits::from_cents(10),
+            },
+        );
+        trace.horizon = SimTime::from_secs(100);
+        trace
+    }
+
+    #[test]
+    fn save_load_roundtrips_both_formats() {
+        let trace = small_trace();
+        let dir = std::env::temp_dir();
+        for name in ["fc_persist_test.trace.json", "fc_persist_test.trace.jsonl"] {
+            let path = dir.join(name);
+            save(&trace, &path).unwrap();
+            assert_eq!(load(&path).unwrap(), trace, "{name}");
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn decode_sniffs_either_format_regardless_of_extension() {
+        let trace = small_trace();
+        assert_eq!(decode(&encode(&trace, TraceFormat::Json)).unwrap(), trace);
+        assert_eq!(decode(&encode(&trace, TraceFormat::Jsonl)).unwrap(), trace);
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = load("/nonexistent/fc_no_such_dir/trace.json").unwrap_err();
+        assert!(matches!(err, FaircrowdError::Io { .. }), "{err:?}");
+        assert!(err.to_string().contains("fc_no_such_dir"), "{err}");
+    }
+
+    #[test]
+    fn format_for_path() {
+        assert_eq!(
+            TraceFormat::for_path(Path::new("a/b/t.jsonl")),
+            TraceFormat::Jsonl
+        );
+        assert_eq!(
+            TraceFormat::for_path(Path::new("a/b/t.json")),
+            TraceFormat::Json
+        );
+        assert_eq!(TraceFormat::for_path(Path::new("bare")), TraceFormat::Json);
+    }
+}

@@ -1,0 +1,193 @@
+//! Failure modes of the trace persistence layer.
+//!
+//! Every way a trace file can be bad — truncated mid-value, wrong
+//! schema, unsupported version, dangling entity references, tampered
+//! event log — must surface as a descriptive [`FaircrowdError`], never
+//! a panic. These tests drive [`faircrowd_core::persist::load`] (the
+//! path untrusted files come through) over systematically corrupted
+//! copies of a valid simulator-produced trace.
+
+use faircrowd_core::persist::{self, TraceFormat};
+use faircrowd_model::error::FaircrowdError;
+use faircrowd_model::ids::{SubmissionId, TaskId, WorkerId};
+use faircrowd_sim::{CampaignSpec, ScenarioConfig, Simulation, WorkerPopulation};
+use std::path::PathBuf;
+
+/// A real (small) simulator trace, so the corruptions hit realistic
+/// structure rather than a hand-minimised fixture.
+fn sim_trace() -> faircrowd_model::trace::Trace {
+    Simulation::new(ScenarioConfig {
+        seed: 7,
+        rounds: 10,
+        workers: vec![WorkerPopulation::diligent(6)],
+        campaigns: vec![CampaignSpec::labeling("acme", 8, 6)],
+        ..Default::default()
+    })
+    .run()
+}
+
+/// Write `text` to a fresh temp file and load it back.
+fn load_text(name: &str, text: &str) -> Result<faircrowd_model::trace::Trace, FaircrowdError> {
+    let path: PathBuf = std::env::temp_dir().join(format!("fc_fail_{name}"));
+    std::fs::write(&path, text).unwrap();
+    let result = persist::load(&path);
+    std::fs::remove_file(&path).ok();
+    result
+}
+
+#[test]
+fn valid_files_load_in_both_formats() {
+    let trace = sim_trace();
+    for (name, format) in [
+        ("ok.json", TraceFormat::Json),
+        ("ok.jsonl", TraceFormat::Jsonl),
+    ] {
+        let loaded = load_text(name, &persist::encode(&trace, format)).unwrap();
+        assert_eq!(loaded, trace, "{name}");
+    }
+}
+
+#[test]
+fn truncated_json_is_a_persist_error() {
+    let text = persist::encode(&sim_trace(), TraceFormat::Json);
+    // Cut the file at several depths; every cut must error, not panic.
+    for fraction in [0.1, 0.5, 0.9, 0.999] {
+        let cut = (text.len() as f64 * fraction) as usize;
+        let cut = (0..=cut).rev().find(|&i| text.is_char_boundary(i)).unwrap();
+        let err = load_text("trunc.json", &text[..cut]).unwrap_err();
+        assert!(
+            matches!(err, FaircrowdError::Persist { .. }),
+            "cut at {cut}: {err:?}"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("fc_fail_trunc.json"), "no path in: {msg}");
+    }
+}
+
+#[test]
+fn truncated_jsonl_errors_or_fails_validation() {
+    let text = persist::encode(&sim_trace(), TraceFormat::Jsonl);
+    // Cutting mid-line breaks the JSON of that line.
+    let cut = text.len() * 2 / 3;
+    let cut = (0..=cut).rev().find(|&i| text.is_char_boundary(i)).unwrap();
+    let err = load_text("trunc.jsonl", &text[..cut]).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            FaircrowdError::Persist { .. } | FaircrowdError::InvalidTrace { .. }
+        ),
+        "{err:?}"
+    );
+    // Dropping whole trailing lines keeps each line parseable, but the
+    // events the simulator logged about now-missing submissions make
+    // the referential-integrity pass fail.
+    let lines: Vec<&str> = text.lines().collect();
+    let header_only = lines[..1].join("\n");
+    let empty = load_text("headeronly.jsonl", &header_only).unwrap();
+    assert!(
+        empty.workers.is_empty(),
+        "header-only file is an empty trace"
+    );
+}
+
+#[test]
+fn unknown_schema_version_is_rejected_with_both_versions_named() {
+    let trace = sim_trace();
+    for format in [TraceFormat::Json, TraceFormat::Jsonl] {
+        let text = persist::encode(&trace, format).replace("\"version\": 1", "\"version\": 99");
+        // Compact JSONL spells it without the space.
+        let text = text.replace("\"version\":1", "\"version\":99");
+        let err = load_text("version.json", &text).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("version 99"), "{format:?}: {msg}");
+        assert!(msg.contains("version 1"), "{format:?}: {msg}");
+    }
+}
+
+#[test]
+fn foreign_schema_is_rejected() {
+    let err = load_text(
+        "foreign.json",
+        r#"{"schema": "someone-elses-log", "version": 1}"#,
+    )
+    .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("someone-elses-log"), "{msg}");
+    assert!(msg.contains("faircrowd-trace"), "{msg}");
+}
+
+#[test]
+fn not_json_at_all_is_a_persist_error() {
+    for (name, text) in [
+        ("empty.json", ""),
+        ("garbage.json", "this is not a trace"),
+        ("csv.json", "worker,task\n0,1\n"),
+    ] {
+        let err = load_text(name, text).unwrap_err();
+        assert!(
+            matches!(err, FaircrowdError::Persist { .. }),
+            "{name}: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn dangling_submission_references_fail_validation() {
+    let mut trace = sim_trace();
+    trace
+        .submissions
+        .push(faircrowd_model::contribution::Submission {
+            id: SubmissionId::new(9999),
+            task: TaskId::new(4242),
+            worker: WorkerId::new(4242),
+            contribution: faircrowd_model::contribution::Contribution::Label(0),
+            started_at: faircrowd_model::time::SimTime::from_secs(1),
+            submitted_at: faircrowd_model::time::SimTime::from_secs(2),
+        });
+    for format in [TraceFormat::Json, TraceFormat::Jsonl] {
+        let err = load_text("dangling.json", &persist::encode(&trace, format)).unwrap_err();
+        let FaircrowdError::InvalidTrace { problems } = &err else {
+            panic!("{format:?}: expected InvalidTrace, got {err:?}");
+        };
+        let all = problems.join("; ");
+        assert!(all.contains("unknown worker w4242"), "{format:?}: {all}");
+        assert!(all.contains("unknown task t4242"), "{format:?}: {all}");
+    }
+}
+
+#[test]
+fn dangling_payment_fails_validation() {
+    let mut trace = sim_trace();
+    trace.events.push(
+        trace.horizon,
+        faircrowd_model::event::EventKind::PaymentIssued {
+            submission: SubmissionId::new(31337),
+            task: TaskId::new(0),
+            worker: WorkerId::new(0),
+            amount: faircrowd_model::money::Credits::from_cents(1),
+        },
+    );
+    let err = load_text("ghostpay.json", &persist::encode(&trace, TraceFormat::Json)).unwrap_err();
+    let FaircrowdError::InvalidTrace { problems } = &err else {
+        panic!("expected InvalidTrace, got {err:?}");
+    };
+    assert!(
+        problems.iter().any(|p| p.contains("sub31337")),
+        "{problems:?}"
+    );
+}
+
+#[test]
+fn corrupted_field_types_name_the_record() {
+    let text = persist::encode(&sim_trace(), TraceFormat::Json);
+    // Replace the first task's numeric reward with a string, whatever
+    // its value is.
+    let key = "\"reward\": ";
+    let at = text.find(key).expect("every task has a reward") + key.len();
+    let end = at + text[at..].find([',', '\n']).unwrap();
+    let corrupted = format!("{}\"lots\"{}", &text[..at], &text[end..]);
+    let err = load_text("badfield.json", &corrupted).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("task record"), "{msg}");
+    assert!(msg.contains("`reward`"), "{msg}");
+}

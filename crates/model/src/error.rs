@@ -51,6 +51,22 @@ pub enum FaircrowdError {
         /// The rendered diagnostic.
         message: String,
     },
+    /// Reading or writing a trace file failed at the filesystem level.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The OS error, rendered.
+        message: String,
+    },
+    /// A trace file's contents could not be decoded: malformed JSON, a
+    /// wrong schema name, an unsupported schema version, or a field of
+    /// the wrong shape.
+    Persist {
+        /// The path involved (empty when decoding from memory).
+        path: String,
+        /// What was wrong, with enough context to find it.
+        message: String,
+    },
     /// The API or CLI was used incorrectly.
     Usage {
         /// What the caller got wrong.
@@ -77,6 +93,31 @@ impl FaircrowdError {
     pub fn lang(message: impl fmt::Display) -> Self {
         FaircrowdError::Lang {
             message: message.to_string(),
+        }
+    }
+
+    /// A [`FaircrowdError::Persist`] with no path (in-memory decoding).
+    pub fn persist(message: impl fmt::Display) -> Self {
+        FaircrowdError::Persist {
+            path: String::new(),
+            message: message.to_string(),
+        }
+    }
+
+    /// Attach (or replace) the file path on I/O and decode errors, so
+    /// the loader can report *which* file was bad without every decoder
+    /// threading a path through.
+    pub fn at_path(self, path: impl fmt::Display) -> Self {
+        match self {
+            FaircrowdError::Persist { message, .. } => FaircrowdError::Persist {
+                path: path.to_string(),
+                message,
+            },
+            FaircrowdError::Io { message, .. } => FaircrowdError::Io {
+                path: path.to_string(),
+                message,
+            },
+            other => other,
         }
     }
 }
@@ -110,6 +151,16 @@ impl fmt::Display for FaircrowdError {
             }
             FaircrowdError::InvalidTrace { problems } => {
                 write!(f, "trace failed validation: {}", problems.join("; "))
+            }
+            FaircrowdError::Io { path, message } => {
+                write!(f, "cannot access trace file `{path}`: {message}")
+            }
+            FaircrowdError::Persist { path, message } => {
+                if path.is_empty() {
+                    write!(f, "cannot decode trace: {message}")
+                } else {
+                    write!(f, "cannot decode trace file `{path}`: {message}")
+                }
             }
             FaircrowdError::Lang { message } => write!(f, "{message}"),
             FaircrowdError::Usage { message } => write!(f, "{message}"),

@@ -287,6 +287,15 @@ impl EventLog {
         self.events.push(Event { time, seq, kind });
     }
 
+    /// Rebuild a log from fully-formed events — the deserialisation
+    /// path. Sequence numbers are taken **as given**, not re-assigned,
+    /// so a persisted log that was tampered with (or truncated in the
+    /// middle) still fails [`EventLog::check_integrity`] instead of
+    /// being silently repaired.
+    pub fn from_events(events: Vec<Event>) -> Self {
+        EventLog { events }
+    }
+
     /// Number of events.
     pub fn len(&self) -> usize {
         self.events.len()

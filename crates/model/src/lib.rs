@@ -29,6 +29,7 @@ pub mod disclosure;
 pub mod error;
 pub mod event;
 pub mod ids;
+pub mod json;
 pub mod money;
 pub mod ranking;
 pub mod requester;
@@ -39,6 +40,7 @@ pub mod task;
 pub mod text;
 pub mod time;
 pub mod trace;
+pub mod trace_io;
 pub mod worker;
 
 pub use attributes::{AttrValue, ComputedAttrs, DeclaredAttrs};

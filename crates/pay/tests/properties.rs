@@ -98,18 +98,56 @@ proptest! {
     }
 
     #[test]
+    fn hourly_wage_is_the_exactly_rounded_quotient(
+        earned in -1_000_000_000i64..1_000_000_000,
+        secs in 1u64..1_000_000,
+    ) {
+        // The division must be exactly rounded: |wage·secs − earned·3600|
+        // can never exceed half the divisor. The old f64-reciprocal path
+        // violated this (double rounding).
+        let wage = hourly_wage(Credits::from_millicents(earned), SimDuration::from_secs(secs))
+            .unwrap();
+        let residue = i128::from(wage.millicents()) * i128::from(secs)
+            - i128::from(earned) * 3600;
+        prop_assert!(
+            2 * residue.abs() <= i128::from(secs),
+            "not exactly rounded: wage {wage:?}, residue {residue}"
+        );
+    }
+
+    #[test]
+    fn wage_times_time_roundtrips_within_one_millicent(
+        earned in 0i64..5_000_000,
+        minutes in 1u64..61,
+    ) {
+        // Up to an hour of work, wage × time reconstructs the earnings
+        // to within one millicent.
+        let worked = SimDuration::from_mins(minutes);
+        let wage = hourly_wage(Credits::from_millicents(earned), worked).unwrap();
+        let back = (i128::from(wage.millicents()) * i128::from(worked.as_secs()) + 1800) / 3600;
+        prop_assert!(
+            (back - i128::from(earned)).abs() <= 1,
+            "wage {wage:?} × {minutes}min reconstructs {back}, expected ≈{earned}"
+        );
+    }
+
+    #[test]
     fn wage_stats_are_bounded_and_consistent(
         wages in prop::collection::vec(0i64..10_000_000, 0..30),
     ) {
         let wages: Vec<Credits> = wages.into_iter().map(Credits::from_millicents).collect();
-        let s = WageStats::from_wages(&wages);
-        prop_assert_eq!(s.n, wages.len());
-        prop_assert!((0.0..=1.0).contains(&s.gini));
-        prop_assert!(s.jain > 0.0 && s.jain <= 1.0 + 1e-9);
-        prop_assert!(s.p10 <= s.median + 1e-9);
-        prop_assert!(s.median <= s.p90 + 1e-9);
-        if s.n > 0 {
-            prop_assert!(s.min() <= s.mean + 1e-9);
+        match WageStats::from_wages(&wages) {
+            // An empty distribution has no statistics — in particular it
+            // no longer reports gini 0 / jain 1 ("perfect fairness").
+            None => prop_assert!(wages.is_empty()),
+            Some(s) => {
+                prop_assert_eq!(s.n, wages.len());
+                prop_assert!((0.0..=1.0).contains(&s.gini));
+                prop_assert!(s.jain > 0.0 && s.jain <= 1.0 + 1e-9);
+                prop_assert!(s.p10 <= s.median + 1e-9);
+                prop_assert!(s.median <= s.p90 + 1e-9);
+                prop_assert!(s.min() <= s.mean + 1e-9);
+            }
         }
     }
 }

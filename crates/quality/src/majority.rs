@@ -9,14 +9,21 @@ use crate::answers::AnswerSet;
 use faircrowd_model::ids::{TaskId, WorkerId};
 use std::collections::BTreeMap;
 
-/// Plain majority vote. Ties break toward the smallest label so results
-/// are deterministic. Tasks with no answers are absent from the result.
+/// Plain majority vote. **Tie rule:** a task whose top tally is shared
+/// by two or more labels has *no consensus* and is absent from the
+/// result — the same as a task with no answers. The previous behaviour
+/// silently resolved ties toward the lowest label index, biasing
+/// consensus toward label 0 on every evenly-split task; downstream
+/// consumers (agreement rates, Dawid–Skene initialisation, detection
+/// accuracy) inherited that bias as if it were evidence.
 pub fn majority_vote(answers: &AnswerSet) -> BTreeMap<TaskId, u8> {
     weighted_majority_vote(answers, &BTreeMap::new())
 }
 
 /// Majority vote with per-worker weights; missing workers weigh 1.0.
-/// Non-positive weights silence a worker entirely.
+/// Non-positive weights silence a worker entirely. The tie rule of
+/// [`majority_vote`] applies: a tied top tally means no consensus, so
+/// the task is absent from the result.
 pub fn weighted_majority_vote(
     answers: &AnswerSet,
     weights: &BTreeMap<WorkerId, f64>,
@@ -34,7 +41,7 @@ pub fn weighted_majority_vote(
     tallies
         .into_iter()
         .filter_map(|(task, tally)| {
-            let best = argmax(&tally)?;
+            let best = unique_argmax(&tally)?;
             // A task whose every answer was silenced has an all-zero tally
             // and carries no information.
             if tally[best] <= 0.0 {
@@ -45,25 +52,34 @@ pub fn weighted_majority_vote(
         .collect()
 }
 
-/// Index of the maximum (first on ties); `None` on empty input.
-fn argmax(xs: &[f64]) -> Option<usize> {
+/// Index of the **strict** maximum; `None` on empty input or when the
+/// maximum is attained by more than one element (a tie carries no
+/// consensus, and deciding it would need a rule the voters never
+/// agreed to).
+fn unique_argmax(xs: &[f64]) -> Option<usize> {
     let mut best: Option<(usize, f64)> = None;
+    let mut tied = false;
     for (i, &x) in xs.iter().enumerate() {
         match best {
-            Some((_, bx)) if x <= bx => {}
+            Some((_, bx)) if x == bx => tied = true,
+            Some((_, bx)) if x < bx => {}
             _ => {
-                if best.is_none() || x > best.unwrap().1 {
-                    best = Some((i, x));
-                }
+                best = Some((i, x));
+                tied = false;
             }
         }
     }
-    best.map(|(i, _)| i)
+    match best {
+        Some((i, _)) if !tied => Some(i),
+        _ => None,
+    }
 }
 
 /// Per-task agreement rate: the fraction of answers matching the majority
 /// label. High mean agreement indicates an easy/clean task set; per-worker
-/// *dis*agreement is the core spam signal (see [`crate::spam`]).
+/// *dis*agreement is the core spam signal (see [`crate::spam`]). Tasks
+/// without a consensus — no answers, or a tied vote — have no agreement
+/// rate and are absent from the result.
 pub fn agreement_rates(answers: &AnswerSet) -> BTreeMap<TaskId, f64> {
     let consensus = majority_vote(answers);
     let mut rates = BTreeMap::new();
@@ -103,9 +119,35 @@ mod tests {
     }
 
     #[test]
-    fn tie_breaks_to_smallest_label() {
+    fn tie_yields_no_consensus() {
+        // One vote each way: the old rule silently declared label 0 the
+        // winner; the documented rule is "tie ⇒ no consensus".
         let s = set(&[(0, 0, 1), (1, 0, 0)], 2);
-        assert_eq!(majority_vote(&s)[&t(0)], 0);
+        assert!(!majority_vote(&s).contains_key(&t(0)));
+        // Three-way tie across three classes behaves the same.
+        let s3 = set(&[(0, 0, 0), (1, 0, 1), (2, 0, 2)], 3);
+        assert!(majority_vote(&s3).is_empty());
+        // A tie among *leaders* is still a tie even with a trailing label.
+        let partial = set(&[(0, 0, 1), (1, 0, 1), (2, 0, 2), (3, 0, 2), (4, 0, 0)], 3);
+        assert!(!majority_vote(&partial).contains_key(&t(0)));
+        // An extra vote breaks the tie and restores consensus.
+        let s = set(&[(0, 0, 1), (1, 0, 0), (2, 0, 1)], 2);
+        assert_eq!(majority_vote(&s)[&t(0)], 1);
+    }
+
+    #[test]
+    fn weighted_tie_yields_no_consensus_and_weights_break_it() {
+        let s = set(&[(0, 0, 1), (1, 0, 0)], 2);
+        // Equal weights: still tied, still no consensus.
+        let mut weights = BTreeMap::new();
+        weights.insert(w(0), 2.0);
+        weights.insert(w(1), 2.0);
+        assert!(weighted_majority_vote(&s, &weights).is_empty());
+        // Unequal weights resolve it — in either direction.
+        weights.insert(w(1), 3.0);
+        assert_eq!(weighted_majority_vote(&s, &weights)[&t(0)], 0);
+        weights.insert(w(0), 5.0);
+        assert_eq!(weighted_majority_vote(&s, &weights)[&t(0)], 1);
     }
 
     #[test]
@@ -143,9 +185,28 @@ mod tests {
     }
 
     #[test]
-    fn argmax_edge_cases() {
-        assert_eq!(argmax(&[]), None);
-        assert_eq!(argmax(&[1.0]), Some(0));
-        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+    fn agreement_rates_skip_tied_tasks() {
+        // t0 is tied (no consensus, so no agreement rate — under the old
+        // rule it reported 0.5 agreement "with" an arbitrary label 0);
+        // t1 has a real consensus and keeps its rate.
+        let s = set(&[(0, 0, 1), (1, 0, 0), (0, 1, 1), (1, 1, 1), (2, 1, 0)], 2);
+        let rates = agreement_rates(&s);
+        assert!(
+            !rates.contains_key(&t(0)),
+            "tied task has no agreement rate"
+        );
+        assert!((rates[&t(1)] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unique_argmax_edge_cases() {
+        assert_eq!(unique_argmax(&[]), None);
+        assert_eq!(unique_argmax(&[1.0]), Some(0));
+        assert_eq!(unique_argmax(&[1.0, 3.0, 2.0]), Some(1));
+        // Tied maxima — anywhere in the slice — yield no winner.
+        assert_eq!(unique_argmax(&[1.0, 3.0, 3.0]), None);
+        assert_eq!(unique_argmax(&[3.0, 1.0, 3.0]), None);
+        // A tie among non-leaders is not a tie.
+        assert_eq!(unique_argmax(&[2.0, 2.0, 3.0]), Some(2));
     }
 }

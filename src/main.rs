@@ -5,7 +5,9 @@
 //! ```text
 //! faircrowd axioms                         print the paper's seven axioms
 //! faircrowd run   [OPTS] [--enforce E]...  full pipeline incl. enforcement re-audit
-//! faircrowd audit [OPTS]                   simulate a market and audit it
+//! faircrowd audit [OPTS | --trace FILE]    audit a simulated market or a trace file
+//! faircrowd export [OPTS] --out FILE       simulate a market and write its trace
+//! faircrowd replay <FILE>                  load a trace file, audit it, report
 //! faircrowd sweep [--grid G] [--jobs N] [--format F]   parallel grid sweep
 //! faircrowd scenarios                      list the named scenario catalog
 //! faircrowd policies                       list the TPL platform catalog
@@ -20,7 +22,11 @@
 //! exercise the same code path. `sweep` runs whole grids
 //! (scenarios × policies × seeds × scales × enforcements) through
 //! [`faircrowd::sweep`] on a worker pool; its aggregate output is
-//! byte-identical whatever `--jobs` says.
+//! byte-identical whatever `--jobs` says. `export` and
+//! `replay`/`audit --trace` are the two halves of the paper's
+//! audit-external-logs workload: a trace written once replays to a
+//! bit-identical audit report with no simulator in the loop
+//! ([`faircrowd::core::persist`]).
 
 use faircrowd::assign::registry;
 use faircrowd::lang::{catalog, compare, printer, render};
@@ -37,6 +43,8 @@ fn main() -> ExitCode {
         Some("axioms") => axioms(),
         Some("run") => run_cmd(&args[1..], true),
         Some("audit") => run_cmd(&args[1..], false),
+        Some("export") => export_cmd(&args[1..]),
+        Some("replay") => replay_cmd(&args[1..]),
         Some("sweep") => sweep(&args[1..]),
         Some("scenarios") => scenarios_cmd(),
         Some("policies") => policies(),
@@ -67,19 +75,26 @@ fn usage() {
          USAGE:\n  \
          faircrowd axioms                         print the paper's seven axioms\n  \
          faircrowd run   [OPTS] [--enforce E]...  full pipeline incl. enforcement re-audit\n  \
-         faircrowd audit [OPTS]                   simulate a market and audit it\n  \
+         faircrowd audit [OPTS | --trace FILE]    audit a simulated market or a trace file\n  \
+         faircrowd export [OPTS] --out FILE       simulate a market and write its trace\n  \
+         faircrowd replay <FILE>                  load a trace file, audit it, report\n  \
          faircrowd sweep [SWEEP-OPTS]             parallel grid sweep, aggregate stats\n  \
          faircrowd scenarios                      list the named scenario catalog\n  \
          faircrowd policies                       list the TPL platform catalog\n  \
          faircrowd render <policy>                human-readable policy description\n  \
          faircrowd compare <a> <b>                diff two catalog policies\n\n\
+         trace files: `.jsonl` writes the line-oriented log form, anything else\n  \
+         the whole-file JSON form; `replay` and `audit --trace` accept both\n  \
+         (validated: schema version + referential integrity, never a panic)\n\n\
          OPTS:\n  \
          --scenario NAME  start from a catalog scenario (default: flag-built market)\n  \
          --policy NAME    assignment policy (default self_selection)\n  \
          --seed N         simulation seed (default 42)\n  \
          --rounds N       market rounds (default 48)\n  \
          --workers N      diligent workers (default 30; ignored with --scenario)\n  \
-         --opaque         run the platform with an opaque disclosure set\n\n\
+         --opaque         run the platform with an opaque disclosure set\n  \
+         --out FILE       (export) where to write the trace\n  \
+         --trace FILE     (audit) audit a recorded trace instead of simulating\n\n\
          SWEEP-OPTS:\n  \
          --grid SPEC      axes as `axis=v1,v2;…` over scenario | policy | seed |\n                   \
          scale | rounds | enforce — `*` for every name, `a..b` seed\n                   \
@@ -185,13 +200,44 @@ fn pipeline_from_flags(args: &[String], with_enforce: bool) -> Result<Pipeline, 
         }
     } else if args.iter().any(|a| a == "--enforce") {
         return Err(FaircrowdError::usage(
-            "--enforce is only valid with `faircrowd run`; `audit` never enforces",
+            "--enforce is only valid with `faircrowd run`; `audit`/`export` never enforce",
         ));
     }
     Ok(pipeline)
 }
 
+/// Flags that conflict with `--trace`: a recorded trace already fixes
+/// the scenario (so market flags would silently report on a market the
+/// user didn't replay), and config repairs cannot be applied to a
+/// platform that already ran (so `--enforce` would be silently
+/// dropped).
+const TRACE_CONFLICTS: [&str; 7] = [
+    "--scenario",
+    "--policy",
+    "--seed",
+    "--rounds",
+    "--workers",
+    "--opaque",
+    "--enforce",
+];
+
 fn run_cmd(args: &[String], with_enforce: bool) -> Result<(), FaircrowdError> {
+    if let Some(path) = flag_value(args, "--trace")? {
+        if with_enforce {
+            return Err(FaircrowdError::usage(
+                "--trace is only valid with `faircrowd audit` (or `faircrowd replay`); \
+                 `run` simulates, and config repairs cannot be applied to a platform \
+                 that already ran",
+            ));
+        }
+        if let Some(bad) = args.iter().find(|a| TRACE_CONFLICTS.contains(&a.as_str())) {
+            return Err(FaircrowdError::usage(format!(
+                "{bad} conflicts with --trace: a recorded trace already fixes the market \
+                 and cannot be repaired after the fact"
+            )));
+        }
+        return replay_file(path);
+    }
     let pipeline = pipeline_from_flags(args, with_enforce)?;
     let result = pipeline.run()?;
     println!(
@@ -201,6 +247,61 @@ fn run_cmd(args: &[String], with_enforce: bool) -> Result<(), FaircrowdError> {
         result.config.rounds
     );
     print!("{}", result.render());
+    Ok(())
+}
+
+/// `faircrowd export`: simulate the flag-selected market and write its
+/// trace to `--out` (format by extension: `.jsonl` → JSONL, else JSON).
+fn export_cmd(args: &[String]) -> Result<(), FaircrowdError> {
+    let out = flag_value(args, "--out")?.ok_or_else(|| {
+        FaircrowdError::usage("export requires --out FILE (`.jsonl` for the line-oriented form)")
+    })?;
+    let trace = pipeline_from_flags(args, false)?.simulate()?;
+    faircrowd::core::persist::save(&trace, out)?;
+    println!(
+        "exported {}: {} workers, {} tasks, {} submissions, {} events",
+        out,
+        trace.workers.len(),
+        trace.tasks.len(),
+        trace.submissions.len(),
+        trace.events.len()
+    );
+    Ok(())
+}
+
+/// `faircrowd replay <FILE>`: load → validate → index → audit → report,
+/// no simulator in the loop. Anything beyond the one path is rejected
+/// rather than silently ignored.
+fn replay_cmd(args: &[String]) -> Result<(), FaircrowdError> {
+    let (path, rest) = match args.first().map(String::as_str) {
+        Some("--trace") => (flag_value(args, "--trace")?, &args[2.min(args.len())..]),
+        Some(first) => (Some(first), &args[1..]),
+        None => (None, args),
+    };
+    let path = path.ok_or_else(|| FaircrowdError::usage("usage: faircrowd replay <trace-file>"))?;
+    if let Some(extra) = rest.first() {
+        return Err(FaircrowdError::usage(format!(
+            "unexpected argument `{extra}`: `faircrowd replay` takes exactly one trace file \
+             (a recorded trace already fixes the market)"
+        )));
+    }
+    replay_file(path)
+}
+
+/// Shared tail of `replay` and `audit --trace`. Prints the same
+/// market-plus-report block as `run`, so the two outputs diff cleanly
+/// from the audit table onward (the CI smoke step does exactly that).
+fn replay_file(path: &str) -> Result<(), FaircrowdError> {
+    let trace = faircrowd::core::persist::load(path)?;
+    println!(
+        "replaying {path}: {} workers, {} tasks, {} events\n",
+        trace.workers.len(),
+        trace.tasks.len(),
+        trace.events.len()
+    );
+    // `replay_owned`: recorded logs can be large, don't copy them.
+    let artifacts = Pipeline::new().replay_owned(trace)?;
+    print!("{}", artifacts.render("replayed"));
     Ok(())
 }
 
@@ -436,5 +537,57 @@ mod tests {
             scenario_from_flags(&args),
             Err(FaircrowdError::Usage { .. })
         ));
+    }
+
+    #[test]
+    fn export_requires_out_and_replay_requires_a_path() {
+        let err = export_cmd(&argv(&["--rounds", "6"])).unwrap_err();
+        assert!(err.to_string().contains("--out"), "{err}");
+        let err = replay_cmd(&[]).unwrap_err();
+        assert!(err.to_string().contains("replay <trace-file>"), "{err}");
+    }
+
+    #[test]
+    fn trace_flag_rejects_conflicts_instead_of_ignoring_them() {
+        // `run` never replays…
+        let err = run_cmd(&argv(&["--trace", "t.json"]), true).unwrap_err();
+        assert!(matches!(err, FaircrowdError::Usage { .. }), "{err}");
+        // …and a recorded trace can't be combined with market flags…
+        let err = run_cmd(&argv(&["--trace", "t.json", "--seed", "7"]), false).unwrap_err();
+        assert!(err.to_string().contains("--seed"), "{err}");
+        assert!(err.to_string().contains("--trace"), "{err}");
+        // …or with --enforce (repairs can't apply to a finished run) —
+        // rejected, not silently dropped.
+        let err = run_cmd(&argv(&["--trace", "t.json", "--enforce", "parity"]), false).unwrap_err();
+        assert!(err.to_string().contains("--enforce"), "{err}");
+        // `replay` takes exactly one path; extras are rejected too.
+        let err = replay_cmd(&argv(&["t.json", "--seed", "7"])).unwrap_err();
+        assert!(err.to_string().contains("--seed"), "{err}");
+        let err = replay_cmd(&argv(&["--trace", "t.json", "extra"])).unwrap_err();
+        assert!(err.to_string().contains("extra"), "{err}");
+    }
+
+    #[test]
+    fn export_then_audit_trace_roundtrips() {
+        let path = std::env::temp_dir().join("fc_cli_roundtrip.trace.jsonl");
+        let path_str = path.to_str().unwrap().to_owned();
+        export_cmd(&argv(&[
+            "--rounds",
+            "6",
+            "--workers",
+            "8",
+            "--out",
+            &path_str,
+        ]))
+        .unwrap();
+        run_cmd(&argv(&["--trace", &path_str]), false).unwrap();
+        replay_cmd(&argv(&[&path_str])).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_of_missing_file_is_a_clean_error() {
+        let err = replay_cmd(&argv(&["/no/such/fc_trace.json"])).unwrap_err();
+        assert!(matches!(err, FaircrowdError::Io { .. }), "{err:?}");
     }
 }

@@ -32,8 +32,9 @@
 //! re-simulates and re-audits, returning both runs for comparison.
 
 use crate::core::report::render_report;
-use crate::core::{AuditConfig, AuditEngine, AxiomId, FairnessReport, TraceIndex};
+use crate::core::{metrics, AuditConfig, AuditEngine, AxiomId, FairnessReport, TraceIndex};
 use crate::model::{FaircrowdError, Trace};
+use crate::pay::WageStats;
 use crate::sim::{CancellationPolicy, PolicyChoice, ScenarioConfig, TraceSummary};
 
 /// A fairness repair the pipeline applies before its second run. Each
@@ -111,6 +112,11 @@ pub struct RunArtifacts {
     pub summary: TraceSummary,
     /// The axiom audit of the trace.
     pub report: FairnessReport,
+    /// Effective hourly-wage statistics, `None` when no worker invested
+    /// any time (an empty wage distribution has no statistics; see
+    /// [`crate::core::metrics::wage_stats`]). Computed off the same
+    /// [`TraceIndex`] the audit used.
+    pub wages: Option<WageStats>,
 }
 
 /// The enforcement pass of a [`PipelineResult`].
@@ -158,6 +164,14 @@ impl PipelineResult {
             .map_or(&self.baseline.summary, |e| &e.artifacts.summary)
     }
 
+    /// The final wage statistics (enforced when present, else baseline);
+    /// `None` when that run paid for no invested time.
+    pub fn wages(&self) -> Option<WageStats> {
+        self.enforced
+            .as_ref()
+            .map_or(self.baseline.wages, |e| e.artifacts.wages)
+    }
+
     /// Render the full result: market summary, baseline report, and —
     /// when enforcement ran — the repairs and the re-audit.
     pub fn render(&self) -> String {
@@ -184,14 +198,23 @@ impl PipelineResult {
 }
 
 fn render_run(heading: &str, artifacts: &RunArtifacts) -> String {
-    format!(
-        "market ({heading}): {} submissions, {:.0}% approved, {} paid, retention {:.1}%\n\n{}",
-        artifacts.summary.submissions,
-        artifacts.summary.approval_rate * 100.0,
-        artifacts.summary.total_paid,
-        artifacts.summary.retention * 100.0,
-        render_report(&artifacts.report)
-    )
+    artifacts.render(heading)
+}
+
+impl RunArtifacts {
+    /// Render the market summary line and the audit report — the block
+    /// `run`, `audit` and `replay` all print, so a replayed trace's
+    /// output diffs cleanly against the in-memory pipeline's.
+    pub fn render(&self, heading: &str) -> String {
+        format!(
+            "market ({heading}): {} submissions, {:.0}% approved, {} paid, retention {:.1}%\n\n{}",
+            self.summary.submissions,
+            self.summary.approval_rate * 100.0,
+            self.summary.total_paid,
+            self.summary.retention * 100.0,
+            render_report(&self.report)
+        )
+    }
 }
 
 /// Builder for the scenario → simulate → audit → enforce → report loop.
@@ -278,10 +301,21 @@ impl Pipeline {
     }
 
     /// Simulate one scenario into a validated trace.
-    fn simulate(config: &ScenarioConfig) -> Result<Trace, FaircrowdError> {
+    fn simulate_config(config: &ScenarioConfig) -> Result<Trace, FaircrowdError> {
         let trace = crate::sim::run(config.clone());
         trace.ensure_valid()?;
         Ok(trace)
+    }
+
+    /// Validate the staged scenario and simulate it into a validated
+    /// trace — the export path (`faircrowd export`) and the sweep
+    /// engine's simulation cache both call this, so a trace produced
+    /// here and fed back through [`Pipeline::run_with_baseline`] or
+    /// [`Pipeline::replay`] is exactly the trace [`Pipeline::run`]
+    /// would have audited.
+    pub fn simulate(&self) -> Result<Trace, FaircrowdError> {
+        self.scenario.validate()?;
+        Self::simulate_config(&self.scenario)
     }
 
     /// Audit through a pre-built index (the staged axiom subset, or all
@@ -307,10 +341,96 @@ impl Pipeline {
     /// [`TraceSummary::of`], which is a single event pass of its own.
     pub fn run(self) -> Result<PipelineResult, FaircrowdError> {
         self.scenario.validate()?;
-        let baseline_trace = Self::simulate(&self.scenario)?;
+        let baseline_trace = Self::simulate_config(&self.scenario)?;
+        self.finish(baseline_trace)
+    }
+
+    /// Execute the pipeline against a **pre-simulated** baseline trace,
+    /// skipping only the baseline simulation: the audit, enforcement
+    /// re-simulation and re-audit are identical to [`Pipeline::run`].
+    /// The trace must be the output of [`Pipeline::simulate`] on the
+    /// same scenario — this is the sweep engine's simulation-cache path,
+    /// where grid cells differing only on the enforcement axis share
+    /// one simulated baseline instead of re-running the platform.
+    pub fn run_with_baseline(self, baseline: Trace) -> Result<PipelineResult, FaircrowdError> {
+        self.scenario.validate()?;
+        self.finish(baseline)
+    }
+
+    /// Audit an externally recorded trace through this pipeline's audit
+    /// configuration and staged axiom subset — the **replay** path (load
+    /// → index → audit → report, no simulator in the loop). The trace is
+    /// validated first; staged enforcements are ignored, since config
+    /// repairs cannot be applied to a platform that already ran.
+    /// Borrows and clones the trace for the returned artifacts; use
+    /// [`Pipeline::replay_owned`] when the caller is done with its copy
+    /// (e.g. a trace just loaded from disk) to avoid duplicating a
+    /// potentially large log.
+    pub fn replay(&self, trace: &Trace) -> Result<RunArtifacts, FaircrowdError> {
+        self.replay_owned(trace.clone())
+    }
+
+    /// [`Pipeline::replay`] taking ownership — no copy of the trace is
+    /// made, which matters exactly on the external-log workload where
+    /// recorded traces can be large.
+    pub fn replay_owned(&self, trace: Trace) -> Result<RunArtifacts, FaircrowdError> {
+        trace.ensure_valid()?;
+        Ok(self.audit_artifacts(trace))
+    }
+
+    /// Produce only the **final** artifacts: for an enforcement-free
+    /// pipeline, the audit of the baseline trace `simulate` yields; with
+    /// enforcements staged, the repaired re-simulation and its re-audit
+    /// — *skipping the baseline entirely* (neither simulated nor
+    /// audited), since nothing of it is returned. `simulate` is called
+    /// at most once, and only when the baseline is actually needed.
+    ///
+    /// This is the sweep engine's cached path: a grid cell folds exactly
+    /// the fields of [`RunArtifacts`], so dropping the unread baseline
+    /// work changes wall-clock and nothing else (pinned byte-identical
+    /// against the full [`Pipeline::run`] by `sweep`'s determinism
+    /// tests).
+    pub fn run_final_with_baseline(
+        self,
+        simulate: impl FnOnce() -> Result<Trace, FaircrowdError>,
+    ) -> Result<RunArtifacts, FaircrowdError> {
+        self.scenario.validate()?;
+        if self.enforcements.is_empty() {
+            let baseline = simulate()?;
+            return Ok(self.audit_artifacts(baseline));
+        }
+        let mut repaired = self.scenario.clone();
+        for enforcement in &self.enforcements {
+            enforcement.apply(&mut repaired);
+        }
+        repaired.validate()?;
+        let trace = Self::simulate_config(&repaired)?;
+        Ok(self.audit_artifacts(trace))
+    }
+
+    /// Index, audit and summarise one owned trace.
+    fn audit_artifacts(&self, trace: Trace) -> RunArtifacts {
+        let ix = TraceIndex::new(&trace);
+        let report = self.audit_indexed(&ix);
+        let wages = metrics::wage_stats(&ix);
+        let summary = TraceSummary::of(&trace);
+        drop(ix);
+        RunArtifacts {
+            trace,
+            summary,
+            report,
+            wages,
+        }
+    }
+
+    /// Shared tail of [`Pipeline::run`] / [`Pipeline::run_with_baseline`]:
+    /// audit the baseline trace and, when enforcements are staged, repair
+    /// the scenario, re-simulate and re-audit.
+    fn finish(self, baseline_trace: Trace) -> Result<PipelineResult, FaircrowdError> {
         let baseline_ix = TraceIndex::new(&baseline_trace);
         let baseline_report = self.audit_indexed(&baseline_ix);
         let baseline_summary = TraceSummary::of(&baseline_trace);
+        let baseline_wages = metrics::wage_stats(&baseline_ix);
 
         let enforced = if self.enforcements.is_empty() {
             None
@@ -320,9 +440,10 @@ impl Pipeline {
                 enforcement.apply(&mut repaired);
             }
             repaired.validate()?;
-            let trace = Self::simulate(&repaired)?;
+            let trace = Self::simulate_config(&repaired)?;
             let ix = baseline_ix.rebuilt_for(&trace);
             let report = self.audit_indexed(&ix);
+            let wages = metrics::wage_stats(&ix);
             let summary = TraceSummary::of(&trace);
             drop(ix);
             Some(EnforcedRun {
@@ -332,6 +453,7 @@ impl Pipeline {
                     trace,
                     summary,
                     report,
+                    wages,
                 },
             })
         };
@@ -343,6 +465,7 @@ impl Pipeline {
                 trace: baseline_trace,
                 summary: baseline_summary,
                 report: baseline_report,
+                wages: baseline_wages,
             },
             enforced,
         })
@@ -415,5 +538,59 @@ mod tests {
             .run()
             .unwrap();
         assert_eq!(result.baseline.report.axioms.len(), 1);
+    }
+
+    #[test]
+    fn run_with_baseline_equals_run() {
+        // The sweep cache's contract: feeding `simulate()`'s trace back
+        // through `run_with_baseline` is exactly `run()` — including the
+        // enforcement re-simulation and re-audit.
+        let pipeline = Pipeline::new()
+            .seed(5)
+            .rounds(10)
+            .enforce(Enforcement::GraceFinish);
+        let from_run = pipeline.clone().run().unwrap();
+        let trace = pipeline.simulate().unwrap();
+        let from_baseline = pipeline.clone().run_with_baseline(trace.clone()).unwrap();
+        assert_eq!(from_run.baseline.report, from_baseline.baseline.report);
+        assert_eq!(from_run.baseline.wages, from_baseline.baseline.wages);
+        let (a, b) = (
+            from_run.enforced.as_ref().unwrap(),
+            from_baseline.enforced.as_ref().unwrap(),
+        );
+        assert_eq!(a.artifacts.report, b.artifacts.report);
+        // …and the lean final-artifacts path agrees with the full one.
+        // With enforcements staged it must not even ask for a baseline.
+        let lean = pipeline
+            .clone()
+            .run_final_with_baseline(|| panic!("enforced lean path must not simulate a baseline"))
+            .unwrap();
+        assert_eq!(lean.report, a.artifacts.report);
+        assert_eq!(lean.summary, a.artifacts.summary);
+        assert_eq!(lean.wages, a.artifacts.wages);
+        // Without enforcements it audits exactly the supplied baseline.
+        let plain = Pipeline::new().seed(5).rounds(10);
+        let lean = plain
+            .clone()
+            .run_final_with_baseline(|| plain.simulate())
+            .unwrap();
+        assert_eq!(lean.report, plain.clone().run().unwrap().baseline.report);
+    }
+
+    #[test]
+    fn replay_audits_an_external_trace_without_simulating() {
+        let pipeline = Pipeline::new().seed(3).rounds(10);
+        let trace = pipeline.simulate().unwrap();
+        let replayed = pipeline.replay(&trace).unwrap();
+        let run = pipeline.clone().run().unwrap();
+        assert_eq!(replayed.report, run.baseline.report);
+        assert_eq!(replayed.summary, run.baseline.summary);
+        // Replay validates: a corrupted trace errors instead of lying.
+        let mut bad = trace;
+        bad.submissions[0].worker = crate::model::WorkerId::new(9999);
+        assert!(matches!(
+            pipeline.replay(&bad),
+            Err(FaircrowdError::InvalidTrace { .. })
+        ));
     }
 }

@@ -26,6 +26,21 @@
 //!    names resolve during [`SweepGrid::expand`], before any thread
 //!    spawns, with errors listing the valid names.
 //!
+//! With PR 3's `TraceIndex` making audits cheap, **simulation is the
+//! dominant cost of a sweep cell** — so the engine caches simulated
+//! baseline traces by `(scenario, policy, seed, scale, rounds)`. Cases
+//! that differ only on the `enforce` axis are the same platform run
+//! audited under different repairs: instead of each re-running the
+//! simulator, they draw on one keyed [`OnceLock`]-guarded slot,
+//! consulted lazily — the empty-stack cell audits (a clone of) the
+//! shared baseline, while enforced cells re-simulate only their
+//! *repaired* config and skip the baseline simulation and its unread
+//! audit entirely ([`Pipeline::run_final_with_baseline`]). The
+//! simulator is a pure function of its config, so cached and uncached
+//! sweeps are byte-identical ([`run_grid_opts`] exposes the switch;
+//! `tests/sweep_determinism.rs` and the `traceio_baseline` bench pin
+//! equality and the wall-clock win).
+//!
 //! Grid syntax (the CLI's `--grid` argument): `;`-separated
 //! `axis=value,value,…` entries —
 //!
@@ -53,13 +68,15 @@
 use crate::core::aggregate::{ReportAggregate, ScoreStats};
 use crate::core::report::TextTable;
 use crate::core::{AuditConfig, FairnessReport};
-use crate::model::FaircrowdError;
+use crate::model::{FaircrowdError, Trace};
+use crate::pay::WageStats;
 use crate::pipeline::{Enforcement, Pipeline};
 use crate::sim::{catalog, PolicyChoice, TraceSummary};
 use faircrowd_assign::registry;
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// The axes of a sweep. Every field is an optional axis; `None` means
 /// the single default point documented on [the module](self). Parse one
@@ -334,11 +351,53 @@ impl SweepCase {
     /// stack is non-empty), keeping the final report and summary.
     pub fn run(&self) -> Result<CaseOutcome, FaircrowdError> {
         let result = self.pipeline()?.run()?;
+        Ok(self.outcome_of(result))
+    }
+
+    /// Run the case with its baseline trace supplied lazily (the
+    /// simulation-cache path: `baseline` pulls a clone from the shared
+    /// per-key slot, and is only invoked when the case actually audits
+    /// the baseline — enforced cells re-simulate a repaired config and
+    /// never touch it). Identical output to [`SweepCase::run`]: the
+    /// simulator is a pure function of the case's config, so a cached
+    /// trace is *the* trace this case would have simulated, and the cell
+    /// folds only the *final* report, which the lean
+    /// [`Pipeline::run_final_with_baseline`] path returns unchanged.
+    pub fn run_with_baseline(
+        &self,
+        baseline: impl FnOnce() -> Result<Trace, FaircrowdError>,
+    ) -> Result<CaseOutcome, FaircrowdError> {
+        let artifacts = self.pipeline()?.run_final_with_baseline(baseline)?;
         Ok(CaseOutcome {
-            report: result.report().clone(),
-            summary: result.summary().clone(),
+            report: artifacts.report,
+            summary: artifacts.summary,
+            wages: artifacts.wages,
             case: self.clone(),
         })
+    }
+
+    fn outcome_of(&self, result: crate::pipeline::PipelineResult) -> CaseOutcome {
+        CaseOutcome {
+            report: result.report().clone(),
+            summary: result.summary().clone(),
+            wages: result.wages(),
+            case: self.clone(),
+        }
+    }
+
+    /// The simulation-cache key: everything that determines the
+    /// **baseline** trace. The `enforce` axis is deliberately absent —
+    /// enforcement repairs re-simulate a *different* config in the
+    /// second pipeline pass, but the baseline run they are compared
+    /// against is shared across the whole stack axis.
+    fn sim_key(&self) -> (String, Option<String>, u64, u64, u32) {
+        (
+            self.scenario.clone(),
+            self.policy.clone(),
+            self.seed,
+            self.scale.to_bits(),
+            self.rounds,
+        )
     }
 }
 
@@ -351,6 +410,10 @@ pub struct CaseOutcome {
     pub report: FairnessReport,
     /// The final market summary.
     pub summary: TraceSummary,
+    /// Effective-wage statistics of the final run; `None` when no
+    /// worker invested time. Absent wages are **skipped** by the cell
+    /// fold, never averaged in as gini-0/jain-1 "perfect fairness".
+    pub wages: Option<WageStats>,
 }
 
 /// One grid cell's aggregate across its seeds.
@@ -372,6 +435,13 @@ pub struct GroupSummary {
     pub aggregate: ReportAggregate,
     /// Worker-retention statistics across the seeds.
     pub retention: ScoreStats,
+    /// Mean hourly wage (dollars/h) across the seeds **that had a wage
+    /// distribution**; `n` < `seeds.len()` means some runs paid for no
+    /// invested time and were skipped, `n == 0` means the whole cell
+    /// was wage-less (exported as `null`, not as perfect fairness).
+    pub wage_mean: ScoreStats,
+    /// Wage Gini coefficient across the same seeds.
+    pub wage_gini: ScoreStats,
 }
 
 /// The result of running a grid: per-case outcomes (grid order) and
@@ -386,21 +456,62 @@ pub struct SweepResult {
 
 /// Run every case of `grid` on a pool of `jobs` worker threads
 /// (clamped to at least 1) and fold the reports into per-cell
-/// aggregates. Output is deterministic: identical for any `jobs`.
+/// aggregates. Output is deterministic: identical for any `jobs`, and
+/// identical with the simulation cache on (the default) or off.
 pub fn run_grid(grid: &SweepGrid, jobs: usize) -> Result<SweepResult, FaircrowdError> {
+    run_grid_opts(grid, jobs, true)
+}
+
+/// [`run_grid`] with the baseline-simulation cache switchable.
+/// `reuse_sim: false` re-simulates every case from scratch — it exists
+/// for the determinism tests and the `traceio_baseline` bench, which
+/// pin that the cache changes wall-clock and nothing else.
+pub fn run_grid_opts(
+    grid: &SweepGrid,
+    jobs: usize,
+    reuse_sim: bool,
+) -> Result<SweepResult, FaircrowdError> {
     let cases = grid.expand()?;
-    let outcomes = run_cases(&cases, jobs)?;
+    let outcomes = run_cases(&cases, jobs, reuse_sim)?;
     Ok(SweepResult {
         groups: fold_groups(&outcomes, grid.seeds_per_group()),
         cases: outcomes,
     })
 }
 
+/// One slot of the simulation cache: filled exactly once, by whichever
+/// worker needs its key first; later takers clone the `Arc`'d trace.
+type SimSlot = OnceLock<Result<Arc<Trace>, FaircrowdError>>;
+
 /// Execute `cases` on `jobs` scoped worker threads. Work is pulled off
 /// a shared atomic counter; results land in their case's slot, so the
 /// output order is the input order regardless of thread scheduling.
-fn run_cases(cases: &[SweepCase], jobs: usize) -> Result<Vec<CaseOutcome>, FaircrowdError> {
+///
+/// With `reuse_sim`, cases sharing a [`SweepCase::sim_key`] (i.e.
+/// differing only on the enforcement stack) pull their baseline from
+/// one keyed [`OnceLock`] slot: the first taker fills it with a single
+/// simulation, concurrent takers block on that instead of running their
+/// own, and the slot is consulted **lazily** — an enforced cell
+/// re-simulates its repaired config and never touches the baseline, so
+/// it neither simulates nor clones one.
+fn run_cases(
+    cases: &[SweepCase],
+    jobs: usize,
+    reuse_sim: bool,
+) -> Result<Vec<CaseOutcome>, FaircrowdError> {
     let jobs = jobs.max(1).min(cases.len().max(1));
+
+    // Key interning pass: case index → dense cache-slot index.
+    let mut slot_of_key = HashMap::new();
+    let slot_of_case: Vec<usize> = cases
+        .iter()
+        .map(|case| {
+            let next = slot_of_key.len();
+            *slot_of_key.entry(case.sim_key()).or_insert(next)
+        })
+        .collect();
+    let sim_cache: Vec<SimSlot> = (0..slot_of_key.len()).map(|_| OnceLock::new()).collect();
+
     let slots: Vec<Mutex<Option<Result<CaseOutcome, FaircrowdError>>>> =
         cases.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
@@ -409,7 +520,21 @@ fn run_cases(cases: &[SweepCase], jobs: usize) -> Result<Vec<CaseOutcome>, Fairc
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(case) = cases.get(i) else { break };
-                let outcome = case.run();
+                let outcome = if reuse_sim {
+                    // Lazy: only consulted (and only then simulated /
+                    // cloned) when the case audits the baseline.
+                    case.run_with_baseline(|| {
+                        sim_cache[slot_of_case[i]]
+                            .get_or_init(|| {
+                                case.pipeline().and_then(|p| p.simulate()).map(Arc::new)
+                            })
+                            .as_ref()
+                            .map(|trace| Trace::clone(trace))
+                            .map_err(FaircrowdError::clone)
+                    })
+                } else {
+                    case.run()
+                };
                 *slots[i].lock().expect("result slot poisoned") = Some(outcome);
             });
         }
@@ -436,6 +561,13 @@ fn fold_groups(outcomes: &[CaseOutcome], seeds_per_group: usize) -> Vec<GroupSum
             by_seed.sort_by_key(|o| o.case.seed);
             let reports: Vec<FairnessReport> = by_seed.iter().map(|o| o.report.clone()).collect();
             let retention: Vec<f64> = by_seed.iter().map(|o| o.summary.retention).collect();
+            // Seeds without a wage distribution contribute nothing — an
+            // empty distribution has no statistics, so folding it in
+            // (as the old gini-0/jain-1 values) would fabricate
+            // perfect-fairness evidence in the cell aggregate.
+            let wages: Vec<&WageStats> = by_seed.iter().filter_map(|o| o.wages.as_ref()).collect();
+            let wage_of =
+                |f: fn(&WageStats) -> f64| -> Vec<f64> { wages.iter().map(|w| f(w)).collect() };
             let first = &chunk[0].case;
             GroupSummary {
                 scenario: first.scenario.clone(),
@@ -446,6 +578,8 @@ fn fold_groups(outcomes: &[CaseOutcome], seeds_per_group: usize) -> Vec<GroupSum
                 seeds: by_seed.iter().map(|o| o.case.seed).collect(),
                 aggregate: ReportAggregate::of(&reports),
                 retention: ScoreStats::of(&retention),
+                wage_mean: ScoreStats::of(&wage_of(|w| w.mean)),
+                wage_gini: ScoreStats::of(&wage_of(|w| w.gini)),
             }
         })
         .collect()
@@ -467,9 +601,21 @@ impl SweepResult {
             "min..max",
             "violations",
             "retention",
+            "wage/h",
+            "wage-gini",
         ])
         .numeric();
         for g in &self.groups {
+            // A cell with no wage distribution shows "-", not a
+            // fabricated perfectly-fair 0.000.
+            let (wage, gini) = if g.wage_mean.n == 0 {
+                ("-".to_owned(), "-".to_owned())
+            } else {
+                (
+                    format!("${:.2}", g.wage_mean.mean),
+                    format!("{:.3}", g.wage_gini.mean),
+                )
+            };
             table.row([
                 g.scenario.clone(),
                 g.policy.clone(),
@@ -486,6 +632,8 @@ impl SweepResult {
                 ),
                 g.aggregate.total_violations.to_string(),
                 format!("{:.1}%", g.retention.mean * 100.0),
+                wage,
+                gini,
             ]);
         }
         table.render()
@@ -529,6 +677,18 @@ impl SweepResult {
             ] {
                 let _ = write!(out, " \"{}\": {},", label, json_stats(stats));
             }
+            // `null`, not gini-0/jain-1, for wage-less cells.
+            if g.wage_mean.n == 0 {
+                out.push_str(" \"wages\": null,");
+            } else {
+                let _ = write!(
+                    out,
+                    " \"wages\": {{\"runs\": {}, \"hourly\": {}, \"gini\": {}}},",
+                    g.wage_mean.n,
+                    json_stats(&g.wage_mean),
+                    json_stats(&g.wage_gini),
+                );
+            }
             out.push_str(" \"axioms\": [");
             for (j, a) in g.aggregate.axioms.iter().enumerate() {
                 if j > 0 {
@@ -553,11 +713,21 @@ impl SweepResult {
             if i > 0 {
                 out.push(',');
             }
+            let wages = match &c.wages {
+                None => "null".to_owned(),
+                Some(w) => format!(
+                    "{{\"n\": {}, \"hourly\": {}, \"gini\": {}, \"jain\": {}}}",
+                    w.n,
+                    json_f64(w.mean),
+                    json_f64(w.gini),
+                    json_f64(w.jain)
+                ),
+            };
             let _ = write!(
                 out,
                 "\n    {{\"scenario\": {}, \"policy\": {}, \"seed\": {}, \"scale\": {}, \
                  \"rounds\": {}, \"enforce\": {}, \"fairness\": {}, \"transparency\": {}, \
-                 \"overall\": {}, \"violations\": {}, \"retention\": {}}}",
+                 \"overall\": {}, \"violations\": {}, \"retention\": {}, \"wages\": {}}}",
                 json_str(&c.case.scenario),
                 json_str(&c.case.policy_label),
                 c.case.seed,
@@ -569,6 +739,7 @@ impl SweepResult {
                 json_f64(c.report.overall_score()),
                 c.report.total_violations(),
                 json_f64(c.summary.retention),
+                wages,
             );
         }
         out.push_str("\n  ]\n}\n");
@@ -583,7 +754,8 @@ impl SweepResult {
              fairness_mean,fairness_min,fairness_max,\
              transparency_mean,transparency_min,transparency_max,\
              overall_mean,overall_min,overall_max,\
-             retention_mean,total_violations,all_hold_runs",
+             retention_mean,total_violations,all_hold_runs,\
+             wage_runs,wage_hourly_mean,wage_gini_mean",
         );
         for id in crate::core::AxiomId::ALL {
             let _ = write!(out, ",{}_pass_rate", id.label());
@@ -620,6 +792,19 @@ impl SweepResult {
                 g.aggregate.total_violations,
                 g.aggregate.all_hold_runs
             );
+            // Wage columns stay empty (not 0 / 1) when the cell had no
+            // wage distribution to measure.
+            if g.wage_mean.n == 0 {
+                out.push_str(",0,,");
+            } else {
+                let _ = write!(
+                    out,
+                    ",{},{},{}",
+                    g.wage_mean.n,
+                    json_f64(g.wage_mean.mean),
+                    json_f64(g.wage_gini.mean)
+                );
+            }
             for id in crate::core::AxiomId::ALL {
                 match g.aggregate.axiom(id) {
                     Some(a) => {
@@ -794,6 +979,93 @@ mod tests {
             lines[1].split(',').count(),
             "csv arity"
         );
+    }
+
+    #[test]
+    fn cached_and_uncached_sweeps_are_byte_identical() {
+        // The simulation cache (cells differing only on `enforce` share
+        // one baseline trace) must change wall-clock and nothing else —
+        // across different job counts too.
+        let grid =
+            SweepGrid::parse("scenario=baseline;rounds=8;seed=1,2;enforce=none,grace,parity")
+                .unwrap();
+        let cached = run_grid_opts(&grid, 3, true).unwrap();
+        let uncached = run_grid_opts(&grid, 2, false).unwrap();
+        assert_eq!(cached.to_json(), uncached.to_json());
+        assert_eq!(cached.to_csv(), uncached.to_csv());
+        assert_eq!(cached.render_table(), uncached.render_table());
+    }
+
+    #[test]
+    fn sweep_cells_carry_wage_statistics() {
+        let grid = SweepGrid::parse("scenario=baseline;rounds=8;seed=1,2").unwrap();
+        let result = run_grid(&grid, 2).unwrap();
+        let g = &result.groups[0];
+        assert_eq!(g.wage_mean.n, 2, "both seeds pay wages in baseline");
+        assert!(g.wage_mean.mean > 0.0);
+        assert!((0.0..=1.0).contains(&g.wage_gini.mean));
+        assert!(result.to_json().contains("\"wages\": {"));
+    }
+
+    #[test]
+    fn zero_wage_cells_fold_without_fabricated_fairness() {
+        // Regression for the WageStats empty-distribution bug: a grid
+        // cell whose runs paid for no invested time must export
+        // null/empty wage columns — never the old gini-0/jain-1
+        // "perfect fairness" — and mixed cells must fold only the seeds
+        // that actually had wages.
+        use crate::model::Credits;
+        let case = |seed: u64| SweepCase {
+            scenario: "baseline".into(),
+            policy: None,
+            policy_label: "self-selection".into(),
+            seed,
+            scale: 1.0,
+            rounds: 8,
+            enforcements: Vec::new(),
+        };
+        let empty_trace = crate::model::Trace::default();
+        let report = crate::core::AuditEngine::with_defaults().run(&empty_trace);
+        let outcome = |seed, wages| CaseOutcome {
+            case: case(seed),
+            report: report.clone(),
+            summary: TraceSummary::of(&empty_trace),
+            wages,
+        };
+        let paid =
+            WageStats::from_wages(&[Credits::from_dollars(2), Credits::from_dollars(6)]).unwrap();
+        // Cell 1: one wage-less seed among two. Cell 2: fully wage-less.
+        let outcomes = vec![
+            outcome(1, Some(paid)),
+            outcome(2, None),
+            outcome(3, None),
+            outcome(4, None),
+        ];
+        let groups = fold_groups(&outcomes, 2);
+        assert_eq!(groups.len(), 2);
+        let mixed = &groups[0];
+        assert_eq!(mixed.wage_mean.n, 1, "only the paid seed is folded");
+        assert!((mixed.wage_mean.mean - paid.mean).abs() < 1e-12);
+        assert!((mixed.wage_gini.mean - paid.gini).abs() < 1e-12);
+        let wageless = &groups[1];
+        assert_eq!(wageless.wage_mean.n, 0);
+        let result = SweepResult {
+            cases: outcomes,
+            groups,
+        };
+        let json = result.to_json();
+        assert!(
+            json.contains("\"wages\": null"),
+            "wage-less cell must export null: {json}"
+        );
+        let csv = result.to_csv();
+        let wageless_row = csv.lines().nth(2).unwrap();
+        assert!(
+            wageless_row.contains(",0,,"),
+            "wage columns must stay empty, got: {wageless_row}"
+        );
+        let table = result.render_table();
+        assert!(table.contains('-'), "table shows '-' for missing wages");
     }
 
     #[test]
