@@ -1,0 +1,93 @@
+//! P6 — Streaming-audit throughput: incremental ingestion vs the
+//! alternatives.
+//!
+//! The live subsystem's bet is that keeping a fairness verdict current
+//! costs O(monitor work) per event, not O(world). Three paths over the
+//! `baseline` catalog scenario:
+//!
+//! * `incremental` — [`faircrowd_core::live::LiveAuditor`]: per-event
+//!   mirror updates + monitors, closing report off the mirrors;
+//! * `rebuild_per_event` — re-index the whole prefix after every event
+//!   (over a short capped prefix; the honest full sweep is quadratic);
+//! * `batch` — the one-shot post-hoc audit, the latency floor that
+//!   answers only after the market closed.
+//!
+//! The incremental closing report is bit-identical to batch (pinned by
+//! `tests/live_stream.rs`); `cargo run --release --bin stream_baseline`
+//! writes the same comparison as `BENCH_stream.json` at the repo root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faircrowd_core::live::LiveAuditor;
+use faircrowd_core::{AuditConfig, AuditEngine, TraceIndex};
+use faircrowd_model::event::EventLog;
+use faircrowd_model::trace::Trace;
+use faircrowd_sim::{catalog, Simulation};
+use std::hint::black_box;
+
+fn trace_at_scale(scale: f64) -> Trace {
+    let cfg = catalog::get("baseline")
+        .expect("baseline is in the catalog")
+        .at_scale(scale);
+    Simulation::new(cfg).run()
+}
+
+fn bench_stream_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_paths");
+    group.sample_size(10);
+    let engine = AuditEngine::with_defaults();
+    for scale in [1u32, 4] {
+        let trace = trace_at_scale(f64::from(scale));
+        group.bench_with_input(BenchmarkId::new("incremental", scale), &trace, |b, t| {
+            b.iter(|| {
+                let mut auditor = LiveAuditor::new(AuditConfig::default());
+                auditor.ingest_trace(black_box(t)).expect("valid stream");
+                auditor.finalize();
+                black_box(auditor.final_report())
+            })
+        });
+        // Rebuild-per-event over a short prefix only: the full sweep is
+        // quadratic in the event count and would swamp the run.
+        let cap = (trace.events.len() / 20).clamp(1, 200);
+        group.bench_with_input(
+            BenchmarkId::new("rebuild_per_event_capped", scale),
+            &trace,
+            |b, t| {
+                b.iter(|| {
+                    let mut prefix = t.clone();
+                    prefix.events = EventLog::new();
+                    for e in &t.events.as_slice()[..cap] {
+                        prefix.events.push_event(e.clone());
+                        let ix = TraceIndex::new(black_box(&prefix));
+                        black_box(ix.visibility().len());
+                    }
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("batch", scale), &trace, |b, t| {
+            b.iter(|| black_box(engine.run(black_box(t))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ingest_only(c: &mut Criterion) {
+    // Pure ingestion (mirrors + monitors), without the closing report —
+    // the steady-state cost a platform pays per event to keep the
+    // monitors armed.
+    let trace = trace_at_scale(4.0);
+    let mut group = c.benchmark_group("stream_ingest_only");
+    group.sample_size(10);
+    group.bench_function("ingest_scale4", |b| {
+        b.iter(|| {
+            let mut auditor = LiveAuditor::new(AuditConfig::default());
+            auditor
+                .ingest_trace(black_box(&trace))
+                .expect("valid stream");
+            black_box(auditor.events_seen())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(stream, bench_stream_paths, bench_ingest_only);
+criterion_main!(stream);

@@ -53,11 +53,7 @@ impl Axiom for WorkerAssignmentFairness {
             if overlap < 1.0 - 1e-9 {
                 collector.push(
                     1.0 - overlap,
-                    format!(
-                        "workers {} and {} are similar (sim {:.2}) but saw different \
-                         tasks: {} vs {} of {} common-qualified (overlap {:.2})",
-                        wi.id, wj.id, sim, o.left, o.right, o.common, overlap
-                    ),
+                    crate::axioms::a1_witness(wi.id, wj.id, sim, &o, overlap),
                 );
             }
         }

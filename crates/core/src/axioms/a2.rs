@@ -52,21 +52,7 @@ impl Axiom for RequesterAssignmentFairness {
             if overlap < 1.0 - 1e-9 {
                 collector.push(
                     1.0 - overlap,
-                    format!(
-                        "tasks {} ({}) and {} ({}) are comparable (skill sim {:.2}, \
-                         rewards {} vs {}) but reached different audiences \
-                         ({} vs {} workers, overlap {:.2})",
-                        ti.id,
-                        ti.requester,
-                        tj.id,
-                        tj.requester,
-                        skill_sim,
-                        ti.reward,
-                        tj.reward,
-                        o.left,
-                        o.right,
-                        overlap
-                    ),
+                    crate::axioms::a2_witness(ti, tj, skill_sim, o.left, o.right, overlap),
                 );
             }
         }

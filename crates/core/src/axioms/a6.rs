@@ -24,6 +24,28 @@ use faircrowd_model::task::Task;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RequesterTransparency;
 
+/// Obligation coverage of one task under a platform disclosure set: the
+/// fraction met and the names still missing. Shared by this checker,
+/// the naive reference and the live monitor, so the three can never
+/// disagree on what a task owes (or drift on the obligation count).
+pub(crate) fn obligation_coverage(
+    task: &Task,
+    disclosure: &faircrowd_model::disclosure::DisclosureSet,
+) -> (f64, Vec<&'static str>) {
+    let obligations = obligations(task);
+    let total = obligations.len();
+    let mut missing = Vec::new();
+    let mut met = 0usize;
+    for (item, task_level) in obligations {
+        if task_level || disclosure.allows(item, Audience::Workers) {
+            met += 1;
+        } else {
+            missing.push(item.name());
+        }
+    }
+    (met as f64 / total as f64, missing)
+}
+
 /// The five obligations: item + whether the task's own conditions carry it.
 pub(crate) fn obligations(task: &Task) -> [(DisclosureItem, bool); 5] {
     let c = &task.conditions;
@@ -66,16 +88,7 @@ impl Axiom for RequesterTransparency {
         let mut coverages = Vec::with_capacity(trace.tasks.len());
         let mut collector = ViolationCollector::new(self.id(), max_witnesses);
         for task in &trace.tasks {
-            let mut missing = Vec::new();
-            let mut met = 0usize;
-            for (item, task_level) in obligations(task) {
-                if task_level || trace.disclosure.allows(item, Audience::Workers) {
-                    met += 1;
-                } else {
-                    missing.push(item.name());
-                }
-            }
-            let coverage = met as f64 / 5.0;
+            let (coverage, missing) = obligation_coverage(task, &trace.disclosure);
             coverages.push(coverage);
             if !missing.is_empty() {
                 collector.push(

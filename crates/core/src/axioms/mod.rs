@@ -57,6 +57,41 @@ pub(crate) fn worker_similarity(
     declared.min(computed).min(skills)
 }
 
+/// The Axiom 1 violation witness text, shared by the indexed checker
+/// and the live monitor so a wording tweak cannot drift one without the
+/// other (the naive reference keeps its own copy on purpose — it is the
+/// independent oracle).
+pub(crate) fn a1_witness(
+    a: faircrowd_model::ids::WorkerId,
+    b: faircrowd_model::ids::WorkerId,
+    sim: f64,
+    overlap: &crate::index::AccessOverlap,
+    jaccard: f64,
+) -> String {
+    format!(
+        "workers {a} and {b} are similar (sim {sim:.2}) but saw different \
+         tasks: {} vs {} of {} common-qualified (overlap {jaccard:.2})",
+        overlap.left, overlap.right, overlap.common
+    )
+}
+
+/// The Axiom 2 violation witness text, shared like [`a1_witness`].
+pub(crate) fn a2_witness(
+    a: &faircrowd_model::task::Task,
+    b: &faircrowd_model::task::Task,
+    skill_sim: f64,
+    left: usize,
+    right: usize,
+    jaccard: f64,
+) -> String {
+    format!(
+        "tasks {} ({}) and {} ({}) are comparable (skill sim {skill_sim:.2}, \
+         rewards {} vs {}) but reached different audiences \
+         ({left} vs {right} workers, overlap {jaccard:.2})",
+        a.id, a.requester, b.id, b.requester, a.reward, b.reward
+    )
+}
+
 /// Jaccard overlap of two id sets; 1.0 when both are empty.
 pub(crate) fn set_jaccard<T: Ord>(
     a: &std::collections::BTreeSet<T>,

@@ -106,9 +106,20 @@ pub struct AccessOverlap {
 }
 
 impl AccessOverlap {
-    /// Jaccard overlap of the two restricted access sets; 1.0 when both
-    /// are empty — numerically identical to materialising the sets and
-    /// dividing `|∩|` by `|∪|`.
+    /// Jaccard overlap of the two restricted access sets.
+    ///
+    /// The empty-set case is **defined**, not derived: when both
+    /// restricted access sets are empty, materialising them and dividing
+    /// `|∩|` by `|∪|` would be `0/0` — a NaN that every threshold
+    /// comparison downstream silently absorbs (NaN compares false, so a
+    /// poisoned pair is neither a violation nor a satisfaction and the
+    /// mean score goes NaN with it). This method pins that case to
+    /// `1.0`: two workers (or tasks) that were both shown *nothing* of
+    /// their common-qualified universe received identical — equally
+    /// empty — access, which is exactly what Axioms 1–2 ask for. The
+    /// result is always finite and in `[0, 1]`; regression-tested
+    /// end-to-end through `similar_worker_candidates` with zero-access
+    /// worker pairs.
     pub fn jaccard(&self) -> f64 {
         if self.left == 0 && self.right == 0 {
             return 1.0;
@@ -188,6 +199,29 @@ impl<'a> TraceIndex<'a> {
     /// submissions. Qualification matrices and blocking buckets are
     /// deferred until an axiom asks for them.
     pub fn new(trace: &'a Trace) -> TraceIndex<'a> {
+        Self::build(trace, trace.event_index())
+    }
+
+    /// Index a trace around a **pre-built** event-derived state — the
+    /// streaming-audit path. `faircrowd_core::live`'s `LiveAuditor`
+    /// maintains an [`EventIndex`] mirror incrementally, one event at a
+    /// time; at finalisation it hands that mirror here so the closing
+    /// audit never replays the log it already watched. The caller owns
+    /// the contract that `events` equals `trace.event_index()` (the
+    /// live auditor's ingest rules guarantee it; debug builds
+    /// re-derive and assert — only on this handover path, so
+    /// [`TraceIndex::new`] never pays for a tautological
+    /// self-comparison).
+    pub(crate) fn with_event_index(trace: &'a Trace, events: EventIndex) -> TraceIndex<'a> {
+        debug_assert_eq!(
+            events,
+            trace.event_index(),
+            "pre-built event index must equal a fresh log replay"
+        );
+        Self::build(trace, events)
+    }
+
+    fn build(trace: &'a Trace, events: EventIndex) -> TraceIndex<'a> {
         let mut subs_by_task: BTreeMap<TaskId, Vec<&'a Submission>> = BTreeMap::new();
         let mut subs_by_worker: BTreeMap<WorkerId, Vec<&'a Submission>> = BTreeMap::new();
         for s in &trace.submissions {
@@ -196,7 +230,7 @@ impl<'a> TraceIndex<'a> {
         }
         TraceIndex {
             trace,
-            events: trace.event_index(),
+            events,
             subs_by_task,
             subs_by_worker,
             qualification: OnceLock::new(),
@@ -687,6 +721,82 @@ mod tests {
         reworked.workers[0].skills = skills(7, 8);
         let fresh = ix.rebuilt_for(&reworked);
         assert!(fresh.qualification.get().is_none());
+    }
+
+    #[test]
+    fn jaccard_empty_set_semantics_are_pinned() {
+        // The 0/0 case must be a defined 1.0 (identical — equally empty —
+        // access), never the NaN a literal |∩|/|∪| division would
+        // produce: a NaN here compares false against every threshold and
+        // silently poisons pair selection and the mean axiom score.
+        let o = AccessOverlap {
+            common: 0,
+            left: 0,
+            right: 0,
+            inter: 0,
+        };
+        assert_eq!(o.jaccard(), 1.0);
+        let o = AccessOverlap {
+            common: 3,
+            left: 0,
+            right: 0,
+            inter: 0,
+        };
+        assert_eq!(
+            o.jaccard(),
+            1.0,
+            "common-qualified tasks that neither worker saw are equal (empty) access"
+        );
+        assert!(!o.jaccard().is_nan());
+    }
+
+    #[test]
+    fn zero_access_pairs_flow_through_candidate_selection_without_nan() {
+        // End-to-end regression via `similar_worker_candidates`: a trace
+        // with > EXACT_SCAN_MAX workers where many similar pairs saw
+        // nothing at all. Every candidate pair's overlap must be finite,
+        // and the all-empty pairs must score exactly 1.0.
+        let counts: Vec<usize> = (0..40).map(|i| i % 5).collect();
+        let mut trace = trace_with_counts(&counts);
+        // Show a single task to a single worker; every other pair's
+        // restricted access sets stay empty on both sides.
+        trace.events.push(
+            SimTime::from_secs(1),
+            EventKind::TaskVisible {
+                task: TaskId::new(0),
+                worker: WorkerId::new(0),
+            },
+        );
+        let ix = TraceIndex::new(&trace);
+        let cfg = SimilarityConfig::default();
+        let candidates = ix.similar_worker_candidates(&cfg);
+        assert!(!candidates.is_empty());
+        let mut saw_empty_pair = false;
+        for (i, j) in candidates {
+            let o = ix.worker_access_overlap(i, j);
+            let jac = o.jaccard();
+            assert!(
+                jac.is_finite(),
+                "pair ({i},{j}) produced a non-finite overlap"
+            );
+            assert!((0.0..=1.0).contains(&jac));
+            if o.left == 0 && o.right == 0 {
+                saw_empty_pair = true;
+                assert_eq!(jac, 1.0);
+            }
+        }
+        assert!(saw_empty_pair, "fixture must exercise the 0/0 case");
+        // The full A1 checker over this trace keeps a finite score too.
+        use crate::axiom::Axiom;
+        let report = crate::axioms::WorkerAssignmentFairness.check(&ix, &cfg, 10);
+        assert!(report.score.is_finite(), "A1 score must never be NaN");
+    }
+
+    #[test]
+    fn with_event_index_accepts_the_replayed_state() {
+        let trace = trace_with_counts(&[1, 2, 3]);
+        let ix = TraceIndex::with_event_index(&trace, trace.event_index());
+        assert_eq!(ix.visibility().len(), 3);
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod axiom;
 pub mod axioms;
 pub mod enforce;
 pub mod index;
+pub mod live;
 pub mod metrics;
 pub mod persist;
 pub mod report;
@@ -38,3 +39,4 @@ pub use audit::{AuditConfig, AuditEngine, FairnessReport};
 pub use axiom::{Axiom, AxiomId, AxiomReport, Violation};
 pub use faircrowd_model::similarity::SimilarityConfig;
 pub use index::TraceIndex;
+pub use live::{FindingOrigin, LiveAuditor, LiveFinding};

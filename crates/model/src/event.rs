@@ -13,6 +13,7 @@ use crate::ids::{RequesterId, SubmissionId, TaskId, WorkerId};
 use crate::money::Credits;
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Why a task was cancelled before all assignments completed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -257,6 +258,71 @@ impl EventKind {
     }
 }
 
+/// The first integrity defect found in an event log: *which* entry broke
+/// the log invariants, and how. Streaming consumers (the live auditor,
+/// `faircrowd watch`) surface these as they ingest, so an operator sees
+/// the offending seq — not just "the log is bad somewhere".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogDefect {
+    /// The entry at `index` does not carry the dense sequence number the
+    /// log invariant requires (a gap, a duplicate, or out-of-order
+    /// arrival).
+    SparseSeq {
+        /// Log position (0-based) of the offending entry.
+        index: usize,
+        /// The sequence number a dense log must carry there.
+        expected: u64,
+        /// The sequence number actually found.
+        found: u64,
+    },
+    /// The entry at `index` is timestamped earlier than its predecessor.
+    TimeRegression {
+        /// Log position (0-based) of the offending entry.
+        index: usize,
+        /// That entry's sequence number.
+        seq: u64,
+        /// The predecessor's timestamp.
+        previous: SimTime,
+        /// The regressing timestamp found.
+        found: SimTime,
+    },
+}
+
+impl LogDefect {
+    /// Log position (0-based) of the offending entry.
+    pub fn index(&self) -> usize {
+        match self {
+            LogDefect::SparseSeq { index, .. } | LogDefect::TimeRegression { index, .. } => *index,
+        }
+    }
+}
+
+impl fmt::Display for LogDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogDefect::SparseSeq {
+                index,
+                expected,
+                found,
+            } => write!(
+                f,
+                "event at log position {index} carries seq {found}, expected the dense seq \
+                 {expected}"
+            ),
+            LogDefect::TimeRegression {
+                index,
+                seq,
+                previous,
+                found,
+            } => write!(
+                f,
+                "event seq {seq} at log position {index} is timestamped {found}, regressing \
+                 behind the preceding {previous}"
+            ),
+        }
+    }
+}
+
 /// A timestamped, sequence-numbered audit-log entry. The sequence number
 /// makes ordering total even within one tick.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -296,6 +362,15 @@ impl EventLog {
         EventLog { events }
     }
 
+    /// Append one fully-formed event **as given** — the streaming
+    /// ingestion path. Like [`EventLog::from_events`], the carried
+    /// sequence number is kept, not re-assigned; callers that want the
+    /// invariants enforced at arrival (the live auditor does) check
+    /// [`EventLog::validate`]-style conditions before pushing.
+    pub fn push_event(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
     /// Number of events.
     pub fn len(&self) -> usize {
         self.events.len()
@@ -321,17 +396,38 @@ impl EventLog {
         self.events.iter().filter(|e| pred(&e.kind)).count()
     }
 
-    /// Verify the log invariants: sequence numbers dense and timestamps
-    /// non-decreasing. Returns the first violated position, if any.
-    pub fn check_integrity(&self) -> Result<(), usize> {
+    /// Verify the log invariants — sequence numbers dense and timestamps
+    /// non-decreasing — and report the first defect **with its position,
+    /// seq and timestamps** ([`LogDefect`]), so streaming consumers can
+    /// say exactly which entry broke monotonicity.
+    pub fn validate(&self) -> Result<(), LogDefect> {
         let mut last_time = SimTime::ZERO;
         for (i, e) in self.events.iter().enumerate() {
-            if e.seq != i as u64 || e.time < last_time {
-                return Err(i);
+            if e.seq != i as u64 {
+                return Err(LogDefect::SparseSeq {
+                    index: i,
+                    expected: i as u64,
+                    found: e.seq,
+                });
+            }
+            if e.time < last_time {
+                return Err(LogDefect::TimeRegression {
+                    index: i,
+                    seq: e.seq,
+                    previous: last_time,
+                    found: e.time,
+                });
             }
             last_time = e.time;
         }
         Ok(())
+    }
+
+    /// [`EventLog::validate`] reduced to the first violated position —
+    /// the original coarse form, kept for callers that only branch on
+    /// where the log broke.
+    pub fn check_integrity(&self) -> Result<(), usize> {
+        self.validate().map_err(|d| d.index())
     }
 }
 
@@ -387,6 +483,66 @@ mod tests {
             },
         );
         assert_eq!(log.check_integrity(), Err(1));
+        let defect = log.validate().unwrap_err();
+        assert_eq!(
+            defect,
+            LogDefect::TimeRegression {
+                index: 1,
+                seq: 1,
+                previous: SimTime::from_secs(10),
+                found: SimTime::from_secs(5),
+            }
+        );
+        let text = defect.to_string();
+        assert!(text.contains("seq 1"), "{text}");
+        assert!(text.contains("position 1"), "{text}");
+    }
+
+    #[test]
+    fn validate_names_the_sparse_seq() {
+        let mut log = EventLog::new();
+        log.push(
+            SimTime::from_secs(1),
+            EventKind::SessionStarted {
+                worker: WorkerId::new(0),
+            },
+        );
+        // A sparse seq arriving mid-stream, as a tampered/truncated log
+        // or an out-of-order producer would deliver it.
+        log.push_event(Event {
+            time: SimTime::from_secs(2),
+            seq: 7,
+            kind: EventKind::SessionEnded {
+                worker: WorkerId::new(0),
+            },
+        });
+        let defect = log.validate().unwrap_err();
+        assert_eq!(
+            defect,
+            LogDefect::SparseSeq {
+                index: 1,
+                expected: 1,
+                found: 7,
+            }
+        );
+        let text = defect.to_string();
+        assert!(text.contains("seq 7"), "{text}");
+        assert!(text.contains("expected the dense seq 1"), "{text}");
+        assert_eq!(defect.index(), 1);
+    }
+
+    #[test]
+    fn push_event_keeps_the_carried_seq() {
+        let mut log = EventLog::new();
+        log.push_event(Event {
+            time: SimTime::from_secs(0),
+            seq: 0,
+            kind: EventKind::SessionStarted {
+                worker: WorkerId::new(0),
+            },
+        });
+        assert_eq!(log.len(), 1);
+        assert!(log.validate().is_ok());
     }
 
     #[test]

@@ -238,8 +238,11 @@ impl Trace {
     /// human-readable problems (empty = consistent).
     pub fn validate(&self) -> Vec<String> {
         let mut problems = Vec::new();
-        if let Err(i) = self.events.check_integrity() {
-            problems.push(format!("event log integrity violated at index {i}"));
+        if let Err(defect) = self.events.validate() {
+            problems.push(format!(
+                "event log integrity violated at index {}: {defect}",
+                defect.index()
+            ));
         }
         let worker_ids: BTreeSet<WorkerId> = self.workers.iter().map(|w| w.id).collect();
         let task_ids: BTreeSet<TaskId> = self.tasks.iter().map(|t| t.id).collect();

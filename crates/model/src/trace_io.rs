@@ -509,28 +509,110 @@ pub fn trace_from_json(json: &Json) -> Result<Trace, FaircrowdError> {
     Ok(trace)
 }
 
-/// Decode a trace from its JSONL form: a header line, then one tagged
-/// record per line. Errors name the (1-based) line they occurred on.
-pub fn trace_from_jsonl(text: &str) -> Result<Trace, FaircrowdError> {
-    let mut lines = text
-        .lines()
-        .enumerate()
-        .filter(|(_, l)| !l.trim().is_empty());
-    let (_, header_line) = lines
-        .next()
-        .ok_or_else(|| FaircrowdError::persist("empty file (no JSONL header line)"))?;
-    let header = Json::parse(header_line)
-        .map_err(|e| FaircrowdError::persist(format!("line 1 (header): {e}")))?;
-    check_schema(&header)?;
-    let mut trace = Trace {
-        horizon: SimTime::from_secs(u64_field(&header, "horizon", "header")?),
-        disclosure: disclosure_from_json(require(&header, "disclosure", "header")?)?,
-        ground_truth: ground_truth_from_json(require(&header, "ground_truth", "header")?)?,
-        ..Trace::default()
-    };
-    let mut events = Vec::new();
-    for (line_ix, line) in lines {
-        let lineno = line_ix + 1;
+/// The scalar fields a JSONL trace stream declares up front, decoded
+/// from its header line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonlHeader {
+    /// Simulation end time.
+    pub horizon: SimTime,
+    /// The disclosure configuration the platform ran under.
+    pub disclosure: DisclosureSet,
+    /// Evaluation-only ground truth.
+    pub ground_truth: GroundTruth,
+}
+
+/// One decoded JSONL record — everything a line after the header can
+/// carry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonlRecord {
+    /// A worker entity record.
+    Worker(Worker),
+    /// A task entity record.
+    Task(Task),
+    /// A requester entity record.
+    Requester(Requester),
+    /// A submission record.
+    Submission(Submission),
+    /// An audit-log event record.
+    Event(Event),
+}
+
+/// An incremental, line-at-a-time JSONL trace decoder — the streaming
+/// half of this module.
+///
+/// [`trace_from_jsonl`] drains a complete in-memory file through one of
+/// these; the live-audit path (`faircrowd watch`, tailing a file that
+/// is still being appended to) feeds lines as they arrive and hands
+/// each decoded [`JsonlRecord`] to the auditor without ever
+/// materialising the whole trace. The first non-empty line fed must be
+/// the schema header; it is checked (name + version) and retained as
+/// [`JsonlReader::header`].
+///
+/// Errors name the (1-based) line they occurred on, counting **every**
+/// fed line (blank lines too), so positions match the file an operator
+/// opens.
+#[derive(Debug, Default)]
+pub struct JsonlReader {
+    lineno: usize,
+    header: Option<JsonlHeader>,
+}
+
+impl JsonlReader {
+    /// A reader that has seen no lines yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The decoded header, once the header line has been fed.
+    pub fn header(&self) -> Option<&JsonlHeader> {
+        self.header.as_ref()
+    }
+
+    /// Consume the reader, keeping the decoded header (if one arrived).
+    pub fn into_header(self) -> Option<JsonlHeader> {
+        self.header
+    }
+
+    /// Number of lines fed so far (blank lines included).
+    pub fn lines_fed(&self) -> usize {
+        self.lineno
+    }
+
+    /// Feed one line (without its trailing newline). Returns the decoded
+    /// record, or `None` for blank lines and the header line.
+    pub fn feed_line(&mut self, line: &str) -> Result<Option<JsonlRecord>, FaircrowdError> {
+        self.lineno += 1;
+        let lineno = self.lineno;
+        if line.trim().is_empty() {
+            return Ok(None);
+        }
+        if self.header.is_none() {
+            let header = Json::parse(line)
+                .map_err(|e| FaircrowdError::persist(format!("line {lineno} (header): {e}")))?;
+            check_schema(&header)?;
+            // A whole-file JSON trace minified onto one line carries the
+            // same schema name and version but no `format` marker; it
+            // must be rejected here, not silently read as a header whose
+            // entity arrays are ignored (an empty market with a clean
+            // report would be a wrong verdict, not an error).
+            match header.get("format").and_then(Json::as_str) {
+                Some("jsonl") => {}
+                other => {
+                    return Err(FaircrowdError::persist(format!(
+                        "line {lineno} (header): `format` is {}, expected \"jsonl\" — \
+                         whole-file JSON traces are read by `trace_from_json` \
+                         (CLI: `faircrowd replay`)",
+                        other.map_or("missing".to_owned(), |f| format!("`{f}`"))
+                    )))
+                }
+            }
+            self.header = Some(JsonlHeader {
+                horizon: SimTime::from_secs(u64_field(&header, "horizon", "header")?),
+                disclosure: disclosure_from_json(require(&header, "disclosure", "header")?)?,
+                ground_truth: ground_truth_from_json(require(&header, "ground_truth", "header")?)?,
+            });
+            return Ok(None);
+        }
         let record = Json::parse(line)
             .map_err(|e| FaircrowdError::persist(format!("line {lineno}: {e}")))?;
         let members = record.as_obj().ok_or_else(|| {
@@ -542,24 +624,24 @@ pub fn trace_from_jsonl(text: &str) -> Result<Trace, FaircrowdError> {
                 members.len()
             )));
         };
-        match tag.as_str() {
-            "worker" => trace.workers.push(worker_from_json(
+        Ok(Some(match tag.as_str() {
+            "worker" => JsonlRecord::Worker(worker_from_json(
                 value,
                 &format!("line {lineno} (worker record)"),
             )?),
-            "task" => trace.tasks.push(task_from_json(
+            "task" => JsonlRecord::Task(task_from_json(
                 value,
                 &format!("line {lineno} (task record)"),
             )?),
-            "requester" => trace.requesters.push(requester_from_json(
+            "requester" => JsonlRecord::Requester(requester_from_json(
                 value,
                 &format!("line {lineno} (requester record)"),
             )?),
-            "submission" => trace.submissions.push(submission_from_json(
+            "submission" => JsonlRecord::Submission(submission_from_json(
                 value,
                 &format!("line {lineno} (submission record)"),
             )?),
-            "event" => events.push(event_from_json(
+            "event" => JsonlRecord::Event(event_from_json(
                 value,
                 &format!("line {lineno} (event record)"),
             )?),
@@ -569,8 +651,33 @@ pub fn trace_from_jsonl(text: &str) -> Result<Trace, FaircrowdError> {
                      (expected worker | task | requester | submission | event)"
                 )))
             }
+        }))
+    }
+}
+
+/// Decode a trace from its JSONL form: a header line, then one tagged
+/// record per line — the whole-file convenience over [`JsonlReader`].
+/// Errors name the (1-based) line they occurred on.
+pub fn trace_from_jsonl(text: &str) -> Result<Trace, FaircrowdError> {
+    let mut reader = JsonlReader::new();
+    let mut trace = Trace::default();
+    let mut events = Vec::new();
+    for line in text.lines() {
+        match reader.feed_line(line)? {
+            None => {}
+            Some(JsonlRecord::Worker(w)) => trace.workers.push(w),
+            Some(JsonlRecord::Task(t)) => trace.tasks.push(t),
+            Some(JsonlRecord::Requester(r)) => trace.requesters.push(r),
+            Some(JsonlRecord::Submission(s)) => trace.submissions.push(s),
+            Some(JsonlRecord::Event(e)) => events.push(e),
         }
     }
+    let header = reader
+        .into_header()
+        .ok_or_else(|| FaircrowdError::persist("empty file (no JSONL header line)"))?;
+    trace.horizon = header.horizon;
+    trace.disclosure = header.disclosure;
+    trace.ground_truth = header.ground_truth;
     trace.events = EventLog::from_events(events);
     Ok(trace)
 }
@@ -1375,6 +1482,126 @@ mod tests {
         let text = err.to_string();
         assert!(text.contains("line 4"), "{text}");
         assert!(text.contains("martian"), "{text}");
+    }
+
+    #[test]
+    fn streaming_reader_yields_records_in_file_order() {
+        let trace = full_trace();
+        let lines = trace_to_jsonl(&trace);
+        let mut reader = JsonlReader::new();
+        let mut back = Trace::default();
+        let mut events = Vec::new();
+        for line in lines.lines() {
+            match reader.feed_line(line).unwrap() {
+                None => {}
+                Some(JsonlRecord::Worker(w)) => back.workers.push(w),
+                Some(JsonlRecord::Task(t)) => back.tasks.push(t),
+                Some(JsonlRecord::Requester(r)) => back.requesters.push(r),
+                Some(JsonlRecord::Submission(s)) => back.submissions.push(s),
+                Some(JsonlRecord::Event(e)) => events.push(e),
+            }
+        }
+        let header = reader.into_header().expect("header line was fed");
+        back.horizon = header.horizon;
+        back.disclosure = header.disclosure;
+        back.ground_truth = header.ground_truth;
+        back.events = EventLog::from_events(events);
+        assert_eq!(back, trace, "streaming decode must equal the batch decode");
+    }
+
+    #[test]
+    fn streaming_reader_counts_blank_lines_into_positions() {
+        let trace = full_trace();
+        let lines = trace_to_jsonl(&trace);
+        let mut reader = JsonlReader::new();
+        reader.feed_line("").unwrap();
+        reader.feed_line("   ").unwrap();
+        let mut fed = 2;
+        let mut broke = None;
+        for line in lines.lines() {
+            fed += 1;
+            if fed == 5 {
+                broke = Some(reader.feed_line("{ not json").unwrap_err());
+                break;
+            }
+            reader.feed_line(line).unwrap();
+        }
+        let text = broke.expect("line 5 must error").to_string();
+        assert!(text.contains("line 5"), "{text}");
+        assert_eq!(reader.lines_fed(), 5);
+    }
+
+    #[test]
+    fn streaming_reader_rejects_minified_whole_file_json() {
+        // Same schema name/version, no `format` marker: reading it as a
+        // JSONL header would silently drop every entity array on the
+        // line and report an empty (clean!) market.
+        let compact = trace_to_json(&full_trace()).to_compact();
+        let err = trace_from_jsonl(&compact).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("`format` is missing"), "{text}");
+        assert!(text.contains("trace_from_json"), "{text}");
+        let mut reader = JsonlReader::new();
+        assert!(reader.feed_line(&compact).is_err());
+        assert!(reader.header().is_none());
+    }
+
+    #[test]
+    fn streaming_reader_reports_sparse_seq_position_via_validate() {
+        // A JSONL stream whose event seqs go sparse mid-stream decodes
+        // record by record (the reader does not guess at repair), and
+        // the log-level validation then names exactly which seq broke —
+        // the contract `faircrowd watch` builds its line-tagged ingest
+        // errors on.
+        let trace = full_trace();
+        let lines = trace_to_jsonl(&trace);
+        let mut broken: Vec<String> = lines.lines().map(str::to_owned).collect();
+        let target = broken
+            .iter()
+            .position(|l| l.contains("\"seq\":3"))
+            .expect("event with seq 3 exists");
+        broken[target] = broken[target].replacen("\"seq\":3", "\"seq\":9", 1);
+        let back = trace_from_jsonl(&broken.join("\n")).unwrap();
+        let defect = back.events.as_slice();
+        assert_eq!(defect[3].seq, 9, "the sparse seq survives decoding");
+        let err = back.events.validate().unwrap_err();
+        assert_eq!(
+            err,
+            crate::event::LogDefect::SparseSeq {
+                index: 3,
+                expected: 3,
+                found: 9,
+            }
+        );
+        assert!(err.to_string().contains("seq 9"), "{err}");
+    }
+
+    #[test]
+    fn streaming_reader_reports_time_regression_position_via_validate() {
+        let trace = full_trace();
+        let lines = trace_to_jsonl(&trace);
+        let mut broken: Vec<String> = lines.lines().map(str::to_owned).collect();
+        let target = broken
+            .iter()
+            .position(|l| l.contains("\"time\":5,\"seq\":5"))
+            .expect("event at t=5s exists");
+        broken[target] = broken[target].replacen("\"time\":5", "\"time\":2", 1);
+        let back = trace_from_jsonl(&broken.join("\n")).unwrap();
+        let err = back.events.validate().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                crate::event::LogDefect::TimeRegression {
+                    index: 5,
+                    seq: 5,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        let text = err.to_string();
+        assert!(text.contains("seq 5"), "{text}");
+        assert!(text.contains("regressing"), "{text}");
     }
 
     #[test]

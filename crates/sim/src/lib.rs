@@ -42,7 +42,7 @@ pub use config::{
     ApprovalPolicy, CampaignSpec, CancellationPolicy, DetectionConfig, PaymentSchemeChoice,
     PolicyChoice, ScenarioConfig, WorkerPopulation,
 };
-pub use platform::Simulation;
+pub use platform::{LiveSetup, RoundDelta, Simulation};
 pub use stats::TraceSummary;
 
 /// Run a scenario to completion and return its trace.

@@ -24,8 +24,8 @@ use crate::gen::{self, Reference};
 use faircrowd_assign::{AssignInput, AssignmentPolicy, TaskView, WorkerView};
 use faircrowd_model::attributes::{AttrValue, DeclaredAttrs};
 use faircrowd_model::contribution::Submission;
-use faircrowd_model::disclosure::Audience;
-use faircrowd_model::event::{CancelReason, EventKind, EventLog, QuitReason};
+use faircrowd_model::disclosure::{Audience, DisclosureSet};
+use faircrowd_model::event::{CancelReason, Event, EventKind, EventLog, QuitReason};
 use faircrowd_model::ids::{CampaignId, RequesterId, SkillId, SubmissionId, TaskId, WorkerId};
 use faircrowd_model::requester::Requester;
 use faircrowd_model::skills::SkillVector;
@@ -87,6 +87,41 @@ struct PendingJudgment {
 struct DecisionStats {
     decisions: u64,
     latency_sum: u64,
+}
+
+/// What one simulated round appended to the world — handed to the
+/// observer of [`Simulation::run_observed`] after the round completes,
+/// so a streaming auditor can ingest the marketplace as it runs.
+#[derive(Debug)]
+pub struct RoundDelta<'a> {
+    /// The round that just completed (or [`ScenarioConfig::rounds`] for
+    /// the final flush).
+    pub round: u32,
+    /// True for the one post-horizon delta that lands still-flying work
+    /// and flushes outstanding judgments.
+    pub final_flush: bool,
+    /// Tasks posted during the round, in id order.
+    pub new_tasks: Vec<&'a Task>,
+    /// Submissions that landed during the round.
+    pub new_submissions: &'a [Submission],
+    /// Audit-log events appended during the round, in seq order.
+    pub new_events: &'a [Event],
+}
+
+/// The initial world an observer sees before round 0 — everything that
+/// exists up front (see [`Simulation::live_setup`]).
+#[derive(Debug)]
+pub struct LiveSetup<'a> {
+    /// All workers, in their initial state (computed attributes evolve
+    /// as the simulation runs).
+    pub workers: Vec<&'a Worker>,
+    /// All requesters.
+    pub requesters: &'a [Requester],
+    /// The disclosure configuration the platform runs under.
+    pub disclosure: &'a DisclosureSet,
+    /// Workers that are malicious by construction (the evaluation-only
+    /// ground truth the Axiom 4 monitor scores flags against).
+    pub malicious_workers: BTreeSet<WorkerId>,
 }
 
 /// The simulator.
@@ -210,9 +245,44 @@ impl Simulation {
     }
 
     /// Run the scenario and build the trace.
-    pub fn run(mut self) -> Trace {
+    pub fn run(self) -> Trace {
+        self.run_observed(|_| {})
+    }
+
+    /// The initial world an observer of [`Simulation::run_observed`]
+    /// sees before round 0: every entity that exists up front, plus the
+    /// config facts a streaming auditor needs (disclosure set, the
+    /// ground-truth malicious set). Tasks and submissions arrive later,
+    /// in [`RoundDelta`]s.
+    pub fn live_setup(&self) -> LiveSetup<'_> {
+        LiveSetup {
+            workers: self.workers.iter().map(|w| &w.worker).collect(),
+            requesters: &self.requesters,
+            disclosure: &self.cfg.disclosure,
+            malicious_workers: self
+                .workers
+                .iter()
+                .filter(|w| w.archetype.is_malicious())
+                .map(|w| w.worker.id)
+                .collect(),
+        }
+    }
+
+    /// Run the scenario, calling `observe` after **every round** with
+    /// exactly what that round appended to the world (tasks posted,
+    /// submissions landed, events logged) — the hook the live-audit
+    /// pipeline (`Pipeline::run_live`) ingests from, auditing during
+    /// the simulation instead of after it. One final delta (with
+    /// [`RoundDelta::final_flush`] set) carries the post-horizon flush
+    /// of in-flight work and outstanding judgments. The observer is
+    /// passive: observed and unobserved runs produce the identical
+    /// trace.
+    pub fn run_observed<F: FnMut(RoundDelta<'_>)>(mut self, mut observe: F) -> Trace {
         let rounds = self.cfg.rounds;
         for round in 0..rounds {
+            let tasks_before = self.tasks.len();
+            let subs_before = self.submissions.len();
+            let events_before = self.events.len();
             self.now = SimTime::from_secs(u64::from(round) * 3600);
             self.post_campaigns(round);
             self.start_sessions();
@@ -221,12 +291,28 @@ impl Simulation {
             self.run_assignment(round);
             self.run_detection(round);
             self.end_sessions();
+            observe(RoundDelta {
+                round,
+                final_flush: false,
+                new_tasks: self.tasks[tasks_before..].iter().map(|t| &t.task).collect(),
+                new_submissions: &self.submissions[subs_before..],
+                new_events: &self.events.as_slice()[events_before..],
+            });
         }
         // Final flush: land whatever is still flying, then decide
         // everything outstanding.
+        let subs_before = self.submissions.len();
+        let events_before = self.events.len();
         self.now = SimTime::from_secs(u64::from(rounds) * 3600);
         self.land_submissions(u32::MAX);
         self.process_due_judgments(u32::MAX, true);
+        observe(RoundDelta {
+            round: rounds,
+            final_flush: true,
+            new_tasks: Vec::new(),
+            new_submissions: &self.submissions[subs_before..],
+            new_events: &self.events.as_slice()[events_before..],
+        });
         debug_assert!(self.ledger.conserves(), "ledger must conserve");
         self.build_trace()
     }
@@ -862,6 +948,40 @@ mod tests {
             campaigns: vec![CampaignSpec::labeling("acme", 20, 10)],
             ..Default::default()
         }
+    }
+
+    #[test]
+    fn observed_run_is_identical_and_deltas_tile_the_trace() {
+        let plain = Simulation::new(base_config()).run();
+        let sim = Simulation::new(base_config());
+        let setup = sim.live_setup();
+        assert_eq!(setup.workers.len(), 15);
+        assert!(setup.malicious_workers.is_empty());
+        let n_requesters = setup.requesters.len();
+        let mut rounds_seen = 0u32;
+        let mut tasks = 0usize;
+        let mut subs = 0usize;
+        let mut events = 0usize;
+        let mut last_seq: Option<u64> = None;
+        let observed = sim.run_observed(|delta| {
+            if !delta.final_flush {
+                assert_eq!(delta.round, rounds_seen);
+                rounds_seen += 1;
+            }
+            tasks += delta.new_tasks.len();
+            subs += delta.new_submissions.len();
+            events += delta.new_events.len();
+            for e in delta.new_events {
+                assert_eq!(e.seq, last_seq.map_or(0, |s| s + 1), "seqs stay dense");
+                last_seq = Some(e.seq);
+            }
+        });
+        assert_eq!(observed, plain, "the observer must be passive");
+        assert_eq!(rounds_seen, base_config().rounds);
+        assert_eq!(tasks, observed.tasks.len(), "every task is announced once");
+        assert_eq!(subs, observed.submissions.len());
+        assert_eq!(events, observed.events.len(), "deltas tile the event log");
+        assert_eq!(n_requesters, observed.requesters.len());
     }
 
     #[test]

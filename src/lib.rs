@@ -72,7 +72,7 @@ pub mod pipeline;
 pub mod sweep;
 
 pub use faircrowd_model::FaircrowdError;
-pub use pipeline::{Enforcement, Pipeline, PipelineResult};
+pub use pipeline::{Enforcement, LiveRunArtifacts, Pipeline, PipelineResult};
 pub use sweep::{SweepGrid, SweepResult};
 
 /// Compile every fenced Rust block in the README as a doctest, so the
@@ -84,9 +84,14 @@ pub struct ReadmeDoctests;
 
 /// The items most programs need.
 pub mod prelude {
-    pub use crate::pipeline::{Enforcement, Pipeline, PipelineResult, RunArtifacts};
+    pub use crate::pipeline::{
+        Enforcement, LiveRunArtifacts, Pipeline, PipelineResult, RunArtifacts,
+    };
     pub use crate::sweep::{SweepGrid, SweepResult};
-    pub use faircrowd_core::{AuditConfig, AuditEngine, AxiomId, FairnessReport, SimilarityConfig};
+    pub use faircrowd_core::{
+        AuditConfig, AuditEngine, AxiomId, FairnessReport, FindingOrigin, LiveAuditor, LiveFinding,
+        SimilarityConfig,
+    };
     pub use faircrowd_model::prelude::*;
     pub use faircrowd_sim::{
         ApprovalPolicy, CampaignSpec, CancellationPolicy, DetectionConfig, PaymentSchemeChoice,

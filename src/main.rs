@@ -4,10 +4,11 @@
 //!
 //! ```text
 //! faircrowd axioms                         print the paper's seven axioms
-//! faircrowd run   [OPTS] [--enforce E]...  full pipeline incl. enforcement re-audit
+//! faircrowd run   [OPTS] [--live] [--enforce E]...  full pipeline incl. enforcement re-audit
 //! faircrowd audit [OPTS | --trace FILE]    audit a simulated market or a trace file
 //! faircrowd export [OPTS] --out FILE       simulate a market and write its trace
 //! faircrowd replay <FILE>                  load a trace file, audit it, report
+//! faircrowd watch <FILE.jsonl> [--once]    tail a (growing) JSONL trace, stream violations
 //! faircrowd sweep [--grid G] [--jobs N] [--format F]   parallel grid sweep
 //! faircrowd scenarios                      list the named scenario catalog
 //! faircrowd policies                       list the TPL platform catalog
@@ -45,6 +46,7 @@ fn main() -> ExitCode {
         Some("audit") => run_cmd(&args[1..], false),
         Some("export") => export_cmd(&args[1..]),
         Some("replay") => replay_cmd(&args[1..]),
+        Some("watch") => watch_cmd(&args[1..]),
         Some("sweep") => sweep(&args[1..]),
         Some("scenarios") => scenarios_cmd(),
         Some("policies") => policies(),
@@ -74,10 +76,12 @@ fn usage() {
         "faircrowd — fairness and transparency auditing for crowdsourcing\n\n\
          USAGE:\n  \
          faircrowd axioms                         print the paper's seven axioms\n  \
-         faircrowd run   [OPTS] [--enforce E]...  full pipeline incl. enforcement re-audit\n  \
+         faircrowd run   [OPTS] [--live] [--enforce E]...  full pipeline incl. enforcement re-audit\n  \
          faircrowd audit [OPTS | --trace FILE]    audit a simulated market or a trace file\n  \
          faircrowd export [OPTS] --out FILE       simulate a market and write its trace\n  \
          faircrowd replay <FILE>                  load a trace file, audit it, report\n  \
+         faircrowd watch <FILE.jsonl> [WATCH-OPTS]  tail a JSONL trace (even while it\n                                           \
+         grows), stream violations as they land\n  \
          faircrowd sweep [SWEEP-OPTS]             parallel grid sweep, aggregate stats\n  \
          faircrowd scenarios                      list the named scenario catalog\n  \
          faircrowd policies                       list the TPL platform catalog\n  \
@@ -85,7 +89,8 @@ fn usage() {
          faircrowd compare <a> <b>                diff two catalog policies\n\n\
          trace files: `.jsonl` writes the line-oriented log form, anything else\n  \
          the whole-file JSON form; `replay` and `audit --trace` accept both\n  \
-         (validated: schema version + referential integrity, never a panic)\n\n\
+         (validated: schema version + referential integrity, never a panic);\n  \
+         `watch` streams the JSONL form only\n\n\
          OPTS:\n  \
          --scenario NAME  start from a catalog scenario (default: flag-built market)\n  \
          --policy NAME    assignment policy (default self_selection)\n  \
@@ -93,12 +98,17 @@ fn usage() {
          --rounds N       market rounds (default 48)\n  \
          --workers N      diligent workers (default 30; ignored with --scenario)\n  \
          --opaque         run the platform with an opaque disclosure set\n  \
+         --live           (run) audit during the simulation, printing each\n                   \
+         violation at the event that introduced it\n  \
          --out FILE       (export) where to write the trace\n  \
          --trace FILE     (audit) audit a recorded trace instead of simulating\n\n\
+         WATCH-OPTS:\n  \
+         --once           process the file's current contents and stop (no tailing)\n  \
+         --idle-ms N      stop after N ms with no growth (default 1500)\n\n\
          SWEEP-OPTS:\n  \
          --grid SPEC      axes as `axis=v1,v2;…` over scenario | policy | seed |\n                   \
-         scale | rounds | enforce — `*` for every name, `a..b` seed\n                   \
-         ranges, `+`-stacked enforcements (default `policy=*`)\n  \
+         scale | rounds | enforce — `*` for every name, `a..b` or\n                   \
+         `a..=b` seed ranges, `+`-stacked enforcements (default `policy=*`)\n  \
          --jobs N         worker threads (default: available cores)\n  \
          --format F       table | json | csv (default table)\n\n\
          enforcements for --enforce (repeatable) and the enforce axis:\n  \
@@ -211,7 +221,7 @@ fn pipeline_from_flags(args: &[String], with_enforce: bool) -> Result<Pipeline, 
 /// user didn't replay), and config repairs cannot be applied to a
 /// platform that already ran (so `--enforce` would be silently
 /// dropped).
-const TRACE_CONFLICTS: [&str; 7] = [
+const TRACE_CONFLICTS: [&str; 8] = [
     "--scenario",
     "--policy",
     "--seed",
@@ -219,6 +229,7 @@ const TRACE_CONFLICTS: [&str; 7] = [
     "--workers",
     "--opaque",
     "--enforce",
+    "--live",
 ];
 
 fn run_cmd(args: &[String], with_enforce: bool) -> Result<(), FaircrowdError> {
@@ -238,7 +249,17 @@ fn run_cmd(args: &[String], with_enforce: bool) -> Result<(), FaircrowdError> {
         }
         return replay_file(path);
     }
+    let live = args.iter().any(|a| a == "--live");
+    if live && !with_enforce {
+        return Err(FaircrowdError::usage(
+            "--live is only valid with `faircrowd run`; `audit --trace` replays a finished \
+             log (use `faircrowd watch` to stream one)",
+        ));
+    }
     let pipeline = pipeline_from_flags(args, with_enforce)?;
+    if live {
+        return run_live(args, pipeline);
+    }
     let result = pipeline.run()?;
     println!(
         "auditing: policy={}, seed={}, rounds={}\n",
@@ -247,6 +268,42 @@ fn run_cmd(args: &[String], with_enforce: bool) -> Result<(), FaircrowdError> {
         result.config.rounds
     );
     print!("{}", result.render());
+    Ok(())
+}
+
+/// `faircrowd run --live`: audit the market *while it runs*, printing
+/// each violation at the event that introduced it, then the same
+/// market-plus-report block as a batch `run` (the closing report is
+/// bit-identical to the batch audit of the same scenario).
+fn run_live(args: &[String], pipeline: Pipeline) -> Result<(), FaircrowdError> {
+    if args.iter().any(|a| a == "--enforce") {
+        return Err(FaircrowdError::usage(
+            "--enforce conflicts with --live: live auditing watches one run as it happens, \
+             while enforcement repairs re-simulate a different market",
+        ));
+    }
+    // The header comes off the pipeline's resolved config — the same
+    // source the batch path prints — so it can never drift from what
+    // actually runs.
+    let config = pipeline.scenario_config();
+    println!(
+        "live-auditing: policy={}, seed={}, rounds={}\n",
+        config.policy.label(),
+        config.seed,
+        config.rounds
+    );
+    let live = pipeline.run_live(|finding| println!("{finding}"))?;
+    let shown = live.findings.len();
+    println!(
+        "\n{} live finding(s){}\n",
+        shown + live.suppressed_findings,
+        if live.suppressed_findings > 0 {
+            format!(" ({} past the in-memory cap)", live.suppressed_findings)
+        } else {
+            String::new()
+        }
+    );
+    print!("{}", live.artifacts.render("live"));
     Ok(())
 }
 
@@ -303,6 +360,169 @@ fn replay_file(path: &str) -> Result<(), FaircrowdError> {
     let artifacts = Pipeline::new().replay_owned(trace)?;
     print!("{}", artifacts.render("replayed"));
     Ok(())
+}
+
+/// `faircrowd watch <FILE.jsonl>`: stream a JSONL trace through the
+/// live auditor, printing each violation at the event that introduced
+/// it. The file may still be growing — watch keeps tailing until it has
+/// seen no new bytes for `--idle-ms` (or processes the current contents
+/// once under `--once`), then finalizes and prints the same
+/// market-plus-report block as `replay`/`audit --trace`, so the two
+/// outputs diff cleanly from the audit table onward (the CI smoke step
+/// does exactly that: the streamed violation set must not drift from
+/// the batch one).
+fn watch_cmd(args: &[String]) -> Result<(), FaircrowdError> {
+    let mut path: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--once" => i += 1,
+            "--idle-ms" => i += 2,
+            flag if flag.starts_with("--") => {
+                return Err(FaircrowdError::usage(format!(
+                    "unknown flag `{flag}` for `faircrowd watch`; supported: --once --idle-ms N"
+                )))
+            }
+            positional => {
+                if path.is_some() {
+                    return Err(FaircrowdError::usage(format!(
+                        "unexpected argument `{positional}`: `faircrowd watch` takes exactly \
+                         one JSONL trace file"
+                    )));
+                }
+                path = Some(positional);
+                i += 1;
+            }
+        }
+    }
+    let path = path.ok_or_else(|| FaircrowdError::usage("usage: faircrowd watch <trace.jsonl>"))?;
+    let once = args.iter().any(|a| a == "--once");
+    let idle_ms: u64 = parse_flag(args, "--idle-ms", 1500)?;
+
+    use std::io::Read as _;
+    let mut file = std::fs::File::open(path).map_err(|e| FaircrowdError::Io {
+        path: path.to_owned(),
+        message: e.to_string(),
+    })?;
+    let mut reader = faircrowd::model::trace_io::JsonlReader::new();
+    let mut auditor = LiveAuditor::new(AuditConfig::default());
+    let mut header_applied = false;
+    // Byte buffers, not strings: a poll can catch the producer mid
+    // multi-byte UTF-8 character, which must wait in the carry for the
+    // rest of the write — only complete lines are decoded.
+    let mut carry: Vec<u8> = Vec::new();
+    let mut chunk: Vec<u8> = Vec::new();
+    let mut idle_waited = 0u64;
+    const POLL_MS: u64 = 100;
+
+    let mut feed = |line: &str,
+                    reader: &mut faircrowd::model::trace_io::JsonlReader,
+                    auditor: &mut LiveAuditor|
+     -> Result<(), FaircrowdError> {
+        match reader.feed_line(line).map_err(|e| e.at_path(path))? {
+            None => {
+                if !header_applied {
+                    if let Some(header) = reader.header() {
+                        auditor.apply_header(header);
+                        header_applied = true;
+                    }
+                }
+            }
+            Some(record) => {
+                let findings = auditor
+                    .apply_record(record)
+                    .map_err(|e| at_watch_line(e, reader.lines_fed()))?;
+                for finding in findings {
+                    println!("{finding}");
+                }
+            }
+        }
+        Ok(())
+    };
+
+    loop {
+        chunk.clear();
+        file.read_to_end(&mut chunk)
+            .map_err(|e| FaircrowdError::Io {
+                path: path.to_owned(),
+                message: e.to_string(),
+            })?;
+        if chunk.is_empty() {
+            if once {
+                break;
+            }
+            if idle_waited >= idle_ms {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(POLL_MS));
+            idle_waited += POLL_MS;
+            continue;
+        }
+        idle_waited = 0;
+        carry.extend_from_slice(&chunk);
+        // Feed only complete lines; a partially written tail (bytes, or
+        // half a multi-byte character) stays in the carry until its
+        // newline arrives.
+        while let Some(nl) = carry.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = carry.drain(..=nl).collect();
+            let line = String::from_utf8(line_bytes).map_err(|_| {
+                FaircrowdError::persist(format!("line {}: not valid UTF-8", reader.lines_fed() + 1))
+                    .at_path(path)
+            })?;
+            feed(
+                line.trim_end_matches(['\n', '\r']),
+                &mut reader,
+                &mut auditor,
+            )?;
+        }
+    }
+    // A non-empty carry at stop is a file truncated mid-record (possibly
+    // mid-character): feed it so the decoder reports the malformed line
+    // instead of silently dropping it.
+    if carry.iter().any(|b| !b.is_ascii_whitespace()) {
+        let tail = String::from_utf8_lossy(&carry).into_owned();
+        feed(&tail, &mut reader, &mut auditor)?;
+    }
+    if !header_applied {
+        return Err(FaircrowdError::usage(format!(
+            "`{path}` is not a JSONL trace stream (no schema header line); \
+             use `faircrowd replay` for whole-file JSON traces"
+        )));
+    }
+    for finding in auditor.finalize() {
+        println!("{finding}");
+    }
+    auditor.trace().ensure_valid()?;
+    let (report, wages) = auditor.final_artifacts(&AxiomId::ALL);
+    let trace = auditor.into_trace();
+    println!(
+        "\nwatched {path}: {} workers, {} tasks, {} events\n",
+        trace.workers.len(),
+        trace.tasks.len(),
+        trace.events.len()
+    );
+    let summary = TraceSummary::of(&trace);
+    let artifacts = RunArtifacts {
+        trace,
+        summary,
+        report,
+        wages,
+    };
+    print!("{}", artifacts.render("watched"));
+    Ok(())
+}
+
+/// Tag a streaming-ingest error with the file line it arose on.
+fn at_watch_line(err: FaircrowdError, lineno: usize) -> FaircrowdError {
+    match err {
+        FaircrowdError::InvalidTrace { problems } => FaircrowdError::InvalidTrace {
+            problems: problems
+                .into_iter()
+                .map(|p| format!("line {lineno}: {p}"))
+                .collect(),
+        },
+        other => other,
+    }
 }
 
 /// The only flags `sweep` reads; anything else is rejected rather than
@@ -582,6 +802,89 @@ mod tests {
         .unwrap();
         run_cmd(&argv(&["--trace", &path_str]), false).unwrap();
         replay_cmd(&argv(&[&path_str])).unwrap();
+        watch_cmd(&argv(&[&path_str, "--once"])).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_live_streams_and_reports() {
+        run_cmd(&argv(&["--rounds", "6", "--workers", "8", "--live"]), true).unwrap();
+        // --live cannot combine with --enforce (repairs re-simulate)…
+        let err = run_cmd(
+            &argv(&["--live", "--enforce", "parity", "--rounds", "6"]),
+            true,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--live"), "{err}");
+        // …nor with `audit` (which replays or simulates a finished log).
+        let err = run_cmd(&argv(&["--live", "--rounds", "6"]), false).unwrap_err();
+        assert!(err.to_string().contains("watch"), "{err}");
+        // …and a recorded trace is watched, not run live.
+        let err = run_cmd(&argv(&["--trace", "t.jsonl", "--live"]), false).unwrap_err();
+        assert!(err.to_string().contains("--live"), "{err}");
+    }
+
+    #[test]
+    fn watch_arguments_are_validated() {
+        let err = watch_cmd(&[]).unwrap_err();
+        assert!(err.to_string().contains("watch <trace.jsonl>"), "{err}");
+        let err = watch_cmd(&argv(&["a.jsonl", "b.jsonl"])).unwrap_err();
+        assert!(err.to_string().contains("exactly"), "{err}");
+        let err = watch_cmd(&argv(&["a.jsonl", "--follow-forever"])).unwrap_err();
+        assert!(err.to_string().contains("--follow-forever"), "{err}");
+        let err = watch_cmd(&argv(&["/no/such/fc_trace.jsonl", "--once"])).unwrap_err();
+        assert!(matches!(err, FaircrowdError::Io { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn watch_rejects_whole_file_json_with_guidance() {
+        let path = std::env::temp_dir().join("fc_cli_watch_wrongformat.trace.json");
+        let path_str = path.to_str().unwrap().to_owned();
+        export_cmd(&argv(&[
+            "--rounds",
+            "6",
+            "--workers",
+            "6",
+            "--out",
+            &path_str,
+        ]))
+        .unwrap();
+        let err = watch_cmd(&argv(&[&path_str, "--once"])).unwrap_err();
+        let text = err.to_string();
+        assert!(
+            text.contains("replay") || text.contains("header"),
+            "must point at replay for whole-file JSON: {text}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn watch_names_the_line_that_broke_monotonicity() {
+        // A stream whose event seqs go sparse mid-file: watch must name
+        // the file line and the offending seq, not just fail wholesale.
+        let path = std::env::temp_dir().join("fc_cli_watch_sparse.trace.jsonl");
+        let path_str = path.to_str().unwrap().to_owned();
+        export_cmd(&argv(&[
+            "--rounds",
+            "6",
+            "--workers",
+            "6",
+            "--out",
+            &path_str,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        let target = lines
+            .iter()
+            .position(|l| l.contains("\"seq\":3,"))
+            .expect("an event with seq 3 exists");
+        lines[target] = lines[target].replacen("\"seq\":3,", "\"seq\":9,", 1);
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        let err = watch_cmd(&argv(&[&path_str, "--once"])).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains(&format!("line {}", target + 1)), "{msg}");
+        assert!(msg.contains("seq 9"), "{msg}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -31,11 +31,13 @@
 //! when enforcements are staged — applies them as config repairs,
 //! re-simulates and re-audits, returning both runs for comparison.
 
+use crate::core::live::{LiveAuditor, LiveFinding};
 use crate::core::report::render_report;
 use crate::core::{metrics, AuditConfig, AuditEngine, AxiomId, FairnessReport, TraceIndex};
+use crate::model::trace::GroundTruth;
 use crate::model::{FaircrowdError, Trace};
 use crate::pay::WageStats;
-use crate::sim::{CancellationPolicy, PolicyChoice, ScenarioConfig, TraceSummary};
+use crate::sim::{CancellationPolicy, PolicyChoice, ScenarioConfig, Simulation, TraceSummary};
 
 /// A fairness repair the pipeline applies before its second run. Each
 /// variant is a config-level repair targeting one axiom family, per
@@ -117,6 +119,23 @@ pub struct RunArtifacts {
     /// [`crate::core::metrics::wage_stats`]). Computed off the same
     /// [`TraceIndex`] the audit used.
     pub wages: Option<WageStats>,
+}
+
+/// What [`Pipeline::run_live`] returns: the standard run artifacts plus
+/// the stream of findings the monitors emitted while the market ran.
+#[derive(Debug, Clone)]
+pub struct LiveRunArtifacts {
+    /// Trace, summary, closing report and wages — the same shape a
+    /// batch [`Pipeline::run`] produces for its baseline, with the
+    /// report computed by the [`LiveAuditor`] off its incremental
+    /// mirrors (bit-identical to the batch audit of the same trace).
+    pub artifacts: RunArtifacts,
+    /// Every finding emitted during the run, in stream order, capped by
+    /// the auditor's in-memory limit.
+    pub findings: Vec<LiveFinding>,
+    /// Findings past the cap (they still reached the `on_finding`
+    /// callback when they fired).
+    pub suppressed_findings: usize,
 }
 
 /// The enforcement pass of a [`PipelineResult`].
@@ -240,6 +259,14 @@ impl Pipeline {
     pub fn scenario(mut self, config: ScenarioConfig) -> Self {
         self.scenario = config;
         self
+    }
+
+    /// The staged scenario as currently resolved (policy, seed, rounds)
+    /// — what [`Pipeline::run`] / [`Pipeline::run_live`] will validate
+    /// and simulate. The CLI prints its run headers from this, so they
+    /// can never drift from the configuration that actually ran.
+    pub fn scenario_config(&self) -> &ScenarioConfig {
+        &self.scenario
     }
 
     /// Tweak the current scenario in place — the ergonomic middle ground
@@ -406,6 +433,99 @@ impl Pipeline {
         repaired.validate()?;
         let trace = Self::simulate_config(&repaired)?;
         Ok(self.audit_artifacts(trace))
+    }
+
+    /// Execute the pipeline **with live auditing**: the staged scenario
+    /// is simulated round by round ([`Simulation::run_observed`]), a
+    /// [`LiveAuditor`] ingests every round's events as they are logged,
+    /// and each violation is handed to `on_finding` at the event that
+    /// introduced it — instead of the whole audit running after the
+    /// market closed. The closing report comes from the auditor's
+    /// incremental mirrors and is bit-identical to what
+    /// [`Pipeline::run`] would have reported for the same scenario.
+    ///
+    /// Enforcements cannot be staged on a live run: config repairs
+    /// re-simulate a *different* market, which has its own stream.
+    pub fn run_live(
+        self,
+        mut on_finding: impl FnMut(&LiveFinding),
+    ) -> Result<LiveRunArtifacts, FaircrowdError> {
+        if !self.enforcements.is_empty() {
+            return Err(FaircrowdError::usage(
+                "live auditing watches one run as it happens; enforcement repairs \
+                 re-simulate a different market — use `run` without --live to compare them",
+            ));
+        }
+        self.scenario.validate()?;
+        let sim = Simulation::new(self.scenario.clone());
+        let mut auditor = LiveAuditor::new(self.audit.clone());
+        {
+            let setup = sim.live_setup();
+            auditor.set_disclosure(setup.disclosure.clone());
+            auditor.set_ground_truth(GroundTruth {
+                malicious_workers: setup.malicious_workers.clone(),
+                true_labels: Default::default(),
+            });
+            for w in &setup.workers {
+                auditor.add_worker((*w).clone());
+            }
+            for r in setup.requesters {
+                auditor.add_requester(r.clone());
+            }
+        }
+        // The observer is infallible; a rejected event (impossible for a
+        // simulator-produced stream, which is dense and monotonic by
+        // construction) is carried out and re-raised.
+        let mut stream_err: Option<FaircrowdError> = None;
+        let trace = sim.run_observed(|delta| {
+            if stream_err.is_some() {
+                return;
+            }
+            for t in &delta.new_tasks {
+                auditor.add_task((*t).clone());
+            }
+            for s in delta.new_submissions {
+                auditor.add_submission(s.clone());
+            }
+            for e in delta.new_events {
+                match auditor.ingest(e.clone()) {
+                    Ok(findings) => {
+                        for f in &findings {
+                            on_finding(f);
+                        }
+                    }
+                    Err(err) => {
+                        stream_err = Some(err);
+                        return;
+                    }
+                }
+            }
+        });
+        if let Some(err) = stream_err {
+            return Err(err);
+        }
+        trace.ensure_valid()?;
+        // Worker computed attributes evolved while the monitors ran; the
+        // closing report is always taken over the end state.
+        auditor.adopt_end_state(&trace)?;
+        for f in auditor.finalize() {
+            on_finding(&f);
+        }
+        let (report, wages) = match &self.axioms {
+            Some(ids) => auditor.final_artifacts(ids),
+            None => auditor.final_artifacts(&AxiomId::ALL),
+        };
+        let summary = TraceSummary::of(&trace);
+        Ok(LiveRunArtifacts {
+            findings: auditor.findings().to_vec(),
+            suppressed_findings: auditor.suppressed_findings(),
+            artifacts: RunArtifacts {
+                trace,
+                summary,
+                report,
+                wages,
+            },
+        })
     }
 
     /// Index, audit and summarise one owned trace.
@@ -575,6 +695,34 @@ mod tests {
             .run_final_with_baseline(|| plain.simulate())
             .unwrap();
         assert_eq!(lean.report, plain.clone().run().unwrap().baseline.report);
+    }
+
+    #[test]
+    fn run_live_matches_run_bit_for_bit() {
+        let pipeline = Pipeline::new().seed(9).rounds(10);
+        let batch = pipeline.clone().run().unwrap();
+        let mut streamed = 0usize;
+        let live = pipeline.run_live(|_| streamed += 1).unwrap();
+        assert_eq!(live.artifacts.report, batch.baseline.report);
+        assert_eq!(live.artifacts.trace, batch.baseline.trace);
+        assert_eq!(live.artifacts.summary, batch.baseline.summary);
+        assert_eq!(live.artifacts.wages, batch.baseline.wages);
+        assert_eq!(
+            streamed,
+            live.findings.len() + live.suppressed_findings,
+            "every finding reaches the callback exactly once"
+        );
+    }
+
+    #[test]
+    fn run_live_rejects_staged_enforcements() {
+        let err = Pipeline::new()
+            .rounds(8)
+            .enforce(Enforcement::GraceFinish)
+            .run_live(|_| {})
+            .unwrap_err();
+        assert!(matches!(err, FaircrowdError::Usage { .. }), "{err}");
+        assert!(err.to_string().contains("--live"), "{err}");
     }
 
     #[test]

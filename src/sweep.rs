@@ -49,7 +49,8 @@
 //! ```
 //!
 //! `policy=*` means every registry policy, `scenario=*` every catalog
-//! scenario; `seed` accepts half-open `a..b` ranges; `enforce` stacks
+//! scenario; `seed` accepts half-open `a..b` and inclusive `a..=b`
+//! ranges (reversed bounds are rejected as typos); `enforce` stacks
 //! repairs with `+` (`none` for the empty stack). Omitted axes default
 //! to a single point: the `baseline` scenario, its own policy and round
 //! count, seed 42, scale 1, no enforcement.
@@ -231,7 +232,9 @@ fn parse_list<T: std::str::FromStr>(values: &str, axis: &str) -> Result<Vec<T>, 
         .collect()
 }
 
-/// Seeds: comma-separated integers and half-open `a..b` ranges.
+/// Seeds: comma-separated integers, half-open `a..b` ranges and
+/// inclusive `a..=b` ranges. Reversed bounds are rejected with their own
+/// error (a reversed range is a typo, not an intentionally empty axis).
 fn parse_seeds(values: &str) -> Result<Vec<u64>, FaircrowdError> {
     let mut seeds = Vec::new();
     for part in values.split(',') {
@@ -242,13 +245,33 @@ fn parse_seeds(values: &str) -> Result<Vec<u64>, FaircrowdError> {
                     .parse()
                     .map_err(|_| FaircrowdError::usage(format!("invalid seed range `{part}`")))
             };
+            let (inclusive, hi) = match hi.strip_prefix('=') {
+                Some(rest) => (true, rest),
+                None => (false, hi),
+            };
             let (lo, hi) = (parse(lo)?, parse(hi)?);
-            if lo >= hi {
+            if lo > hi {
                 return Err(FaircrowdError::usage(format!(
-                    "empty seed range `{part}` (use lo..hi with lo < hi)"
+                    "reversed seed range `{part}`: the lower bound {lo} exceeds the upper \
+                     bound {hi} (write {hi}..{} for the ascending range)",
+                    if inclusive {
+                        format!("={lo}")
+                    } else {
+                        lo.to_string()
+                    }
                 )));
             }
-            seeds.extend(lo..hi);
+            if inclusive {
+                seeds.extend(lo..=hi);
+            } else {
+                if lo == hi {
+                    return Err(FaircrowdError::usage(format!(
+                        "empty seed range `{part}` (use lo..hi with lo < hi, or lo..=hi to \
+                         include the upper bound)"
+                    )));
+                }
+                seeds.extend(lo..hi);
+            }
         } else {
             seeds.push(
                 part.parse()
@@ -922,6 +945,7 @@ mod tests {
             "policy=",       // empty axis
             "seed=x",        // not a number
             "seed=5..5",     // empty range
+            "seed=5..=x",    // malformed inclusive bound
             "scale=0",       // non-positive
             "scale=nan",     // non-finite
             "rounds=a",      // not a number
@@ -931,6 +955,32 @@ mod tests {
         ] {
             assert!(SweepGrid::parse(bad).is_err(), "`{bad}` should not parse");
         }
+    }
+
+    #[test]
+    fn inclusive_seed_ranges_parse() {
+        let grid = SweepGrid::parse("seed=0..=3").unwrap();
+        assert_eq!(grid.seeds.as_deref().unwrap(), &[0, 1, 2, 3]);
+        // A single-point inclusive range is legal (unlike `5..5`)…
+        let grid = SweepGrid::parse("seed=5..=5").unwrap();
+        assert_eq!(grid.seeds.as_deref().unwrap(), &[5]);
+        // …and both forms mix with plain values.
+        let grid = SweepGrid::parse("seed=7,0..2,4..=5").unwrap();
+        assert_eq!(grid.seeds.as_deref().unwrap(), &[7, 0, 1, 4, 5]);
+    }
+
+    #[test]
+    fn reversed_seed_ranges_get_a_precise_error() {
+        // `5..3` used to fall through to the generic "empty seed range"
+        // message; a reversed range is a typo and must say so.
+        let err = SweepGrid::parse("seed=5..3").unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("reversed seed range `5..3`"), "{text}");
+        assert!(text.contains("3..5"), "{text}");
+        let err = SweepGrid::parse("seed=9..=2").unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("reversed seed range `9..=2`"), "{text}");
+        assert!(text.contains("2..=9"), "{text}");
     }
 
     #[test]

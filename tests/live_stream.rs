@@ -1,0 +1,382 @@
+//! The batch ≡ streaming acceptance criterion: the [`LiveAuditor`]'s
+//! closing report is **bit-identical** to the batch audit engine's.
+//!
+//! The tentpole promise of the streaming-audit subsystem is that
+//! watching a stream loses nothing against reading the finished world:
+//! a trace ingested one event at a time — directly, or through the
+//! incremental JSONL reader `faircrowd watch` uses — closes on exactly
+//! the `FairnessReport` (scores, violation witnesses, notes, rendered
+//! text) that `AuditEngine::run_indexed` produces over the same trace.
+//! Pinned three ways:
+//!
+//! * deterministically, for **every catalog scenario**, via both the
+//!   direct ingest path and the JSONL streaming-reader path;
+//! * for the live simulation path, where `Pipeline::run_live` audits
+//!   each round as the market runs;
+//! * property-based, over adversarial random traces exercising every
+//!   event kind and contribution type.
+//!
+//! On top of bit-identity, the monitor stream is checked for
+//! *prefix-completeness*: every violating pair the batch report counts
+//! for Axioms 1–3 was announced by a live finding at some prefix, and
+//! Axiom 5 findings match the batch witnesses one for one.
+
+use faircrowd::core::live::FindingOrigin;
+use faircrowd::core::persist::{self, TraceFormat};
+use faircrowd::core::report::render_report;
+use faircrowd::model::trace_io::JsonlReader;
+use faircrowd::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Stream a finished trace into a fresh auditor (entities first, then
+/// every event in order), without finalizing.
+fn stream_direct(trace: &Trace) -> (LiveAuditor, Vec<LiveFinding>) {
+    let mut auditor = LiveAuditor::new(AuditConfig::default()).max_live_findings(usize::MAX);
+    let mut findings = auditor.ingest_trace(trace).expect("well-formed stream");
+    findings.extend(auditor.finalize());
+    (auditor, findings)
+}
+
+/// Stream a trace the way `faircrowd watch` does: encode to JSONL, feed
+/// the reader line by line, route each record into the auditor.
+fn stream_jsonl(trace: &Trace) -> LiveAuditor {
+    let text = persist::encode(trace, TraceFormat::Jsonl);
+    let mut reader = JsonlReader::new();
+    let mut auditor = LiveAuditor::new(AuditConfig::default()).max_live_findings(usize::MAX);
+    let mut header_applied = false;
+    for line in text.lines() {
+        match reader.feed_line(line).expect("well-formed line") {
+            None => {
+                if !header_applied {
+                    if let Some(header) = reader.header() {
+                        auditor.apply_header(header);
+                        header_applied = true;
+                    }
+                }
+            }
+            Some(record) => {
+                auditor.apply_record(record).expect("well-formed stream");
+            }
+        }
+    }
+    assert!(header_applied, "JSONL stream must carry a header");
+    auditor.finalize();
+    auditor
+}
+
+#[test]
+fn every_catalog_scenario_streams_bit_identically() {
+    for name in faircrowd::sim::catalog::NAMES {
+        // Rounds are capped so the debug-build suite stays fast; every
+        // scenario's structure (populations, campaigns, disclosure,
+        // detection) is exercised unchanged. The CI smoke step watches
+        // the native-scale baseline through the release binary.
+        let pipeline = Pipeline::new()
+            .scenario_name(name)
+            .expect("catalog name resolves")
+            .configure(|c| c.rounds = c.rounds.min(12));
+        let trace = pipeline.simulate().expect("catalog scenario simulates");
+        let batch = AuditEngine::with_defaults().run(&trace);
+        let batch_wages = pipeline.replay(&trace).expect("in-memory audit").wages;
+
+        let (direct, findings) = stream_direct(&trace);
+        let live = direct.final_report();
+        assert_eq!(live, batch, "{name}: direct stream must be bit-identical");
+        assert_eq!(
+            render_report(&live),
+            render_report(&batch),
+            "{name}: rendered report must be byte-identical"
+        );
+        assert_eq!(direct.final_wages(), batch_wages, "{name}: wages");
+        assert_eq!(direct.trace(), &trace, "{name}: accumulated world");
+
+        let jsonl = stream_jsonl(&trace);
+        assert_eq!(
+            jsonl.final_report(),
+            batch,
+            "{name}: JSONL-reader stream must be bit-identical"
+        );
+
+        prefix_completeness(&batch, &findings, name);
+    }
+}
+
+/// Every violating pair the batch report counts for A1–A3 must have
+/// been announced live at the prefix where it first became true, and
+/// A5 witnesses match one for one.
+fn prefix_completeness(batch: &FairnessReport, findings: &[LiveFinding], name: &str) {
+    let live_count = |id: AxiomId| {
+        findings
+            .iter()
+            .filter(|f| f.violation.axiom == id)
+            .filter(|f| matches!(f.origin, FindingOrigin::Event { .. }))
+            .count()
+    };
+    for id in [
+        AxiomId::A1WorkerAssignment,
+        AxiomId::A2RequesterAssignment,
+        AxiomId::A3Compensation,
+    ] {
+        let batch_count = batch.axiom(id).map_or(0, |r| r.violation_count);
+        assert!(
+            live_count(id) >= batch_count,
+            "{name}: {id} live findings ({}) must cover every batch violation ({batch_count})",
+            live_count(id)
+        );
+    }
+    let a5 = AxiomId::A5NoInterruption;
+    assert_eq!(
+        live_count(a5),
+        batch.axiom(a5).map_or(0, |r| r.violation_count),
+        "{name}: every interruption is its own witness, live and batch"
+    );
+}
+
+#[test]
+fn run_live_equals_run_across_scenarios() {
+    // The during-simulation path: monitors watch each round as the
+    // market runs (with worker attributes still evolving), and the
+    // closing report must still be the batch report of the same run.
+    for name in [
+        "baseline",
+        "spam_campaign",
+        "worker_churn",
+        "budget_starved",
+    ] {
+        let pipeline = Pipeline::new()
+            .scenario_name(name)
+            .unwrap()
+            .configure(|c| c.rounds = c.rounds.min(12));
+        let batch = pipeline.clone().run().unwrap();
+        let live = pipeline.run_live(|_| {}).unwrap();
+        assert_eq!(live.artifacts.report, batch.baseline.report, "{name}");
+        assert_eq!(live.artifacts.trace, batch.baseline.trace, "{name}");
+        assert_eq!(live.artifacts.wages, batch.baseline.wages, "{name}");
+        assert_eq!(live.artifacts.summary, batch.baseline.summary, "{name}");
+    }
+}
+
+#[test]
+fn spam_campaign_streams_detection_findings_with_seqs() {
+    // The scenario with ground-truth spammers and an active detector:
+    // live findings must attribute flags to their events and carry the
+    // end-state detection verdicts at finalize.
+    let pipeline = Pipeline::new()
+        .scenario_name("spam_campaign")
+        .unwrap()
+        .configure(|c| c.rounds = c.rounds.min(16));
+    let trace = pipeline.simulate().unwrap();
+    let (_, findings) = stream_direct(&trace);
+    assert!(
+        !findings.is_empty(),
+        "spam campaign must produce live findings"
+    );
+    for f in &findings {
+        match f.origin {
+            FindingOrigin::Event { seq, .. } => {
+                assert!((seq as usize) < trace.events.len(), "seq in range");
+            }
+            FindingOrigin::Setup | FindingOrigin::EndOfStream { .. } => {}
+        }
+    }
+    // Findings arrive in non-decreasing seq order within the event phase.
+    let seqs: Vec<u64> = findings.iter().filter_map(LiveFinding::seq).collect();
+    assert!(seqs.windows(2).all(|w| w[0] <= w[1]), "stream order");
+}
+
+/// A messy random trace covering every event kind and contribution
+/// type (a compact sibling of the `trace_replay` generator), valid by
+/// construction: `EventLog::push` assigns dense seqs and the clock
+/// never regresses.
+fn random_trace(seed: u64, n_workers: usize, n_tasks: usize, n_subs: usize) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = Trace {
+        disclosure: match rng.gen_range(0..3u8) {
+            0 => DisclosureSet::fully_transparent(),
+            1 => DisclosureSet::opaque(),
+            _ => faircrowd::core::enforce::minimal_transparent_set(),
+        },
+        ..Trace::default()
+    };
+    let n_skills = 4;
+    for i in 0..n_workers {
+        let mut skills = SkillVector::with_len(n_skills);
+        for s in 0..n_skills {
+            if rng.gen_bool(0.45) {
+                skills.set(SkillId::new(s as u32), true);
+            }
+        }
+        let declared = DeclaredAttrs::new().with(
+            "region",
+            AttrValue::Text(["north", "south"][rng.gen_range(0..2usize)].into()),
+        );
+        let worker = Worker::new(WorkerId::new(i as u32), declared, skills);
+        trace.workers.push(worker);
+        if rng.gen_bool(0.15) {
+            trace
+                .ground_truth
+                .malicious_workers
+                .insert(WorkerId::new(i as u32));
+        }
+    }
+    for i in 0..2u32 {
+        trace
+            .requesters
+            .push(Requester::new(RequesterId::new(i), format!("r{i}")));
+    }
+    for i in 0..n_tasks {
+        let mut skills = SkillVector::with_len(n_skills);
+        for s in 0..n_skills {
+            if rng.gen_bool(0.3) {
+                skills.set(SkillId::new(s as u32), true);
+            }
+        }
+        trace.tasks.push(
+            faircrowd::model::task::TaskBuilder::new(
+                TaskId::new(i as u32),
+                RequesterId::new(rng.gen_range(0..2u32)),
+                skills,
+                Credits::from_cents(rng.gen_range(1..30i64)),
+            )
+            .build(),
+        );
+    }
+    let mut clock = 0u64;
+    let mut tick = |rng: &mut StdRng| {
+        clock += rng.gen_range(0..5u64);
+        SimTime::from_secs(clock)
+    };
+    if n_workers > 0 && n_tasks > 0 {
+        let any_worker = |rng: &mut StdRng| WorkerId::new(rng.gen_range(0..n_workers) as u32);
+        let any_task = |rng: &mut StdRng| TaskId::new(rng.gen_range(0..n_tasks) as u32);
+        for _ in 0..n_tasks {
+            let t = tick(&mut rng);
+            let task = any_task(&mut rng);
+            trace.events.push(
+                t,
+                EventKind::TaskPosted {
+                    task,
+                    requester: RequesterId::new(rng.gen_range(0..2u32)),
+                },
+            );
+        }
+        for _ in 0..(n_workers * 3) {
+            let (worker, task) = (any_worker(&mut rng), any_task(&mut rng));
+            let t = tick(&mut rng);
+            trace
+                .events
+                .push(t, EventKind::TaskVisible { task, worker });
+        }
+        for i in 0..n_subs {
+            let (worker, task) = (any_worker(&mut rng), any_task(&mut rng));
+            let contribution = match rng.gen_range(0..4u8) {
+                0 => Contribution::Label(rng.gen_range(0..3u8)),
+                1 => Contribution::Text("the quick brown fox".into()),
+                2 => Contribution::Ranking(vec![0, 2, 1, 3]),
+                _ => Contribution::Numeric(f64::from(rng.gen_range(0..100u32)) / 7.0),
+            };
+            let start = tick(&mut rng);
+            let id = SubmissionId::new(i as u32);
+            trace.submissions.push(Submission {
+                id,
+                task,
+                worker,
+                contribution,
+                started_at: start,
+                submitted_at: SimTime::from_secs(start.as_secs() + rng.gen_range(30..600u64)),
+            });
+            let t = tick(&mut rng);
+            trace.events.push(
+                t,
+                EventKind::SubmissionReceived {
+                    submission: id,
+                    task,
+                    worker,
+                },
+            );
+            if rng.gen_bool(0.4) {
+                let t = tick(&mut rng);
+                trace.events.push(
+                    t,
+                    EventKind::PaymentIssued {
+                        submission: id,
+                        task,
+                        worker,
+                        amount: Credits::from_millicents(rng.gen_range(0..20_000i64)),
+                    },
+                );
+            }
+        }
+        let w = any_worker(&mut rng);
+        let t0 = any_task(&mut rng);
+        let extras = vec![
+            EventKind::SessionStarted { worker: w },
+            EventKind::DisclosureShown {
+                worker: w,
+                item: DisclosureItem::WorkerAcceptanceRatio,
+            },
+            EventKind::WorkStarted {
+                task: t0,
+                worker: w,
+            },
+            EventKind::WorkInterrupted {
+                task: t0,
+                worker: w,
+                invested: SimDuration::from_secs(rng.gen_range(1..500u64)),
+                compensated: rng.gen_bool(0.5),
+            },
+            EventKind::WorkerFlagged {
+                worker: w,
+                score: f64::from(rng.gen_range(0..100u32)) / 100.0,
+                detector: "spam".into(),
+            },
+            EventKind::BonusPaid {
+                worker: w,
+                requester: RequesterId::new(0),
+                amount: Credits::from_cents(3),
+            },
+            EventKind::SessionEnded { worker: w },
+            EventKind::WorkerQuit {
+                worker: w,
+                reason: faircrowd::model::event::QuitReason::Frustration,
+            },
+        ];
+        for kind in extras {
+            let t = tick(&mut rng);
+            trace.events.push(t, kind);
+        }
+    }
+    trace.horizon = SimTime::from_secs(clock + 1);
+    trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Streaming any legal trace — directly or through the JSONL reader
+    /// — closes on the batch report, bit for bit.
+    #[test]
+    fn random_traces_stream_bit_identically(
+        seed in 0u64..1_000_000,
+        n_workers in 0usize..25,
+        n_tasks in 0usize..15,
+        n_subs in 0usize..30,
+    ) {
+        let trace = random_trace(seed, n_workers, n_tasks, n_subs);
+        prop_assert!(trace.validate().is_empty(), "generator must emit valid traces");
+        let batch = AuditEngine::with_defaults().run(&trace);
+        let (direct, findings) = stream_direct(&trace);
+        prop_assert_eq!(&direct.final_report(), &batch, "direct stream");
+        prop_assert_eq!(direct.trace(), &trace, "accumulated world");
+        let jsonl = stream_jsonl(&trace);
+        prop_assert_eq!(&jsonl.final_report(), &batch, "JSONL-reader stream");
+        // Prefix-completeness holds on arbitrary traces too.
+        for id in [AxiomId::A1WorkerAssignment, AxiomId::A2RequesterAssignment, AxiomId::A3Compensation] {
+            let live = findings.iter().filter(|f| f.violation.axiom == id).count();
+            let batch_count = batch.axiom(id).map_or(0, |r| r.violation_count);
+            prop_assert!(live >= batch_count, "{}: live {} < batch {}", id, live, batch_count);
+        }
+    }
+}
