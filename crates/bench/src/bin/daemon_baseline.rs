@@ -1,0 +1,190 @@
+//! Writes the multi-market daemon perf row for `BENCH_stream.json`.
+//!
+//! Simulates a platform running **1024 concurrent markets** (four
+//! distinct small scenario variants, round-robin): every market's JSONL
+//! stream is fed to one [`AuditDaemon`] in interleaved chunks — the
+//! worst case for locality, the normal case for a live platform — with
+//! checkpointing on, and the aggregate ingest throughput (events/s
+//! across all markets, checkpoint save cost amortized in) is measured.
+//! A second phase restarts the daemon from the 1024 checkpoints and
+//! measures the restore-and-close cost (no log replay).
+//!
+//! ```text
+//! cargo run --release --bin daemon_baseline
+//! ```
+//!
+//! Asserted in-binary, before any number is printed:
+//!
+//! * stream == batch: every market's closing report is bit-identical to
+//!   the batch engine's over its variant trace;
+//! * the restarted daemon resumes **every** market from its checkpoint
+//!   (zero replayed events) and closes on the same reports.
+
+use faircrowd_core::daemon::{AuditDaemon, DaemonConfig};
+use faircrowd_core::persist::{self, TraceFormat};
+use faircrowd_core::{AuditConfig, AuditEngine, FairnessReport, LiveAuditor};
+use faircrowd_model::trace::Trace;
+use faircrowd_sim::{CampaignSpec, ScenarioConfig, Simulation, WorkerPopulation};
+use std::time::Instant;
+
+const N_MARKETS: usize = 1024;
+const N_VARIANTS: usize = 4;
+/// Markets' lines are fed in interleaved chunks of this many lines per
+/// market between daemon polls — a tailing daemon's poll granularity.
+const CHUNK_LINES: usize = 64;
+
+fn variant_trace(seed: u64) -> Trace {
+    Simulation::new(ScenarioConfig {
+        seed,
+        rounds: 8,
+        workers: vec![WorkerPopulation::diligent(6)],
+        campaigns: vec![CampaignSpec::labeling("acme", 8, 6)],
+        ..Default::default()
+    })
+    .run()
+}
+
+fn market_name(m: usize) -> String {
+    format!("market-{m:04}")
+}
+
+fn drive(
+    daemon: &mut AuditDaemon,
+    streams: &[Vec<String>],
+) -> (u64, Vec<(String, FairnessReport)>) {
+    let max_lines = streams.iter().map(Vec::len).max().unwrap_or(0);
+    let mut offset = 0;
+    while offset < max_lines {
+        let end = (offset + CHUNK_LINES).min(max_lines);
+        for (m, lines) in streams.iter().enumerate().take(N_MARKETS) {
+            for line in lines.iter().take(end).skip(offset) {
+                daemon.feed_line(&market_name(m), line.as_str());
+            }
+        }
+        daemon.poll();
+        offset = end;
+    }
+    daemon.finalize();
+    let events = daemon.total_events();
+    let reports = daemon
+        .reports()
+        .expect("every market closes cleanly")
+        .into_iter()
+        .map(|r| (r.market, r.report))
+        .collect();
+    (events, reports)
+}
+
+fn main() {
+    let ckpt_dir = std::env::temp_dir().join(format!("fc_daemon_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&ckpt_dir).expect("temp checkpoint dir");
+
+    let engine = AuditEngine::with_defaults();
+    let variants: Vec<Trace> = (0..N_VARIANTS)
+        .map(|i| variant_trace(7 + i as u64))
+        .collect();
+    let batch: Vec<FairnessReport> = variants.iter().map(|t| engine.run(t)).collect();
+
+    // The single-stream oracle first: each variant streams bit-identically.
+    for (t, want) in variants.iter().zip(&batch) {
+        let mut auditor = LiveAuditor::new(AuditConfig::default());
+        auditor.ingest_trace(t).expect("well-formed stream");
+        auditor.finalize();
+        assert_eq!(&auditor.final_report(), want, "stream ≠ batch");
+    }
+
+    let variant_lines: Vec<Vec<String>> = variants
+        .iter()
+        .map(|t| {
+            persist::encode(t, TraceFormat::Jsonl)
+                .lines()
+                .map(str::to_owned)
+                .collect()
+        })
+        .collect();
+    let streams: Vec<Vec<String>> = (0..N_MARKETS)
+        .map(|m| variant_lines[m % N_VARIANTS].clone())
+        .collect();
+    let events_per_market: Vec<usize> = variants.iter().map(|t| t.events.len()).collect();
+    let total_events: usize = (0..N_MARKETS)
+        .map(|m| events_per_market[m % N_VARIANTS])
+        .sum();
+    // ~3 snapshots per market over its stream (plus the closing one).
+    let checkpoint_every = (events_per_market.iter().min().copied().unwrap_or(1) as u64 / 3).max(1);
+    // Floor at 4 shards so the sharded-merge path is exercised even on
+    // single-core runners (output is jobs-invariant by construction).
+    let jobs = std::thread::available_parallelism()
+        .map_or(4, std::num::NonZeroUsize::get)
+        .max(4);
+    let config = DaemonConfig {
+        audit: AuditConfig::default(),
+        jobs,
+        checkpoint_dir: Some(ckpt_dir.clone()),
+        checkpoint_every,
+    };
+
+    // Phase 1: cold ingest of all markets, interleaved, checkpoints on.
+    let t0 = Instant::now();
+    let mut daemon = AuditDaemon::new(config.clone());
+    let (ingested, reports) = drive(&mut daemon, &streams);
+    let ingest_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(ingested as usize, total_events, "every event ingested");
+    assert_eq!(reports.len(), N_MARKETS, "every market reports");
+    for (market, report) in &reports {
+        let m: usize = market["market-".len()..].parse().expect("market index");
+        assert_eq!(report, &batch[m % N_VARIANTS], "{market}: daemon ≠ batch");
+    }
+    drop(daemon);
+
+    // Phase 2: restart from the 1024 checkpoints. The tailer re-feeds
+    // every line (a restarted daemon re-reads its files), but the
+    // consumed prefixes are skipped by count — zero events replayed.
+    let t1 = Instant::now();
+    let mut restarted = AuditDaemon::new(config);
+    let (_, reports_again) = drive(&mut restarted, &streams);
+    let restore_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let notices = restarted.take_notices();
+    let resumed = notices
+        .iter()
+        .filter(|n| n.contains("resumed market"))
+        .count();
+    assert_eq!(
+        resumed, N_MARKETS,
+        "every market resumes from its checkpoint"
+    );
+    assert_eq!(
+        restarted.total_events() as usize,
+        total_events,
+        "restored lifetimes cover the whole stream"
+    );
+    for ((ma, ra), (mb, rb)) in reports.iter().zip(&reports_again) {
+        assert_eq!(ma, mb);
+        assert_eq!(ra, rb, "{ma}: restart ≠ uninterrupted");
+    }
+    drop(restarted);
+    std::fs::remove_dir_all(&ckpt_dir).ok();
+
+    let aggregate_eps = total_events as f64 / (ingest_ms / 1e3);
+    println!("{{");
+    println!("  \"bench\": \"daemon_stream\",");
+    println!(
+        "  \"note\": \"AuditDaemon over {N_MARKETS} interleaved markets ({N_VARIANTS} scenario \
+         variants), JSONL lines fed in {CHUNK_LINES}-line chunks per market between polls, \
+         checkpoints every {checkpoint_every} events per market included in the timing; \
+         restore = restart from all {N_MARKETS} checkpoints and close (prefix skipped by \
+         line count, zero events replayed); every market's closing report asserted \
+         bit-identical to the batch audit in both phases\","
+    );
+    println!("  \"markets\": {N_MARKETS},");
+    println!("  \"jobs\": {jobs},");
+    println!("  \"events_total\": {total_events},");
+    println!("  \"checkpoint_every\": {checkpoint_every},");
+    println!("  \"ingest_ms\": {ingest_ms:.3},");
+    println!("  \"aggregate_events_s\": {aggregate_eps:.0},");
+    println!("  \"restore_ms\": {restore_ms:.3},");
+    println!(
+        "  \"restore_ms_per_market\": {:.3}",
+        restore_ms / N_MARKETS as f64
+    );
+    println!("}}");
+}

@@ -221,6 +221,19 @@ impl<'a> TraceIndex<'a> {
         Self::build(trace, events)
     }
 
+    /// [`with_event_index`](Self::with_event_index) for a **restored**
+    /// auditor, whose trace holds only the log tail ingested since its
+    /// checkpoint: the mirror covers the full stream, but replaying the
+    /// truncated log cannot reproduce it, so the debug assertion of the
+    /// uninterrupted handover would be wrong here, not just expensive.
+    /// The checkpoint load gates own the integrity contract instead.
+    pub(crate) fn with_restored_event_index(
+        trace: &'a Trace,
+        events: EventIndex,
+    ) -> TraceIndex<'a> {
+        Self::build(trace, events)
+    }
+
     fn build(trace: &'a Trace, events: EventIndex) -> TraceIndex<'a> {
         let mut subs_by_task: BTreeMap<TaskId, Vec<&'a Submission>> = BTreeMap::new();
         let mut subs_by_worker: BTreeMap<WorkerId, Vec<&'a Submission>> = BTreeMap::new();

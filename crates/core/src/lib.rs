@@ -27,6 +27,8 @@ pub mod aggregate;
 pub mod audit;
 pub mod axiom;
 pub mod axioms;
+pub mod checkpoint;
+pub mod daemon;
 pub mod enforce;
 pub mod index;
 pub mod live;
@@ -37,6 +39,8 @@ pub mod report;
 pub use aggregate::{AxiomAggregate, ReportAggregate, ScoreStats};
 pub use audit::{AuditConfig, AuditEngine, FairnessReport};
 pub use axiom::{Axiom, AxiomId, AxiomReport, Violation};
+pub use checkpoint::Checkpoint;
+pub use daemon::{AuditDaemon, DaemonConfig, DaemonFinding, DaemonReport, MarketSource};
 pub use faircrowd_model::similarity::SimilarityConfig;
 pub use index::TraceIndex;
 pub use live::{FindingOrigin, LiveAuditor, LiveFinding};

@@ -73,6 +73,7 @@
 use crate::audit::{AuditConfig, AuditEngine, FairnessReport};
 use crate::axiom::{AxiomId, Violation};
 use crate::axioms::{a1_witness, a2_witness, a6::obligation_coverage, worker_similarity};
+use crate::checkpoint::Checkpoint;
 use crate::index::{AccessOverlap, TraceIndex};
 use faircrowd_model::contribution::Submission;
 use faircrowd_model::disclosure::{Audience, DisclosureItem, DisclosureSet};
@@ -233,6 +234,12 @@ pub struct LiveAuditor {
     suppressed: usize,
     max_findings: usize,
     finalized: bool,
+    /// Events consumed before this auditor's own log began — zero for a
+    /// fresh auditor, the checkpoint seq for one restored via
+    /// [`LiveAuditor::resume`]. The internal log then holds only the
+    /// tail ingested since; every absolute position (expected seqs,
+    /// end-of-stream attribution, event counts) offsets by this base.
+    resumed_events: u64,
 }
 
 impl LiveAuditor {
@@ -266,6 +273,7 @@ impl LiveAuditor {
             suppressed: 0,
             max_findings: 10_000,
             finalized: false,
+            resumed_events: 0,
         }
     }
 
@@ -381,7 +389,7 @@ impl LiveAuditor {
                 "LiveAuditor is finalized; no further events can be ingested",
             ));
         }
-        let position = self.trace.events.len();
+        let position = self.events_seen();
         let expected = position as u64;
         let defect = if event.seq != expected {
             Some(LogDefect::SparseSeq {
@@ -475,9 +483,16 @@ impl LiveAuditor {
         Ok(out)
     }
 
-    /// Number of events accepted so far.
+    /// Number of events accepted over the stream's whole lifetime —
+    /// across every process life, for a restored auditor.
     pub fn events_seen(&self) -> usize {
-        self.trace.events.len()
+        self.resumed_events as usize + self.trace.events.len()
+    }
+
+    /// The checkpoint seq this auditor resumed from (zero when it has
+    /// watched its stream from the beginning).
+    pub fn resumed_events(&self) -> u64 {
+        self.resumed_events
     }
 
     /// Every finding retained so far, in emission order.
@@ -511,7 +526,7 @@ impl LiveAuditor {
         if end.workers.len() != self.trace.workers.len()
             || end.tasks.len() != self.trace.tasks.len()
             || end.submissions.len() != self.trace.submissions.len()
-            || end.events.len() != self.trace.events.len()
+            || end.events.len() != self.events_seen()
         {
             return Err(FaircrowdError::InvalidTrace {
                 problems: vec![
@@ -557,7 +572,7 @@ impl LiveAuditor {
         if !self.policy_scanned {
             self.scan_policy(&mut out);
         }
-        let last_seq = self.trace.events.len().checked_sub(1).map(|i| i as u64);
+        let last_seq = self.events_seen().checked_sub(1).map(|i| i as u64);
         let origin = FindingOrigin::EndOfStream { last_seq };
 
         // Axiom 6: tasks the event stream never announced.
@@ -680,7 +695,7 @@ impl LiveAuditor {
     /// Effective hourly-wage statistics of the accumulated trace, off
     /// the same mirror-backed index the final report uses.
     pub fn final_wages(&self) -> Option<WageStats> {
-        let ix = TraceIndex::with_event_index(&self.trace, self.events.clone());
+        let ix = self.closing_index();
         crate::metrics::wage_stats(&ix)
     }
 
@@ -689,10 +704,203 @@ impl LiveAuditor {
     /// mirror handover and submission groupings are paid once, like the
     /// batch pipeline's single index per trace.
     pub fn final_artifacts(&self, ids: &[AxiomId]) -> (FairnessReport, Option<WageStats>) {
-        let ix = TraceIndex::with_event_index(&self.trace, self.events.clone());
+        let ix = self.closing_index();
         let report = AuditEngine::new(self.config.clone()).run_indexed(&ix, ids);
         let wages = crate::metrics::wage_stats(&ix);
         (report, wages)
+    }
+
+    /// The mirror-backed index every closing artifact reads. An auditor
+    /// that watched its whole stream keeps the debug-asserted handover;
+    /// a restored one holds only the log tail, so replaying it could
+    /// never equal the full-stream mirror and the assertion-free
+    /// constructor is the correct one (the checkpoint load gates own
+    /// that integrity contract).
+    fn closing_index(&self) -> TraceIndex<'_> {
+        if self.resumed_events == 0 {
+            TraceIndex::with_event_index(&self.trace, self.events.clone())
+        } else {
+            TraceIndex::with_restored_event_index(&self.trace, self.events.clone())
+        }
+    }
+
+    /// Snapshot every incremental structure into a [`Checkpoint`] that
+    /// [`LiveAuditor::resume`] can restore without replaying the log.
+    /// `source_lines` records how many physical lines of the backing
+    /// JSONL file produced the state (header, blank and entity lines
+    /// included), so a resumed tailer knows how far to skip; pass `0`
+    /// for auditors not fed from a line stream.
+    ///
+    /// Hash-keyed structures are sorted into canonical order on the way
+    /// out, so the same auditor state always snapshots to the same
+    /// checkpoint — byte-identical once encoded.
+    pub fn checkpoint(&self, source_lines: u64) -> Checkpoint {
+        let mut world = self.trace.clone();
+        world.events = faircrowd_model::event::EventLog::new();
+        let pairs = |map: &HashMap<(usize, usize), PairCounters>| {
+            let mut v: Vec<[u64; 5]> = map
+                .iter()
+                .map(|(&(i, j), c)| {
+                    [
+                        i as u64,
+                        j as u64,
+                        c.left as u64,
+                        c.right as u64,
+                        c.inter as u64,
+                    ]
+                })
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let emitted = |set: &HashSet<(usize, usize)>| {
+            let mut v: Vec<(u64, u64)> = set.iter().map(|&(i, j)| (i as u64, j as u64)).collect();
+            v.sort_unstable();
+            v
+        };
+        Checkpoint {
+            world,
+            mirror: self.events.clone(),
+            events_seen: self.events_seen() as u64,
+            source_lines,
+            last_time: self.last_time,
+            policy_scanned: self.policy_scanned,
+            finalized: self.finalized,
+            max_findings: self.max_findings,
+            suppressed: self.suppressed as u64,
+            qual_tasks: self
+                .qual_tasks
+                .iter()
+                .map(|r| (r.seen, r.set.iter().copied().collect()))
+                .collect(),
+            qual_workers: self
+                .qual_workers
+                .iter()
+                .map(|r| (r.seen, r.set.iter().copied().collect()))
+                .collect(),
+            similar_partners: self
+                .similar_partners
+                .iter()
+                .map(|c| (c.seen, c.partners.clone()))
+                .collect(),
+            comparable_partners: self
+                .comparable_partners
+                .iter()
+                .map(|c| (c.seen, c.partners.clone()))
+                .collect(),
+            a1_pairs: pairs(&self.a1_pairs),
+            a2_pairs: pairs(&self.a2_pairs),
+            a1_emitted: emitted(&self.a1_emitted),
+            a2_emitted: emitted(&self.a2_emitted),
+            a3_emitted: self.a3_emitted.iter().copied().collect(),
+            a4_emitted: self.a4_emitted.iter().copied().collect(),
+            a6_emitted: self.a6_emitted.iter().copied().collect(),
+            findings: self.findings.clone(),
+        }
+    }
+
+    /// Rebuild an auditor from a [`Checkpoint`], ready to ingest the
+    /// event at the checkpoint seq: positional maps and submission
+    /// groupings are re-derived from the checkpointed entity tables
+    /// (their order is the position), then the incremental mirrors are
+    /// restored verbatim. Finishing the stream from here is
+    /// bit-identical — findings, final report, wages — to never having
+    /// stopped (pinned by the `checkpoint_resume` oracle tests).
+    ///
+    /// The audit configuration is not part of the checkpoint; resuming
+    /// under a different similarity regime than the one that produced
+    /// the snapshot is the caller's responsibility to avoid.
+    pub fn resume(config: AuditConfig, ckpt: &Checkpoint) -> Result<Self, FaircrowdError> {
+        let n_workers = ckpt.world.workers.len();
+        let n_tasks = ckpt.world.tasks.len();
+        if ckpt.qual_tasks.len() != n_workers
+            || ckpt.similar_partners.len() != n_workers
+            || ckpt.qual_workers.len() != n_tasks
+            || ckpt.comparable_partners.len() != n_tasks
+        {
+            return Err(FaircrowdError::persist(
+                "checkpoint monitor state does not cover its entity tables \
+                 (was it decoded through `checkpoint::load`?)",
+            ));
+        }
+        let mut auditor = LiveAuditor::new(config);
+        auditor.set_horizon(ckpt.world.horizon);
+        auditor.set_disclosure(ckpt.world.disclosure.clone());
+        auditor.set_ground_truth(ckpt.world.ground_truth.clone());
+        for w in &ckpt.world.workers {
+            auditor.add_worker(w.clone());
+        }
+        for t in &ckpt.world.tasks {
+            auditor.add_task(t.clone());
+        }
+        for r in &ckpt.world.requesters {
+            auditor.add_requester(r.clone());
+        }
+        for s in &ckpt.world.submissions {
+            auditor.add_submission(s.clone());
+        }
+        auditor.events = ckpt.mirror.clone();
+        for (row, (seen, ids)) in auditor.qual_tasks.iter_mut().zip(&ckpt.qual_tasks) {
+            row.seen = *seen;
+            row.set = ids.iter().copied().collect();
+        }
+        for (row, (seen, ids)) in auditor.qual_workers.iter_mut().zip(&ckpt.qual_workers) {
+            row.seen = *seen;
+            row.set = ids.iter().copied().collect();
+        }
+        for (cache, (seen, partners)) in auditor
+            .similar_partners
+            .iter_mut()
+            .zip(&ckpt.similar_partners)
+        {
+            cache.seen = *seen;
+            cache.partners = partners.clone();
+        }
+        for (cache, (seen, partners)) in auditor
+            .comparable_partners
+            .iter_mut()
+            .zip(&ckpt.comparable_partners)
+        {
+            cache.seen = *seen;
+            cache.partners = partners.clone();
+        }
+        let unpack = |rows: &[[u64; 5]]| {
+            rows.iter()
+                .map(|&[i, j, left, right, inter]| {
+                    (
+                        (i as usize, j as usize),
+                        PairCounters {
+                            left: left as usize,
+                            right: right as usize,
+                            inter: inter as usize,
+                        },
+                    )
+                })
+                .collect::<HashMap<_, _>>()
+        };
+        auditor.a1_pairs = unpack(&ckpt.a1_pairs);
+        auditor.a2_pairs = unpack(&ckpt.a2_pairs);
+        auditor.a1_emitted = ckpt
+            .a1_emitted
+            .iter()
+            .map(|&(i, j)| (i as usize, j as usize))
+            .collect();
+        auditor.a2_emitted = ckpt
+            .a2_emitted
+            .iter()
+            .map(|&(i, j)| (i as usize, j as usize))
+            .collect();
+        auditor.a3_emitted = ckpt.a3_emitted.iter().copied().collect();
+        auditor.a4_emitted = ckpt.a4_emitted.iter().copied().collect();
+        auditor.a6_emitted = ckpt.a6_emitted.iter().copied().collect();
+        auditor.last_time = ckpt.last_time;
+        auditor.policy_scanned = ckpt.policy_scanned;
+        auditor.finalized = ckpt.finalized;
+        auditor.max_findings = ckpt.max_findings;
+        auditor.suppressed = ckpt.suppressed as usize;
+        auditor.findings = ckpt.findings.clone();
+        auditor.resumed_events = ckpt.events_seen;
+        Ok(auditor)
     }
 
     // ---- internals --------------------------------------------------

@@ -1,0 +1,186 @@
+//! Failure modes of the checkpoint persistence layer.
+//!
+//! Every way a checkpoint file can be bad — truncated mid-value,
+//! foreign schema, a version this build doesn't read, a header seq that
+//! disagrees with its mirror, monitor state that doesn't cover its
+//! entity tables — must surface as a descriptive [`FaircrowdError`],
+//! never a panic. These tests drive [`faircrowd_core::checkpoint::load`]
+//! (the path untrusted files come through) over systematically
+//! corrupted copies of a real mid-stream snapshot.
+
+use faircrowd_core::checkpoint;
+use faircrowd_core::{AuditConfig, LiveAuditor};
+use faircrowd_model::error::FaircrowdError;
+use faircrowd_sim::{CampaignSpec, ScenarioConfig, Simulation, WorkerPopulation};
+use std::path::PathBuf;
+
+/// A real mid-stream checkpoint: a small simulator trace streamed
+/// halfway into a live auditor, then snapshotted.
+fn mid_stream_checkpoint() -> checkpoint::Checkpoint {
+    let trace = Simulation::new(ScenarioConfig {
+        seed: 7,
+        rounds: 10,
+        workers: vec![WorkerPopulation::diligent(6)],
+        campaigns: vec![CampaignSpec::labeling("acme", 8, 6)],
+        ..Default::default()
+    })
+    .run();
+    let mut auditor = LiveAuditor::new(AuditConfig::default());
+    auditor.set_horizon(trace.horizon);
+    auditor.set_disclosure(trace.disclosure.clone());
+    auditor.set_ground_truth(trace.ground_truth.clone());
+    for w in &trace.workers {
+        auditor.add_worker(w.clone());
+    }
+    for t in &trace.tasks {
+        auditor.add_task(t.clone());
+    }
+    for r in &trace.requesters {
+        auditor.add_requester(r.clone());
+    }
+    for s in &trace.submissions {
+        auditor.add_submission(s.clone());
+    }
+    for e in trace.events.iter().take(trace.events.len() / 2) {
+        auditor.ingest(e.clone()).unwrap();
+    }
+    auditor.checkpoint(40)
+}
+
+/// Write `text` to a fresh temp file and load it back.
+fn load_text(name: &str, text: &str) -> Result<checkpoint::Checkpoint, FaircrowdError> {
+    let path: PathBuf = std::env::temp_dir().join(format!("fc_ckfail_{name}"));
+    std::fs::write(&path, text).unwrap();
+    let result = checkpoint::load(&path);
+    std::fs::remove_file(&path).ok();
+    result
+}
+
+#[test]
+fn a_valid_checkpoint_loads_and_resumes() {
+    let ckpt = mid_stream_checkpoint();
+    let loaded = load_text("ok.json", &checkpoint::encode(&ckpt)).unwrap();
+    assert_eq!(loaded, ckpt);
+    let auditor = LiveAuditor::resume(AuditConfig::default(), &loaded).unwrap();
+    assert_eq!(auditor.resumed_events(), ckpt.seq());
+}
+
+#[test]
+fn truncated_checkpoints_error_at_every_depth() {
+    let text = checkpoint::encode(&mid_stream_checkpoint());
+    for fraction in [0.05, 0.3, 0.6, 0.9, 0.999] {
+        let cut = (text.len() as f64 * fraction) as usize;
+        let cut = (0..=cut).rev().find(|&i| text.is_char_boundary(i)).unwrap();
+        let err = load_text("trunc.json", &text[..cut]).unwrap_err();
+        assert!(
+            matches!(err, FaircrowdError::Persist { .. }),
+            "cut at {cut}: {err:?}"
+        );
+        // The error names the file it refused.
+        assert!(err.to_string().contains("fc_ckfail_trunc.json"), "{err}");
+    }
+}
+
+#[test]
+fn foreign_schema_is_named_not_guessed() {
+    // A perfectly valid JSON document of the wrong kind.
+    let err = load_text(
+        "foreign.json",
+        "{\"schema\": \"someone-elses\", \"version\": 1}",
+    )
+    .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("someone-elses"), "{msg}");
+    assert!(msg.contains("faircrowd-checkpoint"), "{msg}");
+
+    // A trace file is not a checkpoint file, even though both are ours.
+    let err = load_text(
+        "trace-not-ckpt.json",
+        "{\"schema\": \"faircrowd-trace\", \"version\": 1}",
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("faircrowd-trace"), "{}", err);
+
+    // No schema field at all.
+    let err = load_text("schemaless.json", "{\"version\": 1}").unwrap_err();
+    assert!(
+        err.to_string().contains("not a faircrowd checkpoint"),
+        "{}",
+        err
+    );
+}
+
+#[test]
+fn future_versions_are_refused_with_both_numbers() {
+    let mut text = checkpoint::encode(&mid_stream_checkpoint());
+    text = text.replacen("\"version\": 1", "\"version\": 99", 1);
+    let err = load_text("future.json", &text).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("99"), "{msg}");
+    assert!(
+        msg.contains("version 1") || msg.contains("reads version 1"),
+        "{msg}"
+    );
+}
+
+#[test]
+fn header_seq_disagreeing_with_mirror_is_refused() {
+    // A checkpoint stitched from two moments: the header claims one
+    // seq, the serialized mirror another. Must fail the cross-check
+    // gate with both numbers named, never resume into skewed state.
+    let ckpt = mid_stream_checkpoint();
+    let seq = ckpt.seq();
+    let text = checkpoint::encode(&ckpt);
+    let skewed = text.replacen(
+        &format!("\"seq\": {seq}"),
+        &format!("\"seq\": {}", seq + 3),
+        1,
+    );
+    assert_ne!(skewed, text, "the header seq field was found and bumped");
+    let err = load_text("skewed.json", &skewed).unwrap_err();
+    let msg = err.to_string();
+    assert!(matches!(err, FaircrowdError::Persist { .. }), "{err:?}");
+    assert!(msg.contains(&format!("{}", seq + 3)), "{msg}");
+    assert!(msg.contains(&format!("{seq}")), "{msg}");
+    assert!(msg.contains("disagrees"), "{msg}");
+}
+
+#[test]
+fn monitor_state_must_cover_the_entity_tables() {
+    // Drop one qualification row: the integrity gate must refuse the
+    // checkpoint (its monitor state no longer covers the worker table)
+    // rather than let `resume` index out of bounds.
+    let ckpt = mid_stream_checkpoint();
+    let text = checkpoint::encode(&ckpt);
+    let start = text.find("\"qual_tasks\": [").expect("field present");
+    let open = start + "\"qual_tasks\": ".len();
+    // Find the matching close bracket of the qual_tasks array.
+    let bytes = text.as_bytes();
+    let mut depth = 0usize;
+    let mut end = open;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = i;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let gutted = format!("{}[]{}", &text[..open], &text[end + 1..]);
+    let err = load_text("uncovered.json", &gutted).unwrap_err();
+    let msg = err.to_string();
+    assert!(matches!(err, FaircrowdError::Persist { .. }), "{err:?}");
+    assert!(msg.contains("integrity"), "{msg}");
+}
+
+#[test]
+fn missing_checkpoint_file_is_an_io_error() {
+    let err = checkpoint::load("/no/such/fc_checkpoint.json").unwrap_err();
+    assert!(matches!(err, FaircrowdError::Io { .. }), "{err:?}");
+    assert!(err.to_string().contains("fc_checkpoint.json"), "{err}");
+}

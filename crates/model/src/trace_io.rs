@@ -563,6 +563,20 @@ impl JsonlReader {
         Self::default()
     }
 
+    /// A reader resuming mid-stream: the header was already decoded (in
+    /// an earlier process life) and `lines_consumed` physical lines of
+    /// the source file — header and blank lines included — have already
+    /// been fed. Subsequent [`feed_line`](Self::feed_line) errors carry
+    /// absolute line numbers in the original file, so a checkpointed
+    /// tailer that skips the consumed prefix still reports positions an
+    /// operator can open.
+    pub fn resume(header: JsonlHeader, lines_consumed: usize) -> Self {
+        Self {
+            lineno: lines_consumed,
+            header: Some(header),
+        }
+    }
+
     /// The decoded header, once the header line has been fed.
     pub fn header(&self) -> Option<&JsonlHeader> {
         self.header.as_ref()
@@ -578,11 +592,17 @@ impl JsonlReader {
         self.lineno
     }
 
-    /// Feed one line (without its trailing newline). Returns the decoded
-    /// record, or `None` for blank lines and the header line.
+    /// Feed one line (without its trailing newline; a trailing `\r`
+    /// left by a CRLF-ended file is tolerated and stripped). Returns the
+    /// decoded record, or `None` for blank lines and the header line.
     pub fn feed_line(&mut self, line: &str) -> Result<Option<JsonlRecord>, FaircrowdError> {
         self.lineno += 1;
         let lineno = self.lineno;
+        // A file written with CRLF line endings (Windows export, or a
+        // trace piped through a CRLF-normalizing tool) hands callers
+        // that split on `\n` alone a line with one `\r` still attached;
+        // it must decode identically, not fail mid-line.
+        let line = line.strip_suffix('\r').unwrap_or(line);
         if line.trim().is_empty() {
             return Ok(None);
         }
@@ -1386,6 +1406,50 @@ mod tests {
         let lines = trace_to_jsonl(&trace);
         let back = trace_from_jsonl(&lines).unwrap();
         assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn jsonl_decodes_crlf_endings_byte_identically() {
+        let trace = full_trace();
+        let lf = trace_to_jsonl(&trace);
+        let crlf = lf.replace('\n', "\r\n");
+        // Whole-file decoder: the CRLF file yields the same trace, and
+        // re-encoding it reproduces the original LF bytes exactly.
+        let back = trace_from_jsonl(&crlf).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(trace_to_jsonl(&back), lf);
+        // Streaming decoder fed `\r`-terminated lines (what a caller
+        // splitting on `\n` alone sees): identical records, identical
+        // header, and blank CRLF lines still count into positions.
+        let mut plain = JsonlReader::new();
+        let mut carried = JsonlReader::new();
+        for line in lf.lines() {
+            let with_cr = format!("{line}\r");
+            assert_eq!(
+                carried.feed_line(&with_cr).unwrap(),
+                plain.feed_line(line).unwrap()
+            );
+        }
+        assert_eq!(carried.header(), plain.header());
+        assert_eq!(carried.lines_fed(), plain.lines_fed());
+    }
+
+    #[test]
+    fn resumed_reader_reports_absolute_line_numbers() {
+        let trace = full_trace();
+        let lines: Vec<&str> = trace_to_jsonl(&trace).leak().lines().collect();
+        let mut fresh = JsonlReader::new();
+        for line in &lines[..3] {
+            fresh.feed_line(line).unwrap();
+        }
+        let mut resumed = JsonlReader::resume(fresh.header().unwrap().clone(), 3);
+        assert_eq!(resumed.lines_fed(), 3);
+        assert_eq!(
+            resumed.feed_line(lines[3]).unwrap(),
+            fresh.feed_line(lines[3]).unwrap()
+        );
+        let err = resumed.feed_line("{oops").unwrap_err();
+        assert!(err.to_string().contains("line 5"), "{err}");
     }
 
     #[test]

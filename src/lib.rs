@@ -89,7 +89,8 @@ pub mod prelude {
     };
     pub use crate::sweep::{SweepGrid, SweepResult};
     pub use faircrowd_core::{
-        AuditConfig, AuditEngine, AxiomId, FairnessReport, FindingOrigin, LiveAuditor, LiveFinding,
+        AuditConfig, AuditDaemon, AuditEngine, AxiomId, Checkpoint, DaemonConfig, DaemonFinding,
+        DaemonReport, FairnessReport, FindingOrigin, LiveAuditor, LiveFinding, MarketSource,
         SimilarityConfig,
     };
     pub use faircrowd_model::prelude::*;

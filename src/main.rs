@@ -9,6 +9,7 @@
 //! faircrowd export [OPTS] --out FILE       simulate a market and write its trace
 //! faircrowd replay <FILE>                  load a trace file, audit it, report
 //! faircrowd watch <FILE.jsonl> [--once]    tail a (growing) JSONL trace, stream violations
+//! faircrowd serve <DIR> [--checkpoint-dir D]  audit every <market>.jsonl in DIR at once
 //! faircrowd sweep [--grid G] [--jobs N] [--format F]   parallel grid sweep
 //! faircrowd scenarios                      list the named scenario catalog
 //! faircrowd policies                       list the TPL platform catalog
@@ -47,6 +48,7 @@ fn main() -> ExitCode {
         Some("export") => export_cmd(&args[1..]),
         Some("replay") => replay_cmd(&args[1..]),
         Some("watch") => watch_cmd(&args[1..]),
+        Some("serve") => serve_cmd(&args[1..]),
         Some("sweep") => sweep(&args[1..]),
         Some("scenarios") => scenarios_cmd(),
         Some("policies") => policies(),
@@ -82,6 +84,8 @@ fn usage() {
          faircrowd replay <FILE>                  load a trace file, audit it, report\n  \
          faircrowd watch <FILE.jsonl> [WATCH-OPTS]  tail a JSONL trace (even while it\n                                           \
          grows), stream violations as they land\n  \
+         faircrowd serve <DIR> [SERVE-OPTS]       tail every <market>.jsonl in DIR at\n                                           \
+         once, one merged finding stream\n  \
          faircrowd sweep [SWEEP-OPTS]             parallel grid sweep, aggregate stats\n  \
          faircrowd scenarios                      list the named scenario catalog\n  \
          faircrowd policies                       list the TPL platform catalog\n  \
@@ -104,7 +108,17 @@ fn usage() {
          --trace FILE     (audit) audit a recorded trace instead of simulating\n\n\
          WATCH-OPTS:\n  \
          --once           process the file's current contents and stop (no tailing)\n  \
-         --idle-ms N      stop after N ms with no growth (default 1500)\n\n\
+         --idle-ms N      stop after N ms with no growth (default 1500)\n  \
+         --checkpoint FILE  snapshot auditor state to FILE as the stream grows and\n                     \
+         resume from it on restart (no log replay)\n  \
+         --checkpoint-every N  events between snapshots (default 512)\n\n\
+         SERVE-OPTS:\n  \
+         --checkpoint-dir D  snapshot each market to D/<market>.checkpoint.json and\n                      \
+         resume every stream from its checkpoint on restart\n  \
+         --checkpoint-every N  events between snapshots, per market (default 512)\n  \
+         --jobs N         shard threads (default: available cores)\n  \
+         --once           process current contents and stop (no tailing)\n  \
+         --idle-ms N      stop after N ms with no growth on any stream (default 1500)\n\n\
          SWEEP-OPTS:\n  \
          --grid SPEC      axes as `axis=v1,v2;…` over scenario | policy | seed |\n                   \
          scale | rounds | enforce — `*` for every name, `a..b` or\n                   \
@@ -164,6 +178,22 @@ fn parse_flag<T: std::str::FromStr>(
         Some(raw) => raw
             .parse()
             .map_err(|_| FaircrowdError::usage(format!("invalid value `{raw}` for {flag}"))),
+    }
+}
+
+/// The shared parser for count-like flags (`--jobs`, `--idle-ms`,
+/// `--checkpoint-every`): every verb rejects zero and non-numeric
+/// values with the same "expected a positive integer" wording, instead
+/// of each flag loop rolling its own.
+fn positive_flag(args: &[String], flag: &str, default: u64) -> Result<u64, FaircrowdError> {
+    match flag_value(args, flag)? {
+        None => Ok(default),
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(n) if n > 0 => Ok(n),
+            _ => Err(FaircrowdError::usage(format!(
+                "invalid value `{raw}` for {flag}: expected a positive integer"
+            ))),
+        },
     }
 }
 
@@ -371,16 +401,23 @@ fn replay_file(path: &str) -> Result<(), FaircrowdError> {
 /// outputs diff cleanly from the audit table onward (the CI smoke step
 /// does exactly that: the streamed violation set must not drift from
 /// the batch one).
+///
+/// With `--checkpoint FILE` the auditor's incremental state is
+/// snapshotted to FILE as the stream grows, and a restarted watch
+/// resumes from it — skipping the consumed lines instead of replaying
+/// them — printing the restored findings first, so the restart's output
+/// is still the stream's complete finding history.
 fn watch_cmd(args: &[String]) -> Result<(), FaircrowdError> {
     let mut path: Option<&str> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--once" => i += 1,
-            "--idle-ms" => i += 2,
+            "--idle-ms" | "--checkpoint" | "--checkpoint-every" => i += 2,
             flag if flag.starts_with("--") => {
                 return Err(FaircrowdError::usage(format!(
-                    "unknown flag `{flag}` for `faircrowd watch`; supported: --once --idle-ms N"
+                    "unknown flag `{flag}` for `faircrowd watch`; supported: \
+                     --once --idle-ms N --checkpoint FILE --checkpoint-every N"
                 )))
             }
             positional => {
@@ -397,7 +434,14 @@ fn watch_cmd(args: &[String]) -> Result<(), FaircrowdError> {
     }
     let path = path.ok_or_else(|| FaircrowdError::usage("usage: faircrowd watch <trace.jsonl>"))?;
     let once = args.iter().any(|a| a == "--once");
-    let idle_ms: u64 = parse_flag(args, "--idle-ms", 1500)?;
+    let idle_ms: u64 = positive_flag(args, "--idle-ms", 1500)?;
+    let ckpt_path = flag_value(args, "--checkpoint")?.map(std::path::PathBuf::from);
+    let ckpt_every = positive_flag(args, "--checkpoint-every", 512)?;
+    if ckpt_path.is_none() && flag_value(args, "--checkpoint-every")?.is_some() {
+        return Err(FaircrowdError::usage(
+            "--checkpoint-every requires --checkpoint FILE",
+        ));
+    }
 
     use std::io::Read as _;
     let mut file = std::fs::File::open(path).map_err(|e| FaircrowdError::Io {
@@ -407,6 +451,46 @@ fn watch_cmd(args: &[String]) -> Result<(), FaircrowdError> {
     let mut reader = faircrowd::model::trace_io::JsonlReader::new();
     let mut auditor = LiveAuditor::new(AuditConfig::default());
     let mut header_applied = false;
+    // Resume from the checkpoint when one loads cleanly; a checkpoint
+    // that fails any load gate is a warning and a full replay, never a
+    // refusal to watch.
+    let mut skip_lines: u64 = 0;
+    let mut resumed = false;
+    let mut last_checkpoint: u64 = 0;
+    if let Some(ck) = ckpt_path.as_deref().filter(|p| p.exists()) {
+        let restored = faircrowd::core::checkpoint::load(ck)
+            .and_then(|c| Ok((LiveAuditor::resume(AuditConfig::default(), &c)?, c)));
+        match restored {
+            Ok((restored, c)) => {
+                println!(
+                    "resumed from checkpoint seq {} (skipping {} line(s))",
+                    c.seq(),
+                    c.source_lines()
+                );
+                reader = faircrowd::model::trace_io::JsonlReader::resume(
+                    c.jsonl_header(),
+                    c.source_lines() as usize,
+                );
+                skip_lines = c.source_lines();
+                last_checkpoint = c.seq();
+                auditor = restored;
+                header_applied = true;
+                resumed = true;
+                // The restored findings followed by the fresh ones make
+                // the restarted watch's output the stream's complete
+                // finding history.
+                for finding in auditor.findings() {
+                    println!("{finding}");
+                }
+            }
+            Err(e) => {
+                eprintln!(
+                    "warning: checkpoint `{}` is unusable ({e}); replaying from the trace",
+                    ck.display()
+                );
+            }
+        }
+    }
     // Byte buffers, not strings: a poll can catch the producer mid
     // multi-byte UTF-8 character, which must wait in the carry for the
     // rest of the write — only complete lines are decoded.
@@ -419,6 +503,10 @@ fn watch_cmd(args: &[String]) -> Result<(), FaircrowdError> {
                     reader: &mut faircrowd::model::trace_io::JsonlReader,
                     auditor: &mut LiveAuditor|
      -> Result<(), FaircrowdError> {
+        if skip_lines > 0 {
+            skip_lines -= 1;
+            return Ok(());
+        }
         match reader.feed_line(line).map_err(|e| e.at_path(path))? {
             None => {
                 if !header_applied {
@@ -475,6 +563,12 @@ fn watch_cmd(args: &[String]) -> Result<(), FaircrowdError> {
                 &mut auditor,
             )?;
         }
+        if let Some(ck) = &ckpt_path {
+            if auditor.events_seen() as u64 >= last_checkpoint + ckpt_every {
+                faircrowd::core::checkpoint::save_auditor(&auditor, reader.lines_fed() as u64, ck)?;
+                last_checkpoint = auditor.events_seen() as u64;
+            }
+        }
     }
     // A non-empty carry at stop is a file truncated mid-record (possibly
     // mid-character): feed it so the decoder reports the malformed line
@@ -489,17 +583,31 @@ fn watch_cmd(args: &[String]) -> Result<(), FaircrowdError> {
              use `faircrowd replay` for whole-file JSON traces"
         )));
     }
+    if let Some(ck) = &ckpt_path {
+        // Snapshot BEFORE finalizing: end-of-stream was this run's
+        // local judgment (idle timeout), not a property of the log. A
+        // restart re-derives it — or keeps ingesting, if the stream
+        // grew in the meantime.
+        faircrowd::core::checkpoint::save_auditor(&auditor, reader.lines_fed() as u64, ck)?;
+    }
     for finding in auditor.finalize() {
         println!("{finding}");
     }
-    auditor.trace().ensure_valid()?;
+    // A resumed watch skips the end-of-stream referential gate: its
+    // prefix was validated before the checkpoint was taken (and the
+    // accumulated trace holds only the tail of the log, which batch
+    // validation would reject as sparse).
+    if !resumed {
+        auditor.trace().ensure_valid()?;
+    }
     let (report, wages) = auditor.final_artifacts(&AxiomId::ALL);
+    let events_total = auditor.events_seen();
     let trace = auditor.into_trace();
     println!(
         "\nwatched {path}: {} workers, {} tasks, {} events\n",
         trace.workers.len(),
         trace.tasks.len(),
-        trace.events.len()
+        events_total
     );
     let summary = TraceSummary::of(&trace);
     let artifacts = RunArtifacts {
@@ -523,6 +631,133 @@ fn at_watch_line(err: FaircrowdError, lineno: usize) -> FaircrowdError {
         },
         other => other,
     }
+}
+
+/// `faircrowd serve <dir>`: the multi-market audit daemon. Every
+/// `<market>.jsonl` in the directory is tailed by its own live auditor
+/// ([`faircrowd::core::AuditDaemon`]), sharded across `--jobs` threads,
+/// and all findings land in one merged stream tagged `[market]`. With
+/// `--checkpoint-dir` each market's state is snapshotted at the
+/// `--checkpoint-every` cadence and a restarted serve resumes every
+/// stream from its checkpoint — an unusable checkpoint falls back to
+/// replaying that market's trace from the start. Closing reports are
+/// printed per market; a failed market stream fails the exit code but
+/// never the other markets.
+fn serve_cmd(args: &[String]) -> Result<(), FaircrowdError> {
+    let mut dir: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--once" => i += 1,
+            "--idle-ms" | "--jobs" | "--checkpoint-dir" | "--checkpoint-every" => i += 2,
+            flag if flag.starts_with("--") => {
+                return Err(FaircrowdError::usage(format!(
+                    "unknown flag `{flag}` for `faircrowd serve`; supported: \
+                     --checkpoint-dir D --checkpoint-every N --jobs N --once --idle-ms N"
+                )))
+            }
+            positional => {
+                if dir.is_some() {
+                    return Err(FaircrowdError::usage(format!(
+                        "unexpected argument `{positional}`: `faircrowd serve` takes exactly \
+                         one trace directory"
+                    )));
+                }
+                dir = Some(positional);
+                i += 1;
+            }
+        }
+    }
+    let dir = dir.ok_or_else(|| FaircrowdError::usage("usage: faircrowd serve <dir>"))?;
+    let once = args.iter().any(|a| a == "--once");
+    let idle_ms = positive_flag(args, "--idle-ms", 1500)?;
+    let default_jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let jobs = positive_flag(args, "--jobs", default_jobs as u64)? as usize;
+    let checkpoint_dir = flag_value(args, "--checkpoint-dir")?.map(std::path::PathBuf::from);
+    let checkpoint_every = positive_flag(args, "--checkpoint-every", 512)?;
+    if let Some(d) = &checkpoint_dir {
+        std::fs::create_dir_all(d).map_err(|e| FaircrowdError::Io {
+            path: d.display().to_string(),
+            message: e.to_string(),
+        })?;
+    }
+
+    let sources = MarketSource::discover(dir)?;
+    if sources.is_empty() {
+        return Err(FaircrowdError::usage(format!(
+            "no `<market>.jsonl` trace streams in `{dir}`"
+        )));
+    }
+    println!(
+        "serving {} market stream(s) from {dir} ({jobs} job(s))",
+        sources.len()
+    );
+    let mut daemon = AuditDaemon::open(
+        DaemonConfig {
+            audit: AuditConfig::default(),
+            jobs,
+            checkpoint_dir,
+            checkpoint_every,
+        },
+        sources,
+    );
+    for notice in daemon.take_notices() {
+        println!("{notice}");
+    }
+    for finding in daemon.restored_findings() {
+        println!("{finding}");
+    }
+
+    const POLL_MS: u64 = 100;
+    let mut idle_waited = 0u64;
+    loop {
+        let before = daemon.total_lines();
+        for finding in daemon.poll() {
+            println!("{finding}");
+        }
+        for notice in daemon.take_notices() {
+            println!("{notice}");
+        }
+        if daemon.total_lines() == before {
+            if once || idle_waited >= idle_ms {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(POLL_MS));
+            idle_waited += POLL_MS;
+        } else {
+            idle_waited = 0;
+        }
+    }
+    for finding in daemon.finalize() {
+        println!("{finding}");
+    }
+    for notice in daemon.take_notices() {
+        println!("{notice}");
+    }
+    for r in daemon.reports()? {
+        let resumed = r
+            .resumed_from
+            .map(|s| format!(", resumed from seq {s}"))
+            .unwrap_or_default();
+        println!(
+            "\nmarket `{}`: {} workers, {} tasks, {} events{resumed}\n",
+            r.market, r.workers, r.tasks, r.events
+        );
+        print!("{}", faircrowd::core::report::render_report(&r.report));
+    }
+    let failed = daemon.failed_markets();
+    if !failed.is_empty() {
+        let list = failed
+            .iter()
+            .map(|(m, e)| format!("`{m}`: {e}"))
+            .collect::<Vec<_>>()
+            .join("; ");
+        return Err(FaircrowdError::persist(format!(
+            "{} market stream(s) failed: {list}",
+            failed.len()
+        )));
+    }
+    Ok(())
 }
 
 /// The only flags `sweep` reads; anything else is rejected rather than
@@ -559,7 +794,7 @@ fn sweep(args: &[String]) -> Result<(), FaircrowdError> {
         }
     }
     let default_jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    let jobs = parse_flag(args, "--jobs", default_jobs)?;
+    let jobs = positive_flag(args, "--jobs", default_jobs as u64)? as usize;
     let format = flag_value(args, "--format")?.unwrap_or("table");
 
     let result = faircrowd::sweep::run_grid(&grid, jobs)?;
@@ -892,5 +1127,140 @@ mod tests {
     fn replay_of_missing_file_is_a_clean_error() {
         let err = replay_cmd(&argv(&["/no/such/fc_trace.json"])).unwrap_err();
         assert!(matches!(err, FaircrowdError::Io { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn positive_flag_accepts_counts_and_rejects_the_rest() {
+        assert_eq!(positive_flag(&[], "--jobs", 4).unwrap(), 4);
+        let args = argv(&["--jobs", "8"]);
+        assert_eq!(positive_flag(&args, "--jobs", 4).unwrap(), 8);
+        // Zero, negatives and non-numerics all get the same wording.
+        for bad in ["0", "-3", "many", "1.5", ""] {
+            let args = argv(&["--jobs", bad]);
+            let err = positive_flag(&args, "--jobs", 4).unwrap_err();
+            assert!(matches!(err, FaircrowdError::Usage { .. }), "{bad}");
+            assert!(
+                err.to_string().contains("expected a positive integer"),
+                "{err}"
+            );
+        }
+        // A dangling flag is still the flag_value error.
+        let err = positive_flag(&argv(&["--jobs"]), "--jobs", 4).unwrap_err();
+        assert!(err.to_string().contains("requires a value"), "{err}");
+    }
+
+    #[test]
+    fn count_flags_error_uniformly_across_verbs() {
+        let err = sweep(&argv(&["--jobs", "0"])).unwrap_err();
+        assert!(err.to_string().contains("expected a positive integer"));
+        let err = watch_cmd(&argv(&["t.jsonl", "--idle-ms", "soon"])).unwrap_err();
+        assert!(err.to_string().contains("expected a positive integer"));
+        let err = serve_cmd(&argv(&["/tmp", "--checkpoint-every", "0"])).unwrap_err();
+        assert!(err.to_string().contains("expected a positive integer"));
+    }
+
+    #[test]
+    fn serve_arguments_are_validated() {
+        let err = serve_cmd(&[]).unwrap_err();
+        assert!(err.to_string().contains("serve <dir>"), "{err}");
+        let err = serve_cmd(&argv(&["a", "b"])).unwrap_err();
+        assert!(err.to_string().contains("exactly"), "{err}");
+        let err = serve_cmd(&argv(&["a", "--daemonize"])).unwrap_err();
+        assert!(err.to_string().contains("--daemonize"), "{err}");
+        let err = serve_cmd(&argv(&["/no/such/fc_serve_dir"])).unwrap_err();
+        assert!(matches!(err, FaircrowdError::Io { .. }), "{err:?}");
+        // A directory with no .jsonl streams is named, not silently idle.
+        let empty = std::env::temp_dir().join("fc_cli_serve_empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        let err = serve_cmd(&argv(&[empty.to_str().unwrap()])).unwrap_err();
+        assert!(err.to_string().contains("no `<market>.jsonl`"), "{err}");
+        std::fs::remove_dir_all(&empty).ok();
+    }
+
+    #[test]
+    fn watch_checkpoint_every_requires_checkpoint() {
+        let err = watch_cmd(&argv(&["t.jsonl", "--checkpoint-every", "5"])).unwrap_err();
+        assert!(err.to_string().contains("--checkpoint FILE"), "{err}");
+    }
+
+    #[test]
+    fn serve_audits_exported_markets_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("fc_cli_serve_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for (market, seed) in [("alpha", "1"), ("beta", "2")] {
+            let out = dir.join(format!("{market}.jsonl"));
+            export_cmd(&argv(&[
+                "--rounds",
+                "6",
+                "--workers",
+                "8",
+                "--seed",
+                seed,
+                "--out",
+                out.to_str().unwrap(),
+            ]))
+            .unwrap();
+        }
+        let ckpt = dir.join("ckpts");
+        let args = argv(&[
+            dir.to_str().unwrap(),
+            "--once",
+            "--jobs",
+            "2",
+            "--checkpoint-dir",
+            ckpt.to_str().unwrap(),
+            "--checkpoint-every",
+            "1",
+        ]);
+        serve_cmd(&args).unwrap();
+        // The cadence wrote a checkpoint per market; a rerun resumes
+        // from them (end-of-stream state) and still closes cleanly.
+        assert!(ckpt.join("alpha.checkpoint.json").exists());
+        assert!(ckpt.join("beta.checkpoint.json").exists());
+        serve_cmd(&args).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn watch_checkpoint_restart_completes_the_stream() {
+        let dir = std::env::temp_dir().join(format!("fc_cli_watchck_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("m.jsonl");
+        export_cmd(&argv(&[
+            "--rounds",
+            "6",
+            "--workers",
+            "8",
+            "--out",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let full = std::fs::read_to_string(&trace_path).unwrap();
+        let lines: Vec<&str> = full.lines().collect();
+        let cut = lines.len() * 2 / 3;
+        let half_path = dir.join("half.jsonl");
+        std::fs::write(&half_path, format!("{}\n", lines[..cut].join("\n"))).unwrap();
+        let ck = dir.join("m.checkpoint.json");
+        // First life over the truncated stream writes a checkpoint…
+        watch_cmd(&argv(&[
+            half_path.to_str().unwrap(),
+            "--once",
+            "--checkpoint",
+            ck.to_str().unwrap(),
+            "--checkpoint-every",
+            "1",
+        ]))
+        .unwrap();
+        assert!(ck.exists());
+        // …and the restart over the complete stream resumes from it.
+        std::fs::write(&half_path, &full).unwrap();
+        watch_cmd(&argv(&[
+            half_path.to_str().unwrap(),
+            "--once",
+            "--checkpoint",
+            ck.to_str().unwrap(),
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
