@@ -18,13 +18,22 @@
 //! cargo run --release --bin stream_baseline > BENCH_stream.json
 //! ```
 //!
+//! Each row also times the **file-to-verdict** path for a *recorded*
+//! stream: decode the trace from its on-disk form (line-oriented JSONL
+//! vs the binary `.fcb`), then ingest it through the live path —
+//! the columns the `.fcb` format adds are `jsonl_decode_ms`,
+//! `fcb_decode_ms`, `fcb_decode_speedup` and the summed
+//! `file_to_verdict_*_ms` figures.
+//!
 //! The binary asserts the incremental closing report is bit-identical
 //! to the batch report before printing a number, and asserts the
-//! acceptance ratio (incremental ≥ 10× rebuild-per-event at scale 16).
+//! acceptance ratios (incremental ≥ 10× rebuild-per-event at scale 16,
+//! and `.fcb` decode ≥ 5× JSONL decode of the same scale-16 trace).
 //! Timings are medians over repeated runs; the hardware-stable numbers
 //! are the events/s *ratios*.
 
 use faircrowd_core::live::LiveAuditor;
+use faircrowd_core::persist::{self, TraceFormat};
 use faircrowd_core::{AuditConfig, AuditEngine, TraceIndex};
 use faircrowd_model::event::EventLog;
 use faircrowd_model::trace::Trace;
@@ -58,6 +67,7 @@ fn main() {
     let engine = AuditEngine::with_defaults();
     let mut rows = String::new();
     let mut speedup_at_16 = 0.0f64;
+    let mut fcb_decode_speedup_at_16 = 0.0f64;
 
     for (i, scale) in [1u32, 4, 16].into_iter().enumerate() {
         let config = catalog::get("baseline")
@@ -106,6 +116,22 @@ fn main() {
             black_box(engine.run(black_box(&trace)));
         });
 
+        // File-to-verdict: the recorded-stream path decodes the trace
+        // from its on-disk bytes before it can ingest anything. Same
+        // trace in both formats, so the decode ratio is events/s.
+        let jsonl_bytes = persist::encode_bytes(&trace, TraceFormat::Jsonl);
+        let fcb_bytes = persist::encode_bytes(&trace, TraceFormat::Binary);
+        let jsonl_decode_ms = median_ms(runs, || {
+            black_box(persist::decode_bytes(black_box(&jsonl_bytes)).expect("decode"));
+        });
+        let fcb_decode_ms = median_ms(runs, || {
+            black_box(persist::decode_bytes(black_box(&fcb_bytes)).expect("decode"));
+        });
+        let fcb_decode_speedup = jsonl_decode_ms / fcb_decode_ms;
+        if scale == 16 {
+            fcb_decode_speedup_at_16 = fcb_decode_speedup;
+        }
+
         let incremental_eps = events as f64 / (incremental_ms / 1e3);
         let rebuild_eps = rebuild_cap as f64 / (rebuild_ms / 1e3);
         let batch_eps = events as f64 / (batch_ms / 1e3);
@@ -125,13 +151,20 @@ fn main() {
              \"rebuild_cap_events\": {rebuild_cap}, \"rebuild_ms\": {rebuild_ms:.3}, \
              \"rebuild_events_s\": {:.1}, \
              \"batch_ms\": {batch_ms:.3}, \"batch_events_s\": {:.0}, \
-             \"speedup_incremental_vs_rebuild\": {:.1}}}",
+             \"speedup_incremental_vs_rebuild\": {:.1}, \
+             \"jsonl_decode_ms\": {jsonl_decode_ms:.3}, \
+             \"fcb_decode_ms\": {fcb_decode_ms:.3}, \
+             \"fcb_decode_speedup\": {fcb_decode_speedup:.1}, \
+             \"file_to_verdict_jsonl_ms\": {:.3}, \
+             \"file_to_verdict_fcb_ms\": {:.3}}}",
             trace.workers.len(),
             trace.tasks.len(),
             incremental_eps,
             rebuild_eps,
             batch_eps,
             speedup,
+            jsonl_decode_ms + incremental_ms,
+            fcb_decode_ms + incremental_ms,
         );
     }
 
@@ -139,6 +172,11 @@ fn main() {
         speedup_at_16 >= 10.0,
         "acceptance: incremental must beat rebuild-per-event ≥ 10× at scale 16 \
          (measured {speedup_at_16:.1}×)"
+    );
+    assert!(
+        fcb_decode_speedup_at_16 >= 5.0,
+        "acceptance: .fcb decode must beat JSONL decode ≥ 5× on the same scale-16 \
+         trace (measured {fcb_decode_speedup_at_16:.1}×)"
     );
 
     println!("{{");
@@ -150,7 +188,8 @@ fn main() {
         "  \"note\": \"incremental = LiveAuditor ingest (mirrors + monitors) + mirror-backed \
          closing report, asserted bit-identical to batch; rebuild_per_event timed over the \
          first rebuild_cap_events of the stream (per-event cost grows with the prefix, so \
-         the capped events/s flatters that path)\","
+         the capped events/s flatters that path); file_to_verdict_*_ms = decode the \
+         recorded trace from its on-disk bytes (JSONL vs .fcb) + the incremental ingest\","
     );
     println!("  \"scales\": [");
     println!("{rows}");

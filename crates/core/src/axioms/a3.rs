@@ -54,8 +54,8 @@ impl Axiom for CompensationFairness {
                     continue;
                 }
                 pairs += 1;
-                let pi = payments.get(&si.id).copied().unwrap_or(Credits::ZERO);
-                let pj = payments.get(&sj.id).copied().unwrap_or(Credits::ZERO);
+                let pi = payments.get(si.id).copied().unwrap_or(Credits::ZERO);
+                let pj = payments.get(sj.id).copied().unwrap_or(Credits::ZERO);
                 if pi == pj {
                     satisfied += 1;
                 } else {

@@ -81,19 +81,25 @@ impl Default for DaemonConfig {
     }
 }
 
-/// One discovered market stream: a name and the JSONL file backing it.
+/// One discovered market stream: a name and the trace file backing it —
+/// a growing `.jsonl` stream, or a finished `.fcb` recording ingested
+/// in one shot.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct MarketSource {
-    /// Market id — the file stem of `<market>.jsonl`.
+    /// Market id — the file stem of `<market>.jsonl` / `<market>.fcb`.
     pub market: String,
-    /// The growing JSONL trace file.
+    /// The backing trace file.
     pub path: PathBuf,
 }
 
 impl MarketSource {
-    /// Discover every `<market>.jsonl` in a directory, sorted by market
-    /// name. Non-`.jsonl` entries are ignored; an unreadable directory
-    /// is an [`FaircrowdError::Io`] carrying the path.
+    /// Discover every `<market>.jsonl` and `<market>.fcb` in a
+    /// directory, sorted by market name. Other entries are ignored; an
+    /// unreadable directory is an [`FaircrowdError::Io`] carrying the
+    /// path; a market stem present in **both** formats is a
+    /// [`FaircrowdError::Persist`] naming the stem (two files claiming
+    /// one market is an operator mistake — silently picking either
+    /// would audit half the story).
     pub fn discover(dir: impl AsRef<Path>) -> Result<Vec<MarketSource>, FaircrowdError> {
         let dir = dir.as_ref();
         let entries = std::fs::read_dir(dir).map_err(|e| FaircrowdError::Io {
@@ -107,7 +113,10 @@ impl MarketSource {
                 message: e.to_string(),
             })?;
             let path = entry.path();
-            if path.extension().and_then(|e| e.to_str()) != Some("jsonl") {
+            if !matches!(
+                path.extension().and_then(|e| e.to_str()),
+                Some("jsonl") | Some("fcb")
+            ) {
                 continue;
             }
             let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
@@ -119,6 +128,26 @@ impl MarketSource {
             });
         }
         sources.sort();
+        for pair in sources.windows(2) {
+            if pair[0].market == pair[1].market {
+                return Err(FaircrowdError::persist(format!(
+                    "market `{}` has both `{}` and `{}` in `{}`; keep exactly one trace \
+                     file per market",
+                    pair[0].market,
+                    pair[0]
+                        .path
+                        .file_name()
+                        .unwrap_or_default()
+                        .to_string_lossy(),
+                    pair[1]
+                        .path
+                        .file_name()
+                        .unwrap_or_default()
+                        .to_string_lossy(),
+                    dir.display(),
+                )));
+            }
+        }
         Ok(sources)
     }
 }
@@ -231,9 +260,16 @@ impl AuditDaemon {
         daemon
     }
 
-    /// Register a file-backed market. The file need not have content
-    /// yet; it is tailed from the next [`AuditDaemon::poll`].
+    /// Register a file-backed market. A `.jsonl` file need not have
+    /// content yet; it is tailed from the next [`AuditDaemon::poll`]. A
+    /// `.fcb` file is a finished recording: it is decoded now and its
+    /// records queued for the next poll in one shot (through the same
+    /// line pipeline as a stream, so checkpoints and resume stay
+    /// line-addressed and a restart skips the consumed prefix).
     pub fn add_source(&mut self, source: MarketSource) {
+        if source.path.extension().and_then(|e| e.to_str()) == Some("fcb") {
+            return self.add_recording(source);
+        }
         let mut market = self.make_market(source.market.clone());
         market.tail = Some(MarketTail {
             file: std::fs::File::open(&source.path).unwrap_or_else(|_| {
@@ -255,6 +291,34 @@ impl AuditDaemon {
             }
             Err(e) => {
                 market.failed = Some(format!("cannot open `{}`: {e}", source.path.display()));
+            }
+        }
+        if let Some(err) = &market.failed {
+            self.notices
+                .push(format!("market `{}` failed: {err}", market.name));
+        }
+        self.markets.insert(source.market, market);
+    }
+
+    /// Register a market backed by a finished `.fcb` recording: decode
+    /// the whole file through the binary load gates and queue its
+    /// records as JSONL lines for the next poll. Decode failures fail
+    /// the market (named, positioned), never the daemon.
+    fn add_recording(&mut self, source: MarketSource) {
+        let mut market = self.make_market(source.market.clone());
+        match std::fs::read(&source.path) {
+            Ok(bytes) => match crate::persist::decode_bytes(&bytes) {
+                Ok(trace) => {
+                    market.pending.extend(
+                        crate::persist::encode(&trace, crate::persist::TraceFormat::Jsonl)
+                            .lines()
+                            .map(str::to_owned),
+                    );
+                }
+                Err(e) => market.failed = Some(format!("`{}`: {e}", source.path.display())),
+            },
+            Err(e) => {
+                market.failed = Some(format!("cannot read `{}`: {e}", source.path.display()));
             }
         }
         if let Some(err) = &market.failed {
@@ -953,6 +1017,110 @@ mod tests {
             assert_eq!(&g.finding, w);
         }
         assert_eq!(daemon.reports().unwrap()[0].report, want_report);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn discover_finds_both_stream_and_recording_markets() {
+        let trace = violating_trace();
+        let dir = temp_dir("discover");
+        std::fs::write(
+            dir.join("stream.jsonl"),
+            persist::encode(&trace, persist::TraceFormat::Jsonl),
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("recording.fcb"),
+            persist::encode_bytes(&trace, persist::TraceFormat::Binary),
+        )
+        .unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let sources = MarketSource::discover(dir.to_str().unwrap()).unwrap();
+        let names: Vec<&str> = sources.iter().map(|s| s.market.as_str()).collect();
+        assert_eq!(names, ["recording", "stream"], "sorted, txt ignored");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mixed_format_market_is_a_named_error_not_a_silent_skip() {
+        let trace = violating_trace();
+        let dir = temp_dir("mixed");
+        std::fs::write(
+            dir.join("m.jsonl"),
+            persist::encode(&trace, persist::TraceFormat::Jsonl),
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("m.fcb"),
+            persist::encode_bytes(&trace, persist::TraceFormat::Binary),
+        )
+        .unwrap();
+        let err = MarketSource::discover(dir.to_str().unwrap()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("market `m`"), "{msg}");
+        assert!(msg.contains("m.jsonl") && msg.contains("m.fcb"), "{msg}");
+        assert!(msg.contains("keep exactly one"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recording_market_matches_the_single_stream_reference() {
+        let trace = violating_trace();
+        let dir = temp_dir("fcb");
+        let path = dir.join("m.fcb");
+        std::fs::write(
+            &path,
+            persist::encode_bytes(&trace, persist::TraceFormat::Binary),
+        )
+        .unwrap();
+        let mut daemon = AuditDaemon::new(DaemonConfig::default());
+        daemon.add_source(MarketSource {
+            market: "m".into(),
+            path,
+        });
+        let mut merged = daemon.poll();
+        merged.extend(daemon.finalize());
+        let (want, want_report) = reference(&trace);
+        assert_eq!(merged.len(), want.len());
+        for (g, w) in merged.iter().zip(&want) {
+            assert_eq!(&g.finding, w);
+        }
+        assert_eq!(daemon.reports().unwrap()[0].report, want_report);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_recording_fails_its_market_alone() {
+        let trace = violating_trace();
+        let dir = temp_dir("badfcb");
+        let mut bytes = persist::encode_bytes(&trace, persist::TraceFormat::Binary);
+        bytes.truncate(bytes.len() / 2);
+        std::fs::write(dir.join("bad.fcb"), &bytes).unwrap();
+        std::fs::write(
+            dir.join("good.jsonl"),
+            persist::encode(&trace, persist::TraceFormat::Jsonl),
+        )
+        .unwrap();
+        let mut daemon = AuditDaemon::new(DaemonConfig::default());
+        for source in MarketSource::discover(dir.to_str().unwrap()).unwrap() {
+            daemon.add_source(source);
+        }
+        let notices = daemon.take_notices();
+        assert!(
+            notices
+                .iter()
+                .any(|n| n.contains("bad") && n.contains("failed")),
+            "{notices:?}"
+        );
+        let mut merged = daemon.poll();
+        merged.extend(daemon.finalize());
+        let failed = daemon.failed_markets();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].0, "bad");
+        assert!(failed[0].1.contains("bad.fcb"), "{}", failed[0].1);
+        let (want, _) = reference(&trace);
+        assert_eq!(merged.len(), want.len(), "good market is unaffected");
+        assert_eq!(daemon.reports().unwrap().len(), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -37,6 +37,7 @@
 //! entity ids in `trace.workers` / `trace.tasks` are unique (simulator
 //! traces and well-formed hand-built traces always are).
 
+use faircrowd_model::arena::DenseIdMap;
 use faircrowd_model::contribution::{Contribution, Submission};
 use faircrowd_model::ids::{SubmissionId, TaskId, WorkerId};
 use faircrowd_model::money::Credits;
@@ -61,11 +62,12 @@ struct Qualification {
     workers_per_task: Vec<BTreeSet<WorkerId>>,
 }
 
-/// Dense id → position maps for the bit-row scans.
+/// Dense id → position maps for the bit-row scans — arena-backed, so a
+/// probe is an array index rather than a tree descent.
 #[derive(Debug)]
 struct Positions {
-    worker: BTreeMap<WorkerId, usize>,
-    task: BTreeMap<TaskId, usize>,
+    worker: DenseIdMap<WorkerId, usize>,
+    task: DenseIdMap<TaskId, usize>,
 }
 
 /// The qualification relation as two dense bit matrices (row-major,
@@ -292,22 +294,22 @@ impl<'a> TraceIndex<'a> {
     }
 
     /// Per worker, the tasks made visible to her (every worker appears).
-    pub fn visibility(&self) -> &BTreeMap<WorkerId, BTreeSet<TaskId>> {
+    pub fn visibility(&self) -> &DenseIdMap<WorkerId, BTreeSet<TaskId>> {
         &self.events.visibility
     }
 
     /// Per task, the workers it was shown to (every task appears).
-    pub fn audience(&self) -> &BTreeMap<TaskId, BTreeSet<WorkerId>> {
+    pub fn audience(&self) -> &DenseIdMap<TaskId, BTreeSet<WorkerId>> {
         &self.events.audience
     }
 
     /// Total amount actually paid per submission.
-    pub fn payments(&self) -> &BTreeMap<SubmissionId, Credits> {
+    pub fn payments(&self) -> &DenseIdMap<SubmissionId, Credits> {
         &self.events.payments
     }
 
     /// Total earnings per worker (payments plus honoured bonuses).
-    pub fn earnings(&self) -> &BTreeMap<WorkerId, Credits> {
+    pub fn earnings(&self) -> &DenseIdMap<WorkerId, Credits> {
         &self.events.earnings
     }
 
@@ -444,18 +446,18 @@ impl<'a> TraceIndex<'a> {
             // tables never survive the intersection with the qualified
             // rows, so dropping them here is exact.
             for (wi, w) in self.trace.workers.iter().enumerate() {
-                if let Some(tasks) = self.events.visibility.get(&w.id) {
+                if let Some(tasks) = self.events.visibility.get(w.id) {
                     for t in tasks {
-                        if let Some(&ti) = pos.task.get(t) {
+                        if let Some(&ti) = pos.task.get(*t) {
                             visible[wi * dq.task_width + ti / 64] |= 1u64 << (ti % 64);
                         }
                     }
                 }
             }
             for (ti, t) in self.trace.tasks.iter().enumerate() {
-                if let Some(workers) = self.events.audience.get(&t.id) {
+                if let Some(workers) = self.events.audience.get(t.id) {
                     for w in workers {
-                        if let Some(&wi) = pos.worker.get(w) {
+                        if let Some(&wi) = pos.worker.get(*w) {
                             audience[ti * dq.worker_width + wi / 64] |= 1u64 << (wi % 64);
                         }
                     }
@@ -726,7 +728,7 @@ mod tests {
         assert!(reused.qualification.get().is_some());
         // … while the log-derived slices reflect the new event.
         assert_eq!(
-            reused.payments().get(&SubmissionId::new(0)),
+            reused.payments().get(SubmissionId::new(0)),
             Some(&Credits::from_cents(5))
         );
         // Touch the worker table and the matrices are invalidated.

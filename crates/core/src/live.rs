@@ -75,6 +75,7 @@ use crate::axiom::{AxiomId, Violation};
 use crate::axioms::{a1_witness, a2_witness, a6::obligation_coverage, worker_similarity};
 use crate::checkpoint::Checkpoint;
 use crate::index::{AccessOverlap, TraceIndex};
+use faircrowd_model::arena::{ArenaKey, DenseIdMap};
 use faircrowd_model::contribution::Submission;
 use faircrowd_model::disclosure::{Audience, DisclosureItem, DisclosureSet};
 use faircrowd_model::error::FaircrowdError;
@@ -88,7 +89,7 @@ use faircrowd_model::trace::{EventIndex, GroundTruth, Trace};
 use faircrowd_model::trace_io::{JsonlHeader, JsonlRecord};
 use faircrowd_model::worker::Worker;
 use faircrowd_pay::wage::WageStats;
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Where in the stream a live finding came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,18 +152,74 @@ impl std::fmt::Display for LiveFinding {
 /// A qualification row extended lazily: `seen` entities of the opposite
 /// table have been folded in; anything appended since is "dirt" paid
 /// for only when a monitor reads the row.
+///
+/// Membership is double-booked: the ordered `set` serves iteration,
+/// intersection and checkpoint encoding, while `bits` mirrors it as a
+/// bit-per-raw-id vector so the pair scans' per-event probes are one
+/// shift and a mask instead of a tree descent. The bit region grows
+/// under the same occupancy bound as [`DenseIdMap`]; outlier ids
+/// (hostile sparse id spaces) live only in `set` and are caught by the
+/// fallback probe.
 #[derive(Debug, Clone)]
-struct LazyRow<T: Ord> {
+struct LazyRow<T: ArenaKey + Ord> {
     set: BTreeSet<T>,
+    bits: Vec<u64>,
     seen: usize,
 }
 
-impl<T: Ord> Default for LazyRow<T> {
+impl<T: ArenaKey + Ord> Default for LazyRow<T> {
     fn default() -> Self {
         LazyRow {
             set: BTreeSet::new(),
+            bits: Vec::new(),
             seen: 0,
         }
+    }
+}
+
+impl<T: ArenaKey + Ord> LazyRow<T> {
+    fn insert(&mut self, id: T) {
+        let raw = id.raw_index() as usize;
+        let word = raw / 64;
+        if word < self.bits.len() {
+            self.bits[word] |= 1 << (raw % 64);
+        } else if raw < 16 * (self.set.len() + 64) {
+            self.grow_to(word + 1);
+            self.bits[word] |= 1 << (raw % 64);
+        }
+        self.set.insert(id);
+    }
+
+    /// Extend the bit region, backfilling any members it now covers
+    /// (ids inserted as outliers before the occupancy bound reached
+    /// them) — the invariant `contains` relies on: every member with a
+    /// raw id inside the region has its bit set.
+    fn grow_to(&mut self, words: usize) {
+        let old = self.bits.len() * 64;
+        self.bits.resize(words, 0);
+        let hi = self.bits.len() * 64;
+        let lo = T::from_raw_index(old.min(u32::MAX as usize) as u32);
+        for id in self.set.range(lo..) {
+            let raw = id.raw_index() as usize;
+            if raw >= hi {
+                break;
+            }
+            self.bits[raw / 64] |= 1 << (raw % 64);
+        }
+    }
+
+    #[inline]
+    fn contains(&self, id: T) -> bool {
+        let raw = id.raw_index() as usize;
+        match self.bits.get(raw / 64) {
+            Some(word) => word & (1 << (raw % 64)) != 0,
+            None => self.set.contains(&id),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.set.clear();
+        self.bits.clear();
     }
 }
 
@@ -172,8 +229,32 @@ impl<T: Ord> Default for LazyRow<T> {
 /// entity over the stream's lifetime**, not once per event.
 #[derive(Debug, Clone, Default)]
 struct PartnerCache {
-    partners: Vec<usize>,
+    partners: Vec<Partner>,
     seen: usize,
+}
+
+/// One candidate on a partner list: the partner's table position plus
+/// the pair's slot in the [`PairTable`], resolved on this side's first
+/// touch and then read as a plain array index on every later event.
+#[derive(Debug, Clone, Copy)]
+struct Partner {
+    /// The partner's entity-table position (ids are `u32`, so positions
+    /// fit; 8 bytes per entry keeps the per-event scan cache-friendly).
+    pos: u32,
+    slot: u32,
+}
+
+/// Sentinel slot for a partner this side has not yet touched (the cold
+/// [`PairTable`] index is consulted exactly once to replace it).
+const PAIR_UNRESOLVED: u32 = u32::MAX;
+
+impl Partner {
+    fn fresh(pos: usize) -> Self {
+        Partner {
+            pos: pos as u32,
+            slot: PAIR_UNRESOLVED,
+        }
+    }
 }
 
 /// Running restricted-access counters for one monitored pair:
@@ -186,6 +267,91 @@ struct PairCounters {
     left: usize,
     right: usize,
     inter: usize,
+}
+
+/// All monitored pairs of one axiom, counters in a flat slot vector.
+/// The per-event hot path reaches a pair through the slot id cached on
+/// the triggering entity's partner list — a plain array index, no
+/// hashing, no tree descent. The ordered `index` is cold: consulted
+/// once per pair side to resolve the slot (and by checkpointing, which
+/// wants pairs in canonical key order anyway).
+#[derive(Debug, Clone, Default)]
+struct PairTable {
+    slots: Vec<PairSlot>,
+    index: BTreeMap<(usize, usize), u32>,
+}
+
+/// One monitored pair: its running counters and whether its finding has
+/// already been emitted (settled slots persist so a partner list
+/// rebuilt after [`LiveAuditor::adopt_end_state`] can never re-emit).
+#[derive(Debug, Clone)]
+struct PairSlot {
+    counters: PairCounters,
+    settled: bool,
+}
+
+impl PairTable {
+    /// The pair's slot id, allocating one on first touch.
+    fn slot_of(&mut self, key: (usize, usize)) -> u32 {
+        if let Some(&id) = self.index.get(&key) {
+            return id;
+        }
+        let id = self.slots.len() as u32;
+        self.slots.push(PairSlot {
+            counters: PairCounters::default(),
+            settled: false,
+        });
+        self.index.insert(key, id);
+        id
+    }
+
+    /// Unsettled pairs with their counters, in canonical key order —
+    /// the checkpoint row shape.
+    fn live_rows(&self) -> Vec<[u64; 5]> {
+        self.index
+            .iter()
+            .filter(|&(_, &s)| !self.slots[s as usize].settled)
+            .map(|(&(i, j), &s)| {
+                let c = self.slots[s as usize].counters;
+                [
+                    i as u64,
+                    j as u64,
+                    c.left as u64,
+                    c.right as u64,
+                    c.inter as u64,
+                ]
+            })
+            .collect()
+    }
+
+    /// Settled pairs in canonical key order — the checkpoint's emitted
+    /// list.
+    fn settled_keys(&self) -> Vec<(u64, u64)> {
+        self.index
+            .iter()
+            .filter(|&(_, &s)| self.slots[s as usize].settled)
+            .map(|(&(i, j), _)| (i as u64, j as u64))
+            .collect()
+    }
+
+    /// Rebuild the table from checkpoint rows: live pairs restore their
+    /// counters, emitted pairs restore as settled slots.
+    fn restore(live: &[[u64; 5]], settled: &[(u64, u64)]) -> Self {
+        let mut table = PairTable::default();
+        for &[i, j, left, right, inter] in live {
+            let id = table.slot_of((i as usize, j as usize));
+            table.slots[id as usize].counters = PairCounters {
+                left: left as usize,
+                right: right as usize,
+                inter: inter as usize,
+            };
+        }
+        for &(i, j) in settled {
+            let id = table.slot_of((i as usize, j as usize));
+            table.slots[id as usize].settled = true;
+        }
+        table
+    }
 }
 
 /// The streaming auditor. See the [module docs](self) for the contract.
@@ -204,12 +370,12 @@ pub struct LiveAuditor {
     /// time instead of replayed at the end.
     events: EventIndex,
     /// Submission indices grouped by task (the Axiom 3 quantifier).
-    subs_by_task: BTreeMap<TaskId, Vec<usize>>,
+    subs_by_task: DenseIdMap<TaskId, Vec<usize>>,
     /// Workers who submitted at least once (the Axiom 4 active set).
     submitters: BTreeSet<WorkerId>,
-    worker_pos: BTreeMap<WorkerId, usize>,
-    task_pos: BTreeMap<TaskId, usize>,
-    sub_pos: BTreeMap<SubmissionId, usize>,
+    worker_pos: DenseIdMap<WorkerId, usize>,
+    task_pos: DenseIdMap<TaskId, usize>,
+    sub_pos: DenseIdMap<SubmissionId, usize>,
     /// Per worker: the tasks she qualifies for (lazily extended).
     qual_tasks: Vec<LazyRow<TaskId>>,
     /// Per task: the workers qualified for it (lazily extended).
@@ -219,13 +385,11 @@ pub struct LiveAuditor {
     /// Per task: positions of its comparable cross-requester partners
     /// (Axiom 2).
     comparable_partners: Vec<PartnerCache>,
-    /// Running overlap counters per monitored worker pair.
-    a1_pairs: HashMap<(usize, usize), PairCounters>,
-    /// Running overlap counters per monitored task pair.
-    a2_pairs: HashMap<(usize, usize), PairCounters>,
+    /// Counters and settled flags per monitored worker pair.
+    a1_pairs: PairTable,
+    /// Counters and settled flags per monitored task pair.
+    a2_pairs: PairTable,
     last_time: SimTime,
-    a1_emitted: HashSet<(usize, usize)>,
-    a2_emitted: HashSet<(usize, usize)>,
     a3_emitted: BTreeSet<(SubmissionId, SubmissionId)>,
     a4_emitted: BTreeSet<WorkerId>,
     a6_emitted: BTreeSet<TaskId>,
@@ -251,20 +415,18 @@ impl LiveAuditor {
             config,
             trace: Trace::default(),
             events: EventIndex::default(),
-            subs_by_task: BTreeMap::new(),
+            subs_by_task: DenseIdMap::new(),
             submitters: BTreeSet::new(),
-            worker_pos: BTreeMap::new(),
-            task_pos: BTreeMap::new(),
-            sub_pos: BTreeMap::new(),
+            worker_pos: DenseIdMap::new(),
+            task_pos: DenseIdMap::new(),
+            sub_pos: DenseIdMap::new(),
             qual_tasks: Vec::new(),
             qual_workers: Vec::new(),
             similar_partners: Vec::new(),
             comparable_partners: Vec::new(),
-            a1_pairs: HashMap::new(),
-            a2_pairs: HashMap::new(),
+            a1_pairs: PairTable::default(),
+            a2_pairs: PairTable::default(),
             last_time: SimTime::ZERO,
-            a1_emitted: HashSet::new(),
-            a2_emitted: HashSet::new(),
             a3_emitted: BTreeSet::new(),
             a4_emitted: BTreeSet::new(),
             a6_emitted: BTreeSet::new(),
@@ -325,8 +487,8 @@ impl LiveAuditor {
         self.trace.workers.push(worker);
         self.qual_tasks.push(LazyRow::default());
         self.similar_partners.push(PartnerCache::default());
-        self.events.visibility.entry(id).or_default();
-        self.events.earnings.entry(id).or_insert(Credits::ZERO);
+        self.events.visibility.entry(id);
+        self.events.earnings.entry(id);
     }
 
     /// Declare a task. Seeds its audience row and dirties every
@@ -337,7 +499,7 @@ impl LiveAuditor {
         self.trace.tasks.push(task);
         self.qual_workers.push(LazyRow::default());
         self.comparable_partners.push(PartnerCache::default());
-        self.events.audience.entry(id).or_default();
+        self.events.audience.entry(id);
     }
 
     /// Declare a requester.
@@ -350,10 +512,7 @@ impl LiveAuditor {
     pub fn add_submission(&mut self, submission: Submission) {
         let ix = self.trace.submissions.len();
         self.sub_pos.insert(submission.id, ix);
-        self.subs_by_task
-            .entry(submission.task)
-            .or_default()
-            .push(ix);
+        self.subs_by_task.entry(submission.task).push(ix);
         self.submitters.insert(submission.worker);
         self.trace.submissions.push(submission);
     }
@@ -541,11 +700,11 @@ impl LiveAuditor {
         self.trace.disclosure = end.disclosure.clone();
         self.trace.horizon = end.horizon;
         for row in &mut self.qual_tasks {
-            row.set.clear();
+            row.clear();
             row.seen = 0;
         }
         for row in &mut self.qual_workers {
-            row.set.clear();
+            row.clear();
             row.seen = 0;
         }
         for cache in self
@@ -731,33 +890,12 @@ impl LiveAuditor {
     /// included), so a resumed tailer knows how far to skip; pass `0`
     /// for auditors not fed from a line stream.
     ///
-    /// Hash-keyed structures are sorted into canonical order on the way
-    /// out, so the same auditor state always snapshots to the same
-    /// checkpoint — byte-identical once encoded.
+    /// Pair tables are walked through their ordered key index, so the
+    /// same auditor state always snapshots to the same checkpoint —
+    /// byte-identical once encoded.
     pub fn checkpoint(&self, source_lines: u64) -> Checkpoint {
         let mut world = self.trace.clone();
         world.events = faircrowd_model::event::EventLog::new();
-        let pairs = |map: &HashMap<(usize, usize), PairCounters>| {
-            let mut v: Vec<[u64; 5]> = map
-                .iter()
-                .map(|(&(i, j), c)| {
-                    [
-                        i as u64,
-                        j as u64,
-                        c.left as u64,
-                        c.right as u64,
-                        c.inter as u64,
-                    ]
-                })
-                .collect();
-            v.sort_unstable();
-            v
-        };
-        let emitted = |set: &HashSet<(usize, usize)>| {
-            let mut v: Vec<(u64, u64)> = set.iter().map(|&(i, j)| (i as u64, j as u64)).collect();
-            v.sort_unstable();
-            v
-        };
         Checkpoint {
             world,
             mirror: self.events.clone(),
@@ -781,17 +919,17 @@ impl LiveAuditor {
             similar_partners: self
                 .similar_partners
                 .iter()
-                .map(|c| (c.seen, c.partners.clone()))
+                .map(|c| (c.seen, c.partners.iter().map(|p| p.pos as usize).collect()))
                 .collect(),
             comparable_partners: self
                 .comparable_partners
                 .iter()
-                .map(|c| (c.seen, c.partners.clone()))
+                .map(|c| (c.seen, c.partners.iter().map(|p| p.pos as usize).collect()))
                 .collect(),
-            a1_pairs: pairs(&self.a1_pairs),
-            a2_pairs: pairs(&self.a2_pairs),
-            a1_emitted: emitted(&self.a1_emitted),
-            a2_emitted: emitted(&self.a2_emitted),
+            a1_pairs: self.a1_pairs.live_rows(),
+            a2_pairs: self.a2_pairs.live_rows(),
+            a1_emitted: self.a1_pairs.settled_keys(),
+            a2_emitted: self.a2_pairs.settled_keys(),
             a3_emitted: self.a3_emitted.iter().copied().collect(),
             a4_emitted: self.a4_emitted.iter().copied().collect(),
             a6_emitted: self.a6_emitted.iter().copied().collect(),
@@ -842,11 +980,15 @@ impl LiveAuditor {
         auditor.events = ckpt.mirror.clone();
         for (row, (seen, ids)) in auditor.qual_tasks.iter_mut().zip(&ckpt.qual_tasks) {
             row.seen = *seen;
-            row.set = ids.iter().copied().collect();
+            for &id in ids {
+                row.insert(id);
+            }
         }
         for (row, (seen, ids)) in auditor.qual_workers.iter_mut().zip(&ckpt.qual_workers) {
             row.seen = *seen;
-            row.set = ids.iter().copied().collect();
+            for &id in ids {
+                row.insert(id);
+            }
         }
         for (cache, (seen, partners)) in auditor
             .similar_partners
@@ -854,7 +996,7 @@ impl LiveAuditor {
             .zip(&ckpt.similar_partners)
         {
             cache.seen = *seen;
-            cache.partners = partners.clone();
+            cache.partners = partners.iter().copied().map(Partner::fresh).collect();
         }
         for (cache, (seen, partners)) in auditor
             .comparable_partners
@@ -862,34 +1004,10 @@ impl LiveAuditor {
             .zip(&ckpt.comparable_partners)
         {
             cache.seen = *seen;
-            cache.partners = partners.clone();
+            cache.partners = partners.iter().copied().map(Partner::fresh).collect();
         }
-        let unpack = |rows: &[[u64; 5]]| {
-            rows.iter()
-                .map(|&[i, j, left, right, inter]| {
-                    (
-                        (i as usize, j as usize),
-                        PairCounters {
-                            left: left as usize,
-                            right: right as usize,
-                            inter: inter as usize,
-                        },
-                    )
-                })
-                .collect::<HashMap<_, _>>()
-        };
-        auditor.a1_pairs = unpack(&ckpt.a1_pairs);
-        auditor.a2_pairs = unpack(&ckpt.a2_pairs);
-        auditor.a1_emitted = ckpt
-            .a1_emitted
-            .iter()
-            .map(|&(i, j)| (i as usize, j as usize))
-            .collect();
-        auditor.a2_emitted = ckpt
-            .a2_emitted
-            .iter()
-            .map(|&(i, j)| (i as usize, j as usize))
-            .collect();
+        auditor.a1_pairs = PairTable::restore(&ckpt.a1_pairs, &ckpt.a1_emitted);
+        auditor.a2_pairs = PairTable::restore(&ckpt.a2_pairs, &ckpt.a2_emitted);
         auditor.a3_emitted = ckpt.a3_emitted.iter().copied().collect();
         auditor.a4_emitted = ckpt.a4_emitted.iter().copied().collect();
         auditor.a6_emitted = ckpt.a6_emitted.iter().copied().collect();
@@ -921,17 +1039,8 @@ impl LiveAuditor {
     fn mirror(&mut self, event: &Event) -> bool {
         match &event.kind {
             EventKind::TaskVisible { task, worker } => {
-                let fresh = self
-                    .events
-                    .visibility
-                    .entry(*worker)
-                    .or_default()
-                    .insert(*task);
-                self.events
-                    .audience
-                    .entry(*task)
-                    .or_default()
-                    .insert(*worker);
+                let fresh = self.events.visibility.entry(*worker).insert(*task);
+                self.events.audience.entry(*task).insert(*worker);
                 return fresh;
             }
             EventKind::PaymentIssued {
@@ -940,15 +1049,11 @@ impl LiveAuditor {
                 amount,
                 ..
             } => {
-                *self
-                    .events
-                    .payments
-                    .entry(*submission)
-                    .or_insert(Credits::ZERO) += *amount;
-                *self.events.earnings.entry(*worker).or_insert(Credits::ZERO) += *amount;
+                *self.events.payments.entry(*submission) += *amount;
+                *self.events.earnings.entry(*worker) += *amount;
             }
             EventKind::BonusPaid { worker, amount, .. } => {
-                *self.events.earnings.entry(*worker).or_insert(Credits::ZERO) += *amount;
+                *self.events.earnings.entry(*worker) += *amount;
             }
             EventKind::WorkerFlagged { worker, .. } => {
                 self.events.flagged.insert(*worker);
@@ -992,7 +1097,7 @@ impl LiveAuditor {
         let worker = &self.trace.workers[wi];
         for t in &self.trace.tasks[row.seen..] {
             if worker.qualifies_for(t) {
-                row.set.insert(t.id);
+                row.insert(t.id);
             }
         }
         row.seen = self.trace.tasks.len();
@@ -1008,7 +1113,7 @@ impl LiveAuditor {
         let task = &self.trace.tasks[ti];
         for w in &self.trace.workers[row.seen..] {
             if w.qualifies_for(task) {
-                row.set.insert(w.id);
+                row.insert(w.id);
             }
         }
         row.seen = self.trace.workers.len();
@@ -1029,7 +1134,7 @@ impl LiveAuditor {
         let mut fresh = Vec::new();
         for (j, other) in self.trace.workers.iter().enumerate().skip(seen) {
             if j != wi && worker_similarity(me, other, cfg) >= cfg.worker_threshold {
-                fresh.push(j);
+                fresh.push(Partner::fresh(j));
             }
         }
         let cache = &mut self.similar_partners[wi];
@@ -1055,7 +1160,7 @@ impl LiveAuditor {
                 && cfg.skill_measure.score(&me.skills, &other.skills) >= cfg.task_skill_threshold
                 && me.reward_comparable(other, cfg.reward_tolerance)
             {
-                fresh.push(j);
+                fresh.push(Partner::fresh(j));
             }
         }
         let cache = &mut self.comparable_partners[ti];
@@ -1076,32 +1181,48 @@ impl LiveAuditor {
         origin: FindingOrigin,
         out: &mut Vec<LiveFinding>,
     ) {
-        let Some(&wi) = self.worker_pos.get(&worker) else {
+        let Some(&wi) = self.worker_pos.get(worker) else {
             return; // monitors skip events about undeclared entities
         };
         self.ensure_worker_row(wi);
-        if !self.qual_tasks[wi].set.contains(&task) {
+        if !self.qual_tasks[wi].contains(task) {
             return; // the shown task is outside every common-qualified set
         }
         self.ensure_similar_partners(wi);
-        let partners = self.similar_partners[wi].partners.clone();
+        // Take the candidate list out for the scan: the loop iterates a
+        // local slice (no re-borrowed double indexing the optimizer
+        // can't hoist) and writes resolved slot ids straight into it.
+        let mut partners = std::mem::take(&mut self.similar_partners[wi].partners);
         let mut settled_any = false;
-        for wj in partners {
-            let key = (wi.min(wj), wi.max(wj));
-            if self.a1_emitted.contains(&key) {
+        for p in partners.iter_mut() {
+            let wj = p.pos as usize;
+            if p.slot != PAIR_UNRESOLVED && self.a1_pairs.slots[p.slot as usize].settled {
                 settled_any = true; // stale entry; swept below
                 continue;
             }
             self.ensure_worker_row(wj);
-            if !self.qual_tasks[wj].set.contains(&task) {
+            if !self.qual_tasks[wj].contains(task) {
                 continue; // outside the pair's common qualified set
             }
+            let key = (wi.min(wj), wi.max(wj));
+            // Resolve the pair's slot once per side — and only once the
+            // partner actually qualifies, so pairs that never share a
+            // qualified task never allocate a slot; every later event
+            // reaches the counters by plain index.
+            if p.slot == PAIR_UNRESOLVED {
+                p.slot = self.a1_pairs.slot_of(key);
+                if self.a1_pairs.slots[p.slot as usize].settled {
+                    settled_any = true; // settled from the other side
+                    continue;
+                }
+            }
+            let slot = p.slot as usize;
             let partner_saw = self
                 .events
                 .visibility
-                .get(&self.trace.workers[wj].id)
+                .get(self.trace.workers[wj].id)
                 .is_some_and(|seen| seen.contains(&task));
-            let counters = self.a1_pairs.entry(key).or_default();
+            let counters = &mut self.a1_pairs.slots[slot].counters;
             let partner_credited = if wi == key.0 {
                 counters.right > 0
             } else {
@@ -1125,8 +1246,7 @@ impl LiveAuditor {
             if c.left + c.right <= 2 * c.inter {
                 continue; // still perfectly equal access
             }
-            self.a1_emitted.insert(key);
-            self.a1_pairs.remove(&key);
+            self.a1_pairs.slots[slot].settled = true;
             settled_any = true;
             let (a, b) = (&self.trace.workers[key.0], &self.trace.workers[key.1]);
             let sim = worker_similarity(a, b, &self.config.similarity);
@@ -1155,12 +1275,12 @@ impl LiveAuditor {
         if settled_any {
             // Settled pairs stop costing per-event work: one sweep
             // drops every already-reported partner from this worker's
-            // candidate list (the emitted set still guards re-inclusion
-            // by a later cache extension).
-            let emitted = &self.a1_emitted;
-            let list = &mut self.similar_partners[wi].partners;
-            list.retain(|&wj| !emitted.contains(&(wi.min(wj), wi.max(wj))));
+            // candidate list (the settled slot still guards re-emission
+            // should a later cache rebuild re-include the partner).
+            let table = &self.a1_pairs;
+            partners.retain(|p| p.slot == PAIR_UNRESOLVED || !table.slots[p.slot as usize].settled);
         }
+        self.similar_partners[wi].partners = partners;
     }
 
     /// Axiom 2 monitor: the same counter scheme transposed — a fresh
@@ -1173,32 +1293,42 @@ impl LiveAuditor {
         origin: FindingOrigin,
         out: &mut Vec<LiveFinding>,
     ) {
-        let Some(&tp) = self.task_pos.get(&task) else {
+        let Some(&tp) = self.task_pos.get(task) else {
             return;
         };
         self.ensure_task_row(tp);
-        if !self.qual_workers[tp].set.contains(&worker) {
+        if !self.qual_workers[tp].contains(worker) {
             return;
         }
         self.ensure_comparable_partners(tp);
-        let partners = self.comparable_partners[tp].partners.clone();
+        // Same take-out-and-scan shape as the A1 monitor.
+        let mut partners = std::mem::take(&mut self.comparable_partners[tp].partners);
         let mut settled_any = false;
-        for tj in partners {
-            let key = (tp.min(tj), tp.max(tj));
-            if self.a2_emitted.contains(&key) {
+        for p in partners.iter_mut() {
+            let tj = p.pos as usize;
+            if p.slot != PAIR_UNRESOLVED && self.a2_pairs.slots[p.slot as usize].settled {
                 settled_any = true; // stale entry; swept below
                 continue;
             }
             self.ensure_task_row(tj);
-            if !self.qual_workers[tj].set.contains(&worker) {
+            if !self.qual_workers[tj].contains(worker) {
                 continue;
             }
+            let key = (tp.min(tj), tp.max(tj));
+            if p.slot == PAIR_UNRESOLVED {
+                p.slot = self.a2_pairs.slot_of(key);
+                if self.a2_pairs.slots[p.slot as usize].settled {
+                    settled_any = true; // settled from the other side
+                    continue;
+                }
+            }
+            let slot = p.slot as usize;
             let partner_reached = self
                 .events
                 .audience
-                .get(&self.trace.tasks[tj].id)
+                .get(self.trace.tasks[tj].id)
                 .is_some_and(|seen| seen.contains(&worker));
-            let counters = self.a2_pairs.entry(key).or_default();
+            let counters = &mut self.a2_pairs.slots[slot].counters;
             let partner_credited = if tp == key.0 {
                 counters.right > 0
             } else {
@@ -1219,8 +1349,7 @@ impl LiveAuditor {
             if c.left + c.right <= 2 * c.inter {
                 continue;
             }
-            self.a2_emitted.insert(key);
-            self.a2_pairs.remove(&key);
+            self.a2_pairs.slots[slot].settled = true;
             settled_any = true;
             let (a, b) = (&self.trace.tasks[key.0], &self.trace.tasks[key.1]);
             let skill_sim = self
@@ -1245,10 +1374,10 @@ impl LiveAuditor {
             );
         }
         if settled_any {
-            let emitted = &self.a2_emitted;
-            let list = &mut self.comparable_partners[tp].partners;
-            list.retain(|&tj| !emitted.contains(&(tp.min(tj), tp.max(tj))));
+            let table = &self.a2_pairs;
+            partners.retain(|p| p.slot == PAIR_UNRESOLVED || !table.slots[p.slot as usize].settled);
         }
+        self.comparable_partners[tp].partners = partners;
     }
 
     /// Axiom 3 monitor: payment equality of a same-task pair can only
@@ -1262,10 +1391,10 @@ impl LiveAuditor {
         origin: FindingOrigin,
         out: &mut Vec<LiveFinding>,
     ) {
-        let Some(&sp) = self.sub_pos.get(&submission) else {
+        let Some(&sp) = self.sub_pos.get(submission) else {
             return;
         };
-        let Some(siblings) = self.subs_by_task.get(&task) else {
+        let Some(siblings) = self.subs_by_task.get(task) else {
             return;
         };
         let threshold = self.config.similarity.contribution_threshold;
@@ -1293,7 +1422,7 @@ impl LiveAuditor {
             let pay = |id: SubmissionId| {
                 self.events
                     .payments
-                    .get(&id)
+                    .get(id)
                     .copied()
                     .unwrap_or(Credits::ZERO)
             };
@@ -1407,7 +1536,7 @@ impl LiveAuditor {
     /// its `TaskPosted` event (tasks announced by no event are swept at
     /// finalize).
     fn monitor_a6(&mut self, task: TaskId, origin: FindingOrigin, out: &mut Vec<LiveFinding>) {
-        let Some(&tp) = self.task_pos.get(&task) else {
+        let Some(&tp) = self.task_pos.get(task) else {
             return;
         };
         if self.a6_emitted.contains(&task) {

@@ -21,7 +21,7 @@ use std::collections::BTreeMap;
 pub fn exposure_counts(ix: &TraceIndex<'_>) -> BTreeMap<WorkerId, usize> {
     ix.visibility()
         .iter()
-        .map(|(w, tasks)| (*w, tasks.len()))
+        .map(|(w, tasks)| (w, tasks.len()))
         .collect()
 }
 
@@ -96,7 +96,7 @@ pub fn wage_stats(ix: &TraceIndex<'_>) -> Option<WageStats> {
         .into_iter()
         .map(|(w, secs)| {
             (
-                earnings.get(&w).copied().unwrap_or(Credits::ZERO),
+                earnings.get(w).copied().unwrap_or(Credits::ZERO),
                 SimDuration::from_secs(secs),
             )
         })

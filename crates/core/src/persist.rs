@@ -18,9 +18,12 @@
 //!
 //! Formats: [`TraceFormat::Json`] is one pretty-printed object (easy to
 //! read and diff); [`TraceFormat::Jsonl`] is a header line plus one
-//! compact record per line (what a platform would append into).
-//! [`save`] picks by file extension (`.jsonl` vs anything else);
-//! [`load`] sniffs the content, so either format loads from any path.
+//! compact record per line (what a platform would append into);
+//! [`TraceFormat::Binary`] is the varint-packed `.fcb` form of
+//! [`faircrowd_model::trace_bin`] (same schema version, decodes at
+//! memory speed). [`save`] picks by file extension (`.jsonl`, `.fcb`,
+//! anything else → JSON); [`load`] sniffs the content, so every format
+//! loads from any path.
 //!
 //! ```
 //! use faircrowd_core::persist;
@@ -30,36 +33,48 @@
 //! let text = persist::encode(&trace, persist::TraceFormat::Jsonl);
 //! let back = persist::decode(&text)?;
 //! assert_eq!(back, trace);
+//! let bytes = persist::encode_bytes(&trace, persist::TraceFormat::Binary);
+//! assert_eq!(persist::decode_bytes(&bytes)?, trace);
 //! # Ok::<(), faircrowd_model::FaircrowdError>(())
 //! ```
 
 use faircrowd_model::error::FaircrowdError;
 use faircrowd_model::json::Json;
 use faircrowd_model::trace::Trace;
+use faircrowd_model::trace_bin;
 use faircrowd_model::trace_io;
 use std::path::Path;
 
-/// The two encodings of the versioned trace schema.
+/// The three encodings of the versioned trace schema.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceFormat {
     /// One pretty-printed JSON object.
     Json,
     /// A schema header line followed by one compact record per line.
     Jsonl,
+    /// The length-prefixed binary form (`.fcb`).
+    Binary,
 }
 
 impl TraceFormat {
-    /// The format implied by a path: `.jsonl` means JSONL, anything
-    /// else (including no extension) means whole-file JSON.
+    /// The format implied by a path: `.jsonl` means JSONL, `.fcb` means
+    /// binary, anything else (including no extension) means whole-file
+    /// JSON.
     pub fn for_path(path: &Path) -> TraceFormat {
         match path.extension().and_then(|e| e.to_str()) {
             Some("jsonl") => TraceFormat::Jsonl,
+            Some("fcb") => TraceFormat::Binary,
             _ => TraceFormat::Json,
         }
     }
 }
 
-/// Encode a trace to a string in the given format.
+/// Encode a trace to a string in the given **text** format.
+///
+/// # Panics
+///
+/// Panics on [`TraceFormat::Binary`] — a binary trace is not text; use
+/// [`encode_bytes`], which handles all three formats.
 pub fn encode(trace: &Trace, format: TraceFormat) -> String {
     match format {
         TraceFormat::Json => {
@@ -68,6 +83,18 @@ pub fn encode(trace: &Trace, format: TraceFormat) -> String {
             text
         }
         TraceFormat::Jsonl => trace_io::trace_to_jsonl(trace),
+        TraceFormat::Binary => {
+            panic!("binary traces have no text form; use persist::encode_bytes")
+        }
+    }
+}
+
+/// Encode a trace to bytes in any format (the text formats are their
+/// UTF-8 bytes).
+pub fn encode_bytes(trace: &Trace, format: TraceFormat) -> Vec<u8> {
+    match format {
+        TraceFormat::Json | TraceFormat::Jsonl => encode(trace, format).into_bytes(),
+        TraceFormat::Binary => trace_bin::trace_to_bytes(trace),
     }
 }
 
@@ -85,6 +112,24 @@ pub fn decode(text: &str) -> Result<Trace, FaircrowdError> {
     trace_io::trace_from_json(&json)
 }
 
+/// Decode a trace from raw file bytes, sniffing the format from the
+/// content: the `.fcb` magic selects the binary decoder; anything else
+/// must be UTF-8 text and goes through [`decode`]'s JSON/JSONL sniff.
+/// Schema name/version are checked; referential integrity is **not**
+/// (see [`load`], which is the path untrusted files come through).
+pub fn decode_bytes(bytes: &[u8]) -> Result<Trace, FaircrowdError> {
+    if trace_bin::sniff_binary(bytes) {
+        return trace_bin::trace_from_bytes(bytes);
+    }
+    let text = std::str::from_utf8(bytes).map_err(|e| {
+        FaircrowdError::persist(format!(
+            "trace file is neither a binary trace nor UTF-8 text (invalid byte at offset {})",
+            e.valid_up_to()
+        ))
+    })?;
+    decode(text)
+}
+
 /// Does the first non-empty line look like a complete JSONL header?
 fn sniff_jsonl(text: &str) -> bool {
     let Some(first) = text.lines().find(|l| !l.trim().is_empty()) else {
@@ -97,11 +142,12 @@ fn sniff_jsonl(text: &str) -> bool {
 }
 
 /// Write a trace to `path` in the format implied by its extension
-/// (`.jsonl` → JSONL, else JSON). I/O failures carry the path.
+/// (`.jsonl` → JSONL, `.fcb` → binary, else JSON). I/O failures carry
+/// the path.
 pub fn save(trace: &Trace, path: impl AsRef<Path>) -> Result<(), FaircrowdError> {
     let path = path.as_ref();
-    let text = encode(trace, TraceFormat::for_path(path));
-    std::fs::write(path, text).map_err(|e| FaircrowdError::Io {
+    let bytes = encode_bytes(trace, TraceFormat::for_path(path));
+    std::fs::write(path, bytes).map_err(|e| FaircrowdError::Io {
         path: path.display().to_string(),
         message: e.to_string(),
     })
@@ -114,11 +160,11 @@ pub fn save(trace: &Trace, path: impl AsRef<Path>) -> Result<(), FaircrowdError>
 /// wrong schema versions and dangling ids never panic.
 pub fn load(path: impl AsRef<Path>) -> Result<Trace, FaircrowdError> {
     let path = path.as_ref();
-    let text = std::fs::read_to_string(path).map_err(|e| FaircrowdError::Io {
+    let bytes = std::fs::read(path).map_err(|e| FaircrowdError::Io {
         path: path.display().to_string(),
         message: e.to_string(),
     })?;
-    let trace = decode(&text).map_err(|e| e.at_path(path.display()))?;
+    let trace = decode_bytes(&bytes).map_err(|e| e.at_path(path.display()))?;
     trace.ensure_valid()?;
     Ok(trace)
 }
@@ -181,7 +227,11 @@ mod tests {
     fn save_load_roundtrips_both_formats() {
         let trace = small_trace();
         let dir = std::env::temp_dir();
-        for name in ["fc_persist_test.trace.json", "fc_persist_test.trace.jsonl"] {
+        for name in [
+            "fc_persist_test.trace.json",
+            "fc_persist_test.trace.jsonl",
+            "fc_persist_test.trace.fcb",
+        ] {
             let path = dir.join(name);
             save(&trace, &path).unwrap();
             assert_eq!(load(&path).unwrap(), trace, "{name}");
@@ -190,10 +240,33 @@ mod tests {
     }
 
     #[test]
-    fn decode_sniffs_either_format_regardless_of_extension() {
+    fn decode_sniffs_any_format_regardless_of_extension() {
         let trace = small_trace();
         assert_eq!(decode(&encode(&trace, TraceFormat::Json)).unwrap(), trace);
         assert_eq!(decode(&encode(&trace, TraceFormat::Jsonl)).unwrap(), trace);
+        for format in [TraceFormat::Json, TraceFormat::Jsonl, TraceFormat::Binary] {
+            assert_eq!(
+                decode_bytes(&encode_bytes(&trace, format)).unwrap(),
+                trace,
+                "{format:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_utf8_non_binary_bytes_are_a_persist_error() {
+        let err = decode_bytes(&[0xff, 0xfe, 0x00, 0x41]).unwrap_err();
+        assert!(matches!(err, FaircrowdError::Persist { .. }), "{err:?}");
+        assert!(
+            err.to_string().contains("neither a binary trace nor UTF-8"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "use persist::encode_bytes")]
+    fn text_encode_of_binary_panics_with_guidance() {
+        encode(&Trace::default(), TraceFormat::Binary);
     }
 
     #[test]
@@ -212,6 +285,10 @@ mod tests {
         assert_eq!(
             TraceFormat::for_path(Path::new("a/b/t.json")),
             TraceFormat::Json
+        );
+        assert_eq!(
+            TraceFormat::for_path(Path::new("a/b/t.fcb")),
+            TraceFormat::Binary
         );
         assert_eq!(TraceFormat::for_path(Path::new("bare")), TraceFormat::Json);
     }

@@ -1,0 +1,205 @@
+//! Failure modes of the binary `.fcb` trace format.
+//!
+//! The binary path owes untrusted files the same three never-panicking
+//! load gates as the JSON path: parse errors with byte positions,
+//! schema name/version checks naming both sides, and the referential
+//! integrity pass. These tests drive [`faircrowd_core::persist::load`]
+//! over systematically corrupted copies of a valid simulator-produced
+//! recording — truncations at several depths, foreign schemas, future
+//! versions, dangling ids, varint overflow, trailing garbage — and
+//! demand a descriptive [`FaircrowdError`] every time, never a panic.
+
+use faircrowd_core::persist::{self, TraceFormat};
+use faircrowd_model::error::FaircrowdError;
+use faircrowd_model::ids::{SubmissionId, TaskId, WorkerId};
+use faircrowd_model::trace_bin::{self, MAGIC};
+use faircrowd_sim::{CampaignSpec, ScenarioConfig, Simulation, WorkerPopulation};
+use std::path::PathBuf;
+
+/// A real (small) simulator trace, so the corruptions hit realistic
+/// structure rather than a hand-minimised fixture.
+fn sim_trace() -> faircrowd_model::trace::Trace {
+    Simulation::new(ScenarioConfig {
+        seed: 7,
+        rounds: 10,
+        workers: vec![WorkerPopulation::diligent(6)],
+        campaigns: vec![CampaignSpec::labeling("acme", 8, 6)],
+        ..Default::default()
+    })
+    .run()
+}
+
+/// Write `bytes` to a fresh temp `.fcb` file and load it back.
+fn load_bytes(name: &str, bytes: &[u8]) -> Result<faircrowd_model::trace::Trace, FaircrowdError> {
+    let path: PathBuf = std::env::temp_dir().join(format!("fc_binfail_{name}"));
+    std::fs::write(&path, bytes).unwrap();
+    let result = persist::load(&path);
+    std::fs::remove_file(&path).ok();
+    result
+}
+
+/// LEB128, matching the codec's varint spelling for test-crafted bytes.
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+#[test]
+fn valid_recording_loads() {
+    let trace = sim_trace();
+    let bytes = persist::encode_bytes(&trace, TraceFormat::Binary);
+    let loaded = load_bytes("ok.fcb", &bytes).unwrap();
+    assert_eq!(loaded, trace);
+}
+
+#[test]
+fn truncation_at_every_depth_is_a_positioned_error_never_a_panic() {
+    let bytes = persist::encode_bytes(&sim_trace(), TraceFormat::Binary);
+    // Five depths: inside the magic, inside the header, a third of the
+    // way in (entity records), deep in the event columns, and one byte
+    // short of complete.
+    for (name, fraction) in [
+        ("magic", 0.0004),
+        ("header", 0.002),
+        ("entities", 0.33),
+        ("events", 0.9),
+        ("last_byte", 0.9999),
+    ] {
+        let cut = ((bytes.len() as f64 * fraction) as usize).clamp(1, bytes.len() - 1);
+        let err = load_bytes("trunc.fcb", &bytes[..cut])
+            .expect_err(&format!("cut at {name} ({cut} bytes) must fail"));
+        assert!(
+            matches!(err, FaircrowdError::Persist { .. }),
+            "cut at {name}: {err:?}"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("fc_binfail_trunc.fcb"), "no path in: {msg}");
+        // A cut inside the magic no longer sniffs as binary; every
+        // deeper cut must name the byte position it died at.
+        if cut >= MAGIC.len() {
+            assert!(
+                msg.contains("at byte"),
+                "cut at {name}: no position in {msg}"
+            );
+        }
+    }
+    // Exhaustive sweep over every prefix of the header region: no
+    // length may panic, whatever structure the cut lands inside.
+    for cut in 0..MAGIC.len() + 32 {
+        let _ = trace_bin::trace_from_bytes(&bytes[..cut.min(bytes.len())]);
+    }
+}
+
+#[test]
+fn foreign_schema_is_rejected_with_both_names() {
+    let mut bytes = MAGIC.to_vec();
+    put_str(&mut bytes, "someone-elses-log");
+    put_varint(&mut bytes, 1);
+    let err = load_bytes("foreign.fcb", &bytes).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("someone-elses-log"), "{msg}");
+    assert!(msg.contains("faircrowd-trace"), "{msg}");
+}
+
+#[test]
+fn future_version_is_rejected_with_both_versions_named() {
+    let mut bytes = MAGIC.to_vec();
+    put_str(&mut bytes, "faircrowd-trace");
+    put_varint(&mut bytes, 99);
+    let err = load_bytes("version.fcb", &bytes).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("version 99"), "{msg}");
+    assert!(msg.contains("version 1"), "{msg}");
+}
+
+#[test]
+fn varint_overflow_is_rejected() {
+    // An 11-byte continuation run can encode no valid u64: the schema
+    // name length below claims to keep going past 64 bits.
+    let mut bytes = MAGIC.to_vec();
+    bytes.extend_from_slice(&[0xff; 11]);
+    let err = load_bytes("varint.fcb", &bytes).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("varint overflow"), "{msg}");
+    assert!(msg.contains("at byte"), "{msg}");
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let mut bytes = persist::encode_bytes(&sim_trace(), TraceFormat::Binary);
+    bytes.extend_from_slice(b"junk");
+    let err = load_bytes("trailing.fcb", &bytes).unwrap_err();
+    assert!(err.to_string().contains("trailing garbage"), "{err}");
+}
+
+#[test]
+fn dangling_submission_references_fail_validation() {
+    // The codec decodes the bytes fine; the third gate (referential
+    // integrity) must still reject the trace, exactly as the JSON path
+    // does.
+    let mut trace = sim_trace();
+    trace
+        .submissions
+        .push(faircrowd_model::contribution::Submission {
+            id: SubmissionId::new(9999),
+            task: TaskId::new(4242),
+            worker: WorkerId::new(4242),
+            contribution: faircrowd_model::contribution::Contribution::Label(0),
+            started_at: faircrowd_model::time::SimTime::from_secs(1),
+            submitted_at: faircrowd_model::time::SimTime::from_secs(2),
+        });
+    let bytes = persist::encode_bytes(&trace, TraceFormat::Binary);
+    let err = load_bytes("dangling.fcb", &bytes).unwrap_err();
+    let FaircrowdError::InvalidTrace { problems } = &err else {
+        panic!("expected InvalidTrace, got {err:?}");
+    };
+    let all = problems.join("; ");
+    assert!(all.contains("unknown worker w4242"), "{all}");
+    assert!(all.contains("unknown task t4242"), "{all}");
+}
+
+#[test]
+fn hostile_entity_counts_do_not_allocate_unbounded() {
+    // A header claiming 2^60 workers in a 30-byte file must die on the
+    // truncation gate (there are no bytes to back the claim), not OOM
+    // on a pre-reservation.
+    let mut bytes = MAGIC.to_vec();
+    put_str(&mut bytes, "faircrowd-trace");
+    put_varint(&mut bytes, 1);
+    put_varint(&mut bytes, 0); // horizon
+    put_varint(&mut bytes, 1 << 60); // worker count
+    let err = load_bytes("hostile.fcb", &bytes).unwrap_err();
+    assert!(matches!(err, FaircrowdError::Persist { .. }), "{err:?}");
+}
+
+#[test]
+fn corrupted_record_interior_names_the_record() {
+    // Flip bytes mid-file at several offsets; any decode failure must
+    // be a positioned persist error (decoded-but-invalid outcomes are
+    // allowed — bit flips can produce structurally legal traces that
+    // then fail the integrity gate or even still validate).
+    let bytes = persist::encode_bytes(&sim_trace(), TraceFormat::Binary);
+    for at in [40, bytes.len() / 3, bytes.len() / 2, bytes.len() * 4 / 5] {
+        let mut bad = bytes.clone();
+        bad[at] ^= 0xff;
+        match load_bytes("flip.fcb", &bad) {
+            Err(FaircrowdError::Persist { message, .. }) => {
+                assert!(message.contains("at byte"), "flip at {at}: {message}");
+            }
+            Err(FaircrowdError::InvalidTrace { .. }) | Ok(_) => {}
+            Err(other) => panic!("flip at {at}: unexpected error {other:?}"),
+        }
+    }
+}

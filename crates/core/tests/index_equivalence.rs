@@ -296,6 +296,127 @@ proptest! {
     }
 }
 
+/// A valid trace whose entity ids are hostile to the arena-backed
+/// index: most ids sit in the dense range, a few land far past the
+/// dense bound and must spill. Exposure and pay asymmetries straddle
+/// the dense/spill boundary so the pair scans actually compare spilled
+/// entities against dense ones.
+fn sparse_id_trace() -> Trace {
+    let mut trace = Trace {
+        disclosure: DisclosureSet::fully_transparent(),
+        ..Trace::default()
+    };
+    let wids = [0u32, 3, 70_000, 1_000_000, 1_000_007];
+    let tids = [1u32, 5, 90_000, 2_000_000];
+    let mut skills = SkillVector::with_len(4);
+    skills.set(SkillId::new(0), true);
+    for &w in &wids {
+        let declared = DeclaredAttrs::new().with("region", AttrValue::Text("north".to_owned()));
+        trace
+            .workers
+            .push(Worker::new(WorkerId::new(w), declared, skills.clone()));
+    }
+    for i in 0..2 {
+        trace
+            .requesters
+            .push(Requester::new(RequesterId::new(i), format!("r{i}")));
+    }
+    for (i, &t) in tids.iter().enumerate() {
+        trace.tasks.push(
+            TaskBuilder::new(
+                TaskId::new(t),
+                RequesterId::new((i % 2) as u32),
+                skills.clone(),
+                Credits::from_cents(10),
+            )
+            .build(),
+        );
+        trace.ground_truth.true_labels.insert(TaskId::new(t), 1);
+    }
+    let mut clock = 0u64;
+    // Dense workers see every task; spilled workers see only the first
+    // — similar workers with divergent exposure on both sides of the
+    // arena boundary.
+    for (i, &w) in wids.iter().enumerate() {
+        let seen = if i < 2 { tids.len() } else { 1 };
+        for &t in tids.iter().take(seen) {
+            clock += 1;
+            trace.events.push(
+                SimTime::from_secs(clock),
+                EventKind::TaskVisible {
+                    task: TaskId::new(t),
+                    worker: WorkerId::new(w),
+                },
+            );
+        }
+    }
+    // Equal work from a dense and a spilled worker; only the dense one
+    // is paid.
+    for (i, (w, paid)) in [(wids[0], true), (wids[3], false)].iter().enumerate() {
+        let id = SubmissionId::new(i as u32);
+        let task = TaskId::new(tids[0]);
+        let worker = WorkerId::new(*w);
+        clock += 1;
+        trace.submissions.push(Submission {
+            id,
+            task,
+            worker,
+            contribution: Contribution::Label(1),
+            started_at: SimTime::from_secs(clock),
+            submitted_at: SimTime::from_secs(clock + 60),
+        });
+        clock += 100;
+        trace.events.push(
+            SimTime::from_secs(clock),
+            EventKind::SubmissionReceived {
+                submission: id,
+                task,
+                worker,
+            },
+        );
+        if *paid {
+            clock += 1;
+            trace.events.push(
+                SimTime::from_secs(clock),
+                EventKind::PaymentIssued {
+                    submission: id,
+                    task,
+                    worker,
+                    amount: Credits::from_cents(10),
+                },
+            );
+        }
+    }
+    trace.horizon = SimTime::from_secs(clock + 1);
+    trace
+}
+
+/// Hostile sparse ids force the index's dense arenas to spill; the
+/// spill path must be invisible: indexed (parallel and serial) remains
+/// bit-identical to the naive oracle, and the trace is adversarial
+/// enough that the equality is not vacuously about empty reports.
+#[test]
+fn sparse_ids_spill_out_of_the_arena_but_audit_identically() {
+    let trace = sparse_id_trace();
+    assert!(trace.validate().is_empty(), "{:?}", trace.validate());
+    let engine = AuditEngine::with_defaults();
+    let serial = AuditEngine::new(AuditConfig {
+        parallel: false,
+        ..AuditConfig::default()
+    });
+    let naive = engine.run_naive(&trace, &AxiomId::ALL);
+    assert_eq!(engine.run(&trace), naive, "parallel ≠ naive on sparse ids");
+    assert_eq!(serial.run(&trace), naive, "serial ≠ naive on sparse ids");
+    assert!(
+        naive.score_of(AxiomId::A1WorkerAssignment) < 1.0,
+        "exposure asymmetry across the spill boundary must be visible"
+    );
+    assert!(
+        naive.score_of(AxiomId::A3Compensation) < 1.0,
+        "pay asymmetry involving a spilled worker must be visible"
+    );
+}
+
 /// Deterministic end-to-end pin: simulator-produced traces from the
 /// scenario catalog audit identically through every path.
 #[test]

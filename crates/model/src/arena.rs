@@ -1,0 +1,384 @@
+//! Dense, id-indexed arena maps — the hash-free entity tables behind
+//! the audit indexes.
+//!
+//! The newtype ids ([`crate::ids`]) are small integers handed out by
+//! [`crate::ids::IdGen`] counters, so in every trace the simulator or a
+//! real platform produces they are *dense*: worker 0, worker 1, …. A
+//! `BTreeMap<WorkerId, _>` (or a hash map) pays a pointer chase or a
+//! hash per probe for what is morally an array index. [`DenseIdMap`]
+//! stores values in a `Vec` indexed directly by the raw id, turning the
+//! per-event probes of the audit hot paths (the A1/A2 pair scans, the
+//! live monitor's per-event folds) into one bounds check and a branch.
+//!
+//! Untrusted traces can legally carry *sparse* ids (a platform that
+//! shards its id space, a tampered file). A plain `Vec` would let one
+//! record with id `4_000_000_000` allocate gigabytes, so the arena
+//! bounds its dense region: a key may only grow the `Vec` while the new
+//! size stays within `16 × (occupied + 64)` slots; keys beyond that
+//! land in a `BTreeMap` spill. Dense traces never touch the spill;
+//! hostile ones degrade to tree probes instead of exhausting memory.
+//!
+//! Iteration is always in ascending id order (the dense region first,
+//! then the spill, whose keys are invariantly larger), so encoders and
+//! reports that used to iterate a `BTreeMap` stay byte-identical.
+//!
+//! ```
+//! use faircrowd_model::arena::DenseIdMap;
+//! use faircrowd_model::ids::WorkerId;
+//!
+//! let mut earnings: DenseIdMap<WorkerId, i64> = DenseIdMap::new();
+//! earnings.insert(WorkerId::new(3), 250);
+//! *earnings.entry(WorkerId::new(3)) += 50;
+//! assert_eq!(earnings.get(WorkerId::new(3)), Some(&300));
+//! assert_eq!(earnings.get(WorkerId::new(7)), None);
+//! ```
+
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+
+use crate::ids::{CampaignId, RequesterId, SkillId, SubmissionId, TaskId, WorkerId};
+
+/// A key type backed by a raw `u32` — every newtype id in
+/// [`crate::ids`] qualifies. The two conversions must be inverses.
+pub trait ArenaKey: Copy + Ord + std::fmt::Debug {
+    /// The raw integer behind the id.
+    fn raw_index(self) -> u32;
+    /// Rebuild the id from its raw integer.
+    fn from_raw_index(raw: u32) -> Self;
+}
+
+macro_rules! arena_key {
+    ($($id:ty),* $(,)?) => {$(
+        impl ArenaKey for $id {
+            fn raw_index(self) -> u32 {
+                self.raw()
+            }
+            fn from_raw_index(raw: u32) -> Self {
+                <$id>::new(raw)
+            }
+        }
+    )*};
+}
+
+arena_key!(
+    WorkerId,
+    TaskId,
+    RequesterId,
+    SkillId,
+    CampaignId,
+    SubmissionId
+);
+
+/// How far the dense region may grow relative to its occupancy: a new
+/// key may extend the `Vec` while `key < 16 × (len + 64)`. Dense id
+/// spaces (the only ones honest traces produce) always pass; a hostile
+/// outlier id goes to the spill instead of allocating the gap.
+fn dense_bound(occupied: usize) -> usize {
+    16 * (occupied + 64)
+}
+
+/// A map from a dense integer id to `V`: `Vec`-backed for the dense id
+/// region, with a `BTreeMap` spill for outlier keys. See the module
+/// docs for the growth rule and the ordering guarantee.
+#[derive(Clone)]
+pub struct DenseIdMap<K, V> {
+    slots: Vec<Option<V>>,
+    /// Invariant: every spill key is `>= slots.len()`, so chaining the
+    /// dense region and the spill iterates in ascending key order.
+    spill: BTreeMap<u32, V>,
+    len: usize,
+    _key: PhantomData<K>,
+}
+
+impl<K: ArenaKey, V> DenseIdMap<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        DenseIdMap {
+            slots: Vec::new(),
+            spill: BTreeMap::new(),
+            len: 0,
+            _key: PhantomData,
+        }
+    }
+
+    /// Number of keys present.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The value at `key`, if present — one bounds check and a branch
+    /// for dense keys.
+    #[inline]
+    pub fn get(&self, key: K) -> Option<&V> {
+        let raw = key.raw_index() as usize;
+        match self.slots.get(raw) {
+            Some(slot) => slot.as_ref(),
+            None => self.spill.get(&key.raw_index()),
+        }
+    }
+
+    /// Mutable access to the value at `key`, if present.
+    #[inline]
+    pub fn get_mut(&mut self, key: K) -> Option<&mut V> {
+        let raw = key.raw_index() as usize;
+        if raw < self.slots.len() {
+            self.slots[raw].as_mut()
+        } else {
+            self.spill.get_mut(&key.raw_index())
+        }
+    }
+
+    /// Is `key` present?
+    pub fn contains_key(&self, key: K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Insert `value` at `key`, returning the previous value if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let raw = key.raw_index() as usize;
+        if raw < self.slots.len() {
+            let old = self.slots[raw].replace(value);
+            if old.is_none() {
+                self.len += 1;
+            }
+            return old;
+        }
+        if raw < dense_bound(self.len) {
+            self.grow_to(raw + 1);
+            debug_assert!(self.slots[raw].is_none());
+            self.slots[raw] = Some(value);
+            self.len += 1;
+            return None;
+        }
+        let old = self.spill.insert(key.raw_index(), value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// The value at `key`, inserting `f()` first when absent — the
+    /// arena's `entry(...).or_insert_with(...)`.
+    pub fn get_or_insert_with(&mut self, key: K, f: impl FnOnce() -> V) -> &mut V {
+        let raw = key.raw_index() as usize;
+        if raw >= self.slots.len() {
+            if raw < dense_bound(self.len) {
+                self.grow_to(raw + 1);
+            } else {
+                let len = &mut self.len;
+                return self.spill.entry(key.raw_index()).or_insert_with(|| {
+                    *len += 1;
+                    f()
+                });
+            }
+        }
+        let slot = &mut self.slots[raw];
+        if slot.is_none() {
+            *slot = Some(f());
+            self.len += 1;
+        }
+        slot.as_mut().expect("slot was just filled")
+    }
+
+    /// The value at `key`, defaulting it in first when absent.
+    pub fn entry(&mut self, key: K) -> &mut V
+    where
+        V: Default,
+    {
+        self.get_or_insert_with(key, V::default)
+    }
+
+    /// Grow the dense region to `new_len` slots, absorbing any spill
+    /// keys the region now covers (restores the ordering invariant).
+    fn grow_to(&mut self, new_len: usize) {
+        if new_len <= self.slots.len() {
+            return;
+        }
+        self.slots.resize_with(new_len, || None);
+        // `BTreeMap` has no drain-range; split at the boundary and put
+        // the still-spilled tail back.
+        let still_spilled = self.spill.split_off(&(new_len as u32));
+        for (raw, value) in std::mem::replace(&mut self.spill, still_spilled) {
+            self.slots[raw as usize] = Some(value);
+        }
+    }
+
+    /// Iterate `(key, &value)` in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, &V)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(raw, slot)| Some((K::from_raw_index(raw as u32), slot.as_ref()?)))
+            .chain(
+                self.spill
+                    .iter()
+                    .map(|(&raw, v)| (K::from_raw_index(raw), v)),
+            )
+    }
+
+    /// Iterate the keys in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = K> + '_ {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Iterate the values in ascending key order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.iter().map(|(_, v)| v)
+    }
+
+    /// The whole map as an owned `BTreeMap` (for callers that promise a
+    /// tree-map view, e.g. [`crate::trace::Trace::visibility_map`]).
+    pub fn to_btree_map(&self) -> BTreeMap<K, V>
+    where
+        V: Clone,
+    {
+        self.iter().map(|(k, v)| (k, v.clone())).collect()
+    }
+}
+
+impl<K: ArenaKey, V> Default for DenseIdMap<K, V> {
+    fn default() -> Self {
+        DenseIdMap::new()
+    }
+}
+
+impl<K: ArenaKey, V: PartialEq> PartialEq for DenseIdMap<K, V> {
+    /// Content equality: same keys, same values — how the backing is
+    /// split between dense region and spill is not observable.
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len
+            && self
+                .iter()
+                .zip(other.iter())
+                .all(|((ka, va), (kb, vb))| ka == kb && va == vb)
+    }
+}
+
+impl<K: ArenaKey, V: std::fmt::Debug> std::fmt::Debug for DenseIdMap<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<K: ArenaKey, V> FromIterator<(K, V)> for DenseIdMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut map = DenseIdMap::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(raw: u32) -> WorkerId {
+        WorkerId::new(raw)
+    }
+
+    #[test]
+    fn insert_get_overwrite() {
+        let mut m: DenseIdMap<WorkerId, &str> = DenseIdMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(w(2), "a"), None);
+        assert_eq!(m.insert(w(0), "b"), None);
+        assert_eq!(m.insert(w(2), "c"), Some("a"));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(w(2)), Some(&"c"));
+        assert_eq!(m.get(w(1)), None);
+        assert!(m.contains_key(w(0)));
+        *m.get_mut(w(0)).unwrap() = "d";
+        assert_eq!(m.get(w(0)), Some(&"d"));
+    }
+
+    #[test]
+    fn entry_defaults_like_a_map_entry() {
+        let mut m: DenseIdMap<TaskId, Vec<u32>> = DenseIdMap::new();
+        m.entry(TaskId::new(5)).push(1);
+        m.entry(TaskId::new(5)).push(2);
+        assert_eq!(m.get(TaskId::new(5)), Some(&vec![1, 2]));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_ascending_and_merges_the_spill() {
+        let mut m: DenseIdMap<WorkerId, u32> = DenseIdMap::new();
+        // An outlier far past the growth bound spills…
+        let outlier = u32::MAX - 1;
+        m.insert(w(outlier), 99);
+        m.insert(w(3), 3);
+        m.insert(w(0), 0);
+        let keys: Vec<u32> = m.keys().map(|k| k.raw()).collect();
+        assert_eq!(keys, vec![0, 3, outlier]);
+        assert_eq!(m.values().copied().collect::<Vec<_>>(), vec![0, 3, 99]);
+        assert_eq!(m.get(w(outlier)), Some(&99));
+    }
+
+    #[test]
+    fn hostile_outlier_does_not_allocate_the_gap() {
+        let mut m: DenseIdMap<SubmissionId, u8> = DenseIdMap::new();
+        m.insert(SubmissionId::new(4_000_000_000), 1);
+        m.insert(SubmissionId::new(0), 2);
+        // The dense region never grew to cover the outlier.
+        assert!(m.slots.len() < 1024, "slots = {}", m.slots.len());
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(SubmissionId::new(4_000_000_000)), Some(&1));
+    }
+
+    #[test]
+    fn growth_absorbs_spilled_keys_and_keeps_order() {
+        let mut m: DenseIdMap<WorkerId, u32> = DenseIdMap::new();
+        // 3000 is past the empty map's bound (16 × 64 = 1024) → spill.
+        m.insert(w(3000), 1);
+        assert_eq!(m.spill.len(), 1);
+        // 300 occupied keys raise the bound past 3000; the next growth
+        // must absorb the spilled key into the dense region.
+        for i in 0..300 {
+            m.insert(w(i), 0);
+        }
+        m.insert(w(3100), 2);
+        assert!(m.spill.is_empty() || m.spill.keys().all(|&k| k as usize >= m.slots.len()));
+        let keys: Vec<u32> = m.keys().map(|k| k.raw()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "iteration stays ascending");
+        assert_eq!(m.get(w(3000)), Some(&1));
+        assert_eq!(m.get(w(3100)), Some(&2));
+        assert_eq!(m.len(), 302);
+    }
+
+    #[test]
+    fn equality_is_by_content_not_backing() {
+        // Same content reached via different histories (one spilled,
+        // one dense from the start) compares equal.
+        let mut a: DenseIdMap<WorkerId, u32> = DenseIdMap::new();
+        a.insert(w(2000), 7);
+        for i in 0..200 {
+            a.insert(w(i), i);
+        }
+        let mut b: DenseIdMap<WorkerId, u32> = DenseIdMap::new();
+        for i in 0..200 {
+            b.insert(w(i), i);
+        }
+        b.insert(w(2000), 7);
+        assert_eq!(a, b);
+        b.insert(w(2000), 8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn btree_view_matches_iteration() {
+        let m: DenseIdMap<WorkerId, u32> = [(w(4), 4), (w(1), 1)].into_iter().collect();
+        let tree = m.to_btree_map();
+        assert_eq!(tree.len(), 2);
+        assert_eq!(tree[&w(1)], 1);
+        assert_eq!(tree[&w(4)], 4);
+    }
+}

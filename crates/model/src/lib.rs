@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod attributes;
 pub mod contribution;
 pub mod disclosure;
@@ -40,6 +41,7 @@ pub mod task;
 pub mod text;
 pub mod time;
 pub mod trace;
+pub mod trace_bin;
 pub mod trace_io;
 pub mod worker;
 

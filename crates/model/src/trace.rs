@@ -8,6 +8,7 @@
 //! simulator in `faircrowd-sim` produces them; hand-built traces drive the
 //! axiom unit tests.
 
+use crate::arena::DenseIdMap;
 use crate::contribution::Submission;
 use crate::disclosure::DisclosureSet;
 use crate::event::{Event, EventKind, EventLog, QuitReason};
@@ -57,19 +58,25 @@ pub struct Interruption {
 /// embeds one so the seven axiom checkers and the objective metrics all
 /// share a single replay of the log instead of re-deriving their own
 /// maps.
+/// The entity-keyed tables are [`DenseIdMap`] arenas, not tree maps:
+/// the audit hot paths probe them once per event, and the dense integer
+/// ids make that an array index instead of a hash or pointer chase.
+/// Iteration stays in ascending id order, so everything downstream that
+/// encodes or renders from the index is byte-identical to the tree-map
+/// form.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct EventIndex {
     /// Per worker, the tasks made visible to her (Axiom 1 access sets).
     /// Every known worker appears, even with an empty set — "no access
     /// at all" is the strongest discrimination signal.
-    pub visibility: BTreeMap<WorkerId, BTreeSet<TaskId>>,
+    pub visibility: DenseIdMap<WorkerId, BTreeSet<TaskId>>,
     /// Per task, the workers it was shown to (the Axiom 2 inversion).
-    pub audience: BTreeMap<TaskId, BTreeSet<WorkerId>>,
+    pub audience: DenseIdMap<TaskId, BTreeSet<WorkerId>>,
     /// Total amount actually paid per submission (Axiom 3).
-    pub payments: BTreeMap<SubmissionId, Credits>,
+    pub payments: DenseIdMap<SubmissionId, Credits>,
     /// Total earnings per worker: payments plus honoured bonuses. Every
     /// known worker appears, possibly at zero.
-    pub earnings: BTreeMap<WorkerId, Credits>,
+    pub earnings: DenseIdMap<WorkerId, Credits>,
     /// Workers flagged by any detector (Axiom 4).
     pub flagged: BTreeSet<WorkerId>,
     /// Workers who had at least one session (Axiom 7, retention).
@@ -131,17 +138,17 @@ impl Trace {
     pub fn event_index(&self) -> EventIndex {
         let mut ix = EventIndex::default();
         for w in &self.workers {
-            ix.visibility.entry(w.id).or_default();
-            ix.earnings.entry(w.id).or_insert(Credits::ZERO);
+            ix.visibility.entry(w.id);
+            ix.earnings.entry(w.id);
         }
         for t in &self.tasks {
-            ix.audience.entry(t.id).or_default();
+            ix.audience.entry(t.id);
         }
         for e in &self.events {
             match &e.kind {
                 EventKind::TaskVisible { task, worker } => {
-                    ix.visibility.entry(*worker).or_default().insert(*task);
-                    ix.audience.entry(*task).or_default().insert(*worker);
+                    ix.visibility.entry(*worker).insert(*task);
+                    ix.audience.entry(*task).insert(*worker);
                 }
                 EventKind::PaymentIssued {
                     submission,
@@ -149,11 +156,11 @@ impl Trace {
                     amount,
                     ..
                 } => {
-                    *ix.payments.entry(*submission).or_insert(Credits::ZERO) += *amount;
-                    *ix.earnings.entry(*worker).or_insert(Credits::ZERO) += *amount;
+                    *ix.payments.entry(*submission) += *amount;
+                    *ix.earnings.entry(*worker) += *amount;
                 }
                 EventKind::BonusPaid { worker, amount, .. } => {
-                    *ix.earnings.entry(*worker).or_insert(Credits::ZERO) += *amount;
+                    *ix.earnings.entry(*worker) += *amount;
                 }
                 EventKind::WorkerFlagged { worker, .. } => {
                     ix.flagged.insert(*worker);
@@ -188,23 +195,23 @@ impl Trace {
     /// The access map Axioms 1–2 quantify over: for every worker, the set
     /// of tasks the platform made visible to her.
     pub fn visibility_map(&self) -> BTreeMap<WorkerId, BTreeSet<TaskId>> {
-        self.event_index().visibility
+        self.event_index().visibility.to_btree_map()
     }
 
     /// For every task, the set of workers it was shown to (the Axiom 2
     /// view of the same events).
     pub fn audience_map(&self) -> BTreeMap<TaskId, BTreeSet<WorkerId>> {
-        self.event_index().audience
+        self.event_index().audience.to_btree_map()
     }
 
     /// Total amount actually paid per submission.
     pub fn payment_by_submission(&self) -> BTreeMap<SubmissionId, Credits> {
-        self.event_index().payments
+        self.event_index().payments.to_btree_map()
     }
 
     /// Total earnings per worker (payments plus honoured bonuses).
     pub fn earnings_by_worker(&self) -> BTreeMap<WorkerId, Credits> {
-        self.event_index().earnings
+        self.event_index().earnings.to_btree_map()
     }
 
     /// Submissions grouped by task, in submission order.
@@ -446,10 +453,10 @@ mod tests {
             },
         );
         let ix = trace.event_index();
-        assert_eq!(ix.visibility, trace.visibility_map());
-        assert_eq!(ix.audience, trace.audience_map());
-        assert_eq!(ix.payments, trace.payment_by_submission());
-        assert_eq!(ix.earnings, trace.earnings_by_worker());
+        assert_eq!(ix.visibility.to_btree_map(), trace.visibility_map());
+        assert_eq!(ix.audience.to_btree_map(), trace.audience_map());
+        assert_eq!(ix.payments.to_btree_map(), trace.payment_by_submission());
+        assert_eq!(ix.earnings.to_btree_map(), trace.earnings_by_worker());
         assert_eq!(ix.session_workers.len(), 1);
         assert_eq!(ix.work_started, 1);
         assert_eq!(ix.interruptions.len(), 1);

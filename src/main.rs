@@ -84,17 +84,18 @@ fn usage() {
          faircrowd replay <FILE>                  load a trace file, audit it, report\n  \
          faircrowd watch <FILE.jsonl> [WATCH-OPTS]  tail a JSONL trace (even while it\n                                           \
          grows), stream violations as they land\n  \
-         faircrowd serve <DIR> [SERVE-OPTS]       tail every <market>.jsonl in DIR at\n                                           \
-         once, one merged finding stream\n  \
+         faircrowd serve <DIR> [SERVE-OPTS]       tail every <market>.jsonl (and audit\n                                           \
+         every <market>.fcb) in DIR at once\n  \
          faircrowd sweep [SWEEP-OPTS]             parallel grid sweep, aggregate stats\n  \
          faircrowd scenarios                      list the named scenario catalog\n  \
          faircrowd policies                       list the TPL platform catalog\n  \
          faircrowd render <policy>                human-readable policy description\n  \
          faircrowd compare <a> <b>                diff two catalog policies\n\n\
-         trace files: `.jsonl` writes the line-oriented log form, anything else\n  \
-         the whole-file JSON form; `replay` and `audit --trace` accept both\n  \
-         (validated: schema version + referential integrity, never a panic);\n  \
-         `watch` streams the JSONL form only\n\n\
+         trace files: `.jsonl` writes the line-oriented log form, `.fcb` the\n  \
+         length-prefixed binary form, anything else the whole-file JSON form;\n  \
+         `replay` and `audit --trace` sniff and accept all three (validated:\n  \
+         schema version + referential integrity, never a panic); `watch` tails\n  \
+         the JSONL form and ingests a finished `.fcb` recording in one shot\n\n\
          OPTS:\n  \
          --scenario NAME  start from a catalog scenario (default: flag-built market)\n  \
          --policy NAME    assignment policy (default self_selection)\n  \
@@ -424,7 +425,7 @@ fn watch_cmd(args: &[String]) -> Result<(), FaircrowdError> {
                 if path.is_some() {
                     return Err(FaircrowdError::usage(format!(
                         "unexpected argument `{positional}`: `faircrowd watch` takes exactly \
-                         one JSONL trace file"
+                         one trace file (`.jsonl` stream or `.fcb` recording)"
                     )));
                 }
                 path = Some(positional);
@@ -491,13 +492,18 @@ fn watch_cmd(args: &[String]) -> Result<(), FaircrowdError> {
             }
         }
     }
-    // Byte buffers, not strings: a poll can catch the producer mid
-    // multi-byte UTF-8 character, which must wait in the carry for the
-    // rest of the write — only complete lines are decoded.
-    let mut carry: Vec<u8> = Vec::new();
-    let mut chunk: Vec<u8> = Vec::new();
-    let mut idle_waited = 0u64;
-    const POLL_MS: u64 = 100;
+    // Sniff the first eight bytes: a `.fcb` recording is finished by
+    // definition (the binary format has no append form), so it is
+    // decoded whole and ingested in one shot instead of tailed.
+    let mut head = Vec::with_capacity(8);
+    std::io::Read::by_ref(&mut file)
+        .take(8)
+        .read_to_end(&mut head)
+        .map_err(|e| FaircrowdError::Io {
+            path: path.to_owned(),
+            message: e.to_string(),
+        })?;
+    let binary = head == faircrowd::model::trace_bin::MAGIC;
 
     let mut feed = |line: &str,
                     reader: &mut faircrowd::model::trace_io::JsonlReader,
@@ -528,54 +534,89 @@ fn watch_cmd(args: &[String]) -> Result<(), FaircrowdError> {
         Ok(())
     };
 
-    loop {
-        chunk.clear();
-        file.read_to_end(&mut chunk)
+    if binary {
+        // A `.fcb` recording is finished by definition (the binary
+        // format has no append form), so it is decoded whole and
+        // re-spelled as its JSONL lines, then streamed through the same
+        // feed path a tailed file uses — findings, checkpoints, resume
+        // skipping and the closing report all stay line-addressed and
+        // bit-identical to watching the recording's JSONL twin.
+        let mut bytes = head;
+        file.read_to_end(&mut bytes)
             .map_err(|e| FaircrowdError::Io {
                 path: path.to_owned(),
                 message: e.to_string(),
             })?;
-        if chunk.is_empty() {
-            if once {
-                break;
-            }
-            if idle_waited >= idle_ms {
-                break;
-            }
-            std::thread::sleep(std::time::Duration::from_millis(POLL_MS));
-            idle_waited += POLL_MS;
-            continue;
+        let trace = faircrowd::core::persist::decode_bytes(&bytes).map_err(|e| e.at_path(path))?;
+        let lines =
+            faircrowd::core::persist::encode(&trace, faircrowd::core::persist::TraceFormat::Jsonl);
+        for line in lines.lines() {
+            feed(line, &mut reader, &mut auditor)?;
         }
-        idle_waited = 0;
-        carry.extend_from_slice(&chunk);
-        // Feed only complete lines; a partially written tail (bytes, or
-        // half a multi-byte character) stays in the carry until its
-        // newline arrives.
-        while let Some(nl) = carry.iter().position(|&b| b == b'\n') {
-            let line_bytes: Vec<u8> = carry.drain(..=nl).collect();
-            let line = String::from_utf8(line_bytes).map_err(|_| {
-                FaircrowdError::persist(format!("line {}: not valid UTF-8", reader.lines_fed() + 1))
+    } else {
+        // Byte buffers, not strings: a poll can catch the producer mid
+        // multi-byte UTF-8 character, which must wait in the carry for
+        // the rest of the write — only complete lines are decoded.
+        let mut carry: Vec<u8> = head;
+        let mut chunk: Vec<u8> = Vec::new();
+        let mut idle_waited = 0u64;
+        const POLL_MS: u64 = 100;
+        loop {
+            chunk.clear();
+            file.read_to_end(&mut chunk)
+                .map_err(|e| FaircrowdError::Io {
+                    path: path.to_owned(),
+                    message: e.to_string(),
+                })?;
+            if chunk.is_empty() {
+                if once {
+                    break;
+                }
+                if idle_waited >= idle_ms {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(POLL_MS));
+                idle_waited += POLL_MS;
+                continue;
+            }
+            idle_waited = 0;
+            carry.extend_from_slice(&chunk);
+            // Feed only complete lines; a partially written tail (bytes,
+            // or half a multi-byte character) stays in the carry until
+            // its newline arrives.
+            while let Some(nl) = carry.iter().position(|&b| b == b'\n') {
+                let line_bytes: Vec<u8> = carry.drain(..=nl).collect();
+                let line = String::from_utf8(line_bytes).map_err(|_| {
+                    FaircrowdError::persist(format!(
+                        "line {}: not valid UTF-8",
+                        reader.lines_fed() + 1
+                    ))
                     .at_path(path)
-            })?;
-            feed(
-                line.trim_end_matches(['\n', '\r']),
-                &mut reader,
-                &mut auditor,
-            )?;
-        }
-        if let Some(ck) = &ckpt_path {
-            if auditor.events_seen() as u64 >= last_checkpoint + ckpt_every {
-                faircrowd::core::checkpoint::save_auditor(&auditor, reader.lines_fed() as u64, ck)?;
-                last_checkpoint = auditor.events_seen() as u64;
+                })?;
+                feed(
+                    line.trim_end_matches(['\n', '\r']),
+                    &mut reader,
+                    &mut auditor,
+                )?;
+            }
+            if let Some(ck) = &ckpt_path {
+                if auditor.events_seen() as u64 >= last_checkpoint + ckpt_every {
+                    faircrowd::core::checkpoint::save_auditor(
+                        &auditor,
+                        reader.lines_fed() as u64,
+                        ck,
+                    )?;
+                    last_checkpoint = auditor.events_seen() as u64;
+                }
             }
         }
-    }
-    // A non-empty carry at stop is a file truncated mid-record (possibly
-    // mid-character): feed it so the decoder reports the malformed line
-    // instead of silently dropping it.
-    if carry.iter().any(|b| !b.is_ascii_whitespace()) {
-        let tail = String::from_utf8_lossy(&carry).into_owned();
-        feed(&tail, &mut reader, &mut auditor)?;
+        // A non-empty carry at stop is a file truncated mid-record
+        // (possibly mid-character): feed it so the decoder reports the
+        // malformed line instead of silently dropping it.
+        if carry.iter().any(|b| !b.is_ascii_whitespace()) {
+            let tail = String::from_utf8_lossy(&carry).into_owned();
+            feed(&tail, &mut reader, &mut auditor)?;
+        }
     }
     if !header_applied {
         return Err(FaircrowdError::usage(format!(
@@ -685,7 +726,7 @@ fn serve_cmd(args: &[String]) -> Result<(), FaircrowdError> {
     let sources = MarketSource::discover(dir)?;
     if sources.is_empty() {
         return Err(FaircrowdError::usage(format!(
-            "no `<market>.jsonl` trace streams in `{dir}`"
+            "no `<market>.jsonl` trace streams or `<market>.fcb` recordings in `{dir}`"
         )));
     }
     println!(

@@ -1,0 +1,245 @@
+//! Shared fixtures for the persistence/codec integration suites:
+//! an adversarial random-trace generator covering every event kind and
+//! contribution type the schema encodes.
+
+use faircrowd::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A messy random trace covering every event kind and contribution
+/// type, structured enough for every axiom's quantifier domain to be
+/// non-trivial. (Broader than the simulator's output on purpose: the
+/// schema must round-trip anything a platform could legally log.)
+pub fn random_trace(seed: u64, n_workers: usize, n_tasks: usize, n_subs: usize) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = Trace {
+        disclosure: match rng.gen_range(0..3u8) {
+            0 => DisclosureSet::fully_transparent(),
+            1 => DisclosureSet::opaque(),
+            _ => faircrowd::core::enforce::minimal_transparent_set(),
+        },
+        ..Trace::default()
+    };
+    let n_skills = 5;
+
+    for i in 0..n_workers {
+        let mut skills = SkillVector::with_len(n_skills);
+        for s in 0..n_skills {
+            if rng.gen_bool(0.4) {
+                skills.set(SkillId::new(s as u32), true);
+            }
+        }
+        let declared = DeclaredAttrs::new()
+            .with(
+                "region",
+                AttrValue::Text(["north", "south"][rng.gen_range(0..2usize)].into()),
+            )
+            .with("age", AttrValue::Int(rng.gen_range(18..70i64)))
+            .with("adult", AttrValue::Bool(true))
+            .with(
+                "hours",
+                AttrValue::Real(f64::from(rng.gen_range(1..40u32)) / 2.0),
+            );
+        let mut worker = Worker::new(WorkerId::new(i as u32), declared, skills);
+        worker.computed.tasks_submitted = rng.gen_range(0..200u64);
+        worker.computed.quality_estimate = f64::from(rng.gen_range(0..100u32)) / 100.0;
+        worker.computed.total_earnings = Credits::from_millicents(rng.gen_range(0..1_000_000i64));
+        if rng.gen_bool(0.2) {
+            worker.computed.extra.insert("hits".into(), 3.5);
+        }
+        trace.workers.push(worker);
+        if rng.gen_bool(0.15) {
+            trace
+                .ground_truth
+                .malicious_workers
+                .insert(WorkerId::new(i as u32));
+        }
+    }
+    for i in 0..2u32 {
+        let mut r = Requester::new(RequesterId::new(i), format!("r{i}"));
+        r.approved = rng.gen_range(0..50u64);
+        r.rejected = rng.gen_range(0..20u64);
+        trace.requesters.push(r);
+    }
+    for i in 0..n_tasks {
+        let mut skills = SkillVector::with_len(n_skills);
+        for s in 0..n_skills {
+            if rng.gen_bool(0.3) {
+                skills.set(SkillId::new(s as u32), true);
+            }
+        }
+        let kind = match rng.gen_range(0..4u8) {
+            0 => TaskKind::Labeling { classes: 3 },
+            1 => TaskKind::FreeText,
+            2 => TaskKind::Ranking { items: 4 },
+            _ => TaskKind::Survey,
+        };
+        let conditions = if rng.gen_bool(0.5) {
+            faircrowd::model::task::TaskConditions::fully_disclosed(
+                Credits::from_dollars(6),
+                SimDuration::from_days(1),
+            )
+        } else {
+            faircrowd::model::task::TaskConditions::default()
+        };
+        trace.tasks.push(
+            faircrowd::model::task::TaskBuilder::new(
+                TaskId::new(i as u32),
+                RequesterId::new(rng.gen_range(0..2u32)),
+                skills,
+                Credits::from_cents(rng.gen_range(1..50i64)),
+            )
+            .campaign(CampaignId::new(rng.gen_range(0..3u32)))
+            .kind(kind)
+            .conditions(conditions)
+            .build(),
+        );
+        if rng.gen_bool(0.6) {
+            trace
+                .ground_truth
+                .true_labels
+                .insert(TaskId::new(i as u32), rng.gen_range(0..3u8));
+        }
+    }
+
+    let mut clock = 0u64;
+    let mut tick = |rng: &mut StdRng| {
+        clock += rng.gen_range(0..5u64);
+        SimTime::from_secs(clock)
+    };
+    if n_workers > 0 && n_tasks > 0 {
+        let any_worker = |rng: &mut StdRng| WorkerId::new(rng.gen_range(0..n_workers) as u32);
+        let any_task = |rng: &mut StdRng| TaskId::new(rng.gen_range(0..n_tasks) as u32);
+        for _ in 0..(n_workers * 2) {
+            let (worker, task) = (any_worker(&mut rng), any_task(&mut rng));
+            let t = tick(&mut rng);
+            trace
+                .events
+                .push(t, EventKind::TaskVisible { task, worker });
+        }
+        for i in 0..n_subs {
+            let (worker, task) = (any_worker(&mut rng), any_task(&mut rng));
+            let contribution = match rng.gen_range(0..4u8) {
+                0 => Contribution::Label(rng.gen_range(0..3u8)),
+                1 => Contribution::Text("the quick brown fox".into()),
+                2 => Contribution::Ranking(vec![0, 2, 1, 3]),
+                _ => Contribution::Numeric(f64::from(rng.gen_range(0..100u32)) / 7.0),
+            };
+            let start = tick(&mut rng);
+            let id = SubmissionId::new(i as u32);
+            trace.submissions.push(Submission {
+                id,
+                task,
+                worker,
+                contribution,
+                started_at: start,
+                submitted_at: SimTime::from_secs(start.as_secs() + rng.gen_range(30..600u64)),
+            });
+            let t = tick(&mut rng);
+            trace.events.push(
+                t,
+                EventKind::SubmissionReceived {
+                    submission: id,
+                    task,
+                    worker,
+                },
+            );
+            match rng.gen_range(0..4u8) {
+                0 => {
+                    let t = tick(&mut rng);
+                    trace.events.push(
+                        t,
+                        EventKind::PaymentIssued {
+                            submission: id,
+                            task,
+                            worker,
+                            amount: Credits::from_millicents(rng.gen_range(0..20_000i64)),
+                        },
+                    );
+                }
+                1 => {
+                    let t = tick(&mut rng);
+                    trace.events.push(
+                        t,
+                        EventKind::SubmissionRejected {
+                            submission: id,
+                            task,
+                            worker,
+                            feedback: rng.gen_bool(0.5).then(|| "too noisy".to_owned()),
+                        },
+                    );
+                }
+                _ => {}
+            }
+        }
+        // One of everything else, so every encoder arm is exercised.
+        let w = any_worker(&mut rng);
+        let t0 = any_task(&mut rng);
+        let r = RequesterId::new(0);
+        let pairs: Vec<(EventKind, SimTime)> = vec![
+            EventKind::TaskPosted {
+                task: t0,
+                requester: r,
+            },
+            EventKind::TaskAccepted {
+                task: t0,
+                worker: w,
+            },
+            EventKind::WorkStarted {
+                task: t0,
+                worker: w,
+            },
+            EventKind::SessionStarted { worker: w },
+            EventKind::DisclosureShown {
+                worker: w,
+                item: DisclosureItem::WorkerAcceptanceRatio,
+            },
+            EventKind::BonusPromised {
+                worker: w,
+                requester: r,
+                amount: Credits::from_cents(3),
+            },
+            EventKind::BonusPaid {
+                worker: w,
+                requester: r,
+                amount: Credits::from_cents(3),
+            },
+            EventKind::BonusReneged {
+                worker: w,
+                requester: r,
+                amount: Credits::from_cents(2),
+            },
+            EventKind::TaskCanceled {
+                task: t0,
+                reason: faircrowd::model::event::CancelReason::Withdrawn,
+            },
+            EventKind::WorkInterrupted {
+                task: t0,
+                worker: w,
+                invested: SimDuration::from_secs(rng.gen_range(1..500u64)),
+                compensated: rng.gen_bool(0.5),
+            },
+            EventKind::WorkerFlagged {
+                worker: w,
+                score: f64::from(rng.gen_range(0..100u32)) / 100.0,
+                detector: "spam".into(),
+            },
+            EventKind::SessionEnded { worker: w },
+            EventKind::WorkerQuit {
+                worker: w,
+                reason: faircrowd::model::event::QuitReason::Frustration,
+            },
+        ]
+        .into_iter()
+        .map(|kind| {
+            let t = tick(&mut rng);
+            (kind, t)
+        })
+        .collect();
+        for (kind, t) in pairs {
+            trace.events.push(t, kind);
+        }
+    }
+    trace.horizon = SimTime::from_secs(clock + 1);
+    trace
+}

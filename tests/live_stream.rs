@@ -380,3 +380,167 @@ proptest! {
         }
     }
 }
+
+/// A valid trace whose entity ids are hostile to the live monitors'
+/// arena-backed rows: most ids are dense, a few land far past the lazy
+/// bitset's growth bound and must take the ordered-set fallback.
+/// Exposure and pay asymmetries straddle the dense/sparse boundary so
+/// the per-event pair scans actually compare sparse entities against
+/// dense ones.
+fn sparse_id_trace() -> Trace {
+    let mut trace = Trace {
+        disclosure: DisclosureSet::fully_transparent(),
+        ..Trace::default()
+    };
+    let wids = [0u32, 3, 70_000, 1_000_000, 1_000_007];
+    let tids = [1u32, 5, 90_000, 2_000_000];
+    let mut skills = SkillVector::with_len(4);
+    skills.set(SkillId::new(0), true);
+    for &w in &wids {
+        let declared = DeclaredAttrs::new().with("region", AttrValue::Text("north".to_owned()));
+        trace
+            .workers
+            .push(Worker::new(WorkerId::new(w), declared, skills.clone()));
+    }
+    for i in 0..2 {
+        trace
+            .requesters
+            .push(Requester::new(RequesterId::new(i), format!("r{i}")));
+    }
+    for (i, &t) in tids.iter().enumerate() {
+        trace.tasks.push(
+            faircrowd::model::task::TaskBuilder::new(
+                TaskId::new(t),
+                RequesterId::new((i % 2) as u32),
+                skills.clone(),
+                Credits::from_cents(10),
+            )
+            .build(),
+        );
+        trace.ground_truth.true_labels.insert(TaskId::new(t), 1);
+    }
+    let mut clock = 0u64;
+    for (i, &w) in wids.iter().enumerate() {
+        let seen = if i < 2 { tids.len() } else { 1 };
+        for &t in tids.iter().take(seen) {
+            clock += 1;
+            trace.events.push(
+                SimTime::from_secs(clock),
+                EventKind::TaskVisible {
+                    task: TaskId::new(t),
+                    worker: WorkerId::new(w),
+                },
+            );
+        }
+    }
+    for (i, (w, paid)) in [(wids[0], true), (wids[3], false)].iter().enumerate() {
+        let id = SubmissionId::new(i as u32);
+        let task = TaskId::new(tids[0]);
+        let worker = WorkerId::new(*w);
+        clock += 1;
+        trace.submissions.push(Submission {
+            id,
+            task,
+            worker,
+            contribution: Contribution::Label(1),
+            started_at: SimTime::from_secs(clock),
+            submitted_at: SimTime::from_secs(clock + 60),
+        });
+        clock += 100;
+        trace.events.push(
+            SimTime::from_secs(clock),
+            EventKind::SubmissionReceived {
+                submission: id,
+                task,
+                worker,
+            },
+        );
+        if *paid {
+            clock += 1;
+            trace.events.push(
+                SimTime::from_secs(clock),
+                EventKind::PaymentIssued {
+                    submission: id,
+                    task,
+                    worker,
+                    amount: Credits::from_cents(10),
+                },
+            );
+        }
+    }
+    trace.horizon = SimTime::from_secs(clock + 1);
+    trace
+}
+
+/// The sparse-id fallback must be invisible to every streaming path:
+/// direct ingest, the JSONL reader, and a checkpoint/resume cycle cut
+/// mid-stream all close on the batch report bit for bit — and the
+/// asymmetries are visible, so the equalities aren't about empty
+/// reports.
+#[test]
+fn sparse_ids_stream_and_checkpoint_bit_identically() {
+    use faircrowd::core::checkpoint;
+    let trace = sparse_id_trace();
+    assert!(trace.validate().is_empty(), "{:?}", trace.validate());
+    let batch = AuditEngine::with_defaults().run(&trace);
+    assert!(
+        batch.score_of(AxiomId::A1WorkerAssignment) < 1.0,
+        "exposure asymmetry across the sparse boundary must be visible"
+    );
+
+    let (direct, _) = stream_direct(&trace);
+    assert_eq!(direct.final_report(), batch, "direct stream");
+    assert_eq!(direct.trace(), &trace, "accumulated world");
+    let jsonl = stream_jsonl(&trace);
+    assert_eq!(jsonl.final_report(), batch, "JSONL-reader stream");
+
+    // Checkpoint mid-stream: the snapshot carries sparse-id rows and
+    // pair state through encode → decode → resume.
+    let text = persist::encode(&trace, TraceFormat::Jsonl);
+    let lines: Vec<&str> = text.lines().collect();
+    for cut in [lines.len() / 2, lines.len() * 3 / 4] {
+        let mut reader = JsonlReader::new();
+        let mut auditor = LiveAuditor::new(AuditConfig::default()).max_live_findings(usize::MAX);
+        let mut header_applied = false;
+        let mut feed =
+            |line: &str, reader: &mut JsonlReader, auditor: &mut LiveAuditor| match reader
+                .feed_line(line)
+                .expect("well-formed line")
+            {
+                None => {
+                    if !header_applied {
+                        if let Some(header) = reader.header() {
+                            auditor.apply_header(header);
+                            header_applied = true;
+                        }
+                    }
+                }
+                Some(record) => {
+                    auditor.apply_record(record).expect("well-formed stream");
+                }
+            };
+        for line in &lines[..cut] {
+            feed(line, &mut reader, &mut auditor);
+        }
+        let ckpt = auditor.checkpoint(reader.lines_fed() as u64);
+        let decoded = checkpoint::decode(&checkpoint::encode(&ckpt)).expect("roundtrip");
+        assert_eq!(decoded, ckpt, "cut {cut}: checkpoint roundtrips");
+        let mut resumed = LiveAuditor::resume(AuditConfig::default(), &decoded).expect("resumes");
+        let mut reader =
+            JsonlReader::resume(decoded.jsonl_header(), decoded.source_lines() as usize);
+        for line in &lines[cut..] {
+            match reader.feed_line(line).expect("well-formed line") {
+                None => {}
+                Some(record) => {
+                    resumed.apply_record(record).expect("well-formed stream");
+                }
+            }
+        }
+        resumed.finalize();
+        assert_eq!(
+            resumed.final_report(),
+            batch,
+            "cut {cut}: resumed stream must close on the batch report"
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Differential codec harness for the binary `.fcb` trace format.
+//!
+//! The binary format earns its place only if it is *indistinguishable*
+//! from the JSON formats at every observable boundary: same decoded
+//! trace, same audit report, same rendered text, same wages. Pinned
+//! three ways:
+//!
+//! * deterministically, for **every catalog scenario**: a trace saved
+//!   as `.fcb`, loaded and replayed produces reports bit-identical to
+//!   the JSON and JSONL replays of the same trace;
+//! * property-based, over adversarial random traces exercising every
+//!   event kind and contribution type the schema encodes — decode ∘
+//!   encode is the identity, and re-encoding is byte-stable;
+//! * structurally: the binary form is substantially denser than JSON
+//!   (the whole point), and `persist` format selection routes `.fcb`
+//!   by extension and by content sniffing.
+
+use faircrowd::core::persist::{self, TraceFormat};
+use faircrowd::core::report::render_report;
+use faircrowd::model::trace_bin;
+use faircrowd::prelude::*;
+use proptest::prelude::*;
+
+mod common;
+use common::random_trace;
+
+#[test]
+fn every_catalog_scenario_replays_bit_identically_from_binary() {
+    for name in faircrowd::sim::catalog::NAMES {
+        let pipeline = Pipeline::new()
+            .scenario_name(name)
+            .expect("catalog name resolves")
+            .configure(|c| c.rounds = c.rounds.min(12));
+        let trace = pipeline.simulate().expect("catalog scenario simulates");
+
+        // The JSON and JSONL replays are the reference points the
+        // binary replay must be indistinguishable from.
+        let json_replay = {
+            let text = persist::encode(&trace, TraceFormat::Json);
+            pipeline
+                .replay(&persist::decode(&text).expect("json decode"))
+                .expect("json replay")
+        };
+        let jsonl_replay = {
+            let text = persist::encode(&trace, TraceFormat::Jsonl);
+            pipeline
+                .replay(&persist::decode(&text).expect("jsonl decode"))
+                .expect("jsonl replay")
+        };
+
+        let path = std::env::temp_dir().join(format!("fc_bin_replay_{name}.fcb"));
+        persist::save(&trace, &path).expect("save .fcb");
+        let loaded = persist::load(&path).expect("load .fcb");
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(loaded, trace, "{name}: binary trace round-trip");
+        let replayed = pipeline.replay(&loaded).expect("binary replay");
+        for (reference, other) in [(&json_replay, "json"), (&jsonl_replay, "jsonl")] {
+            assert_eq!(
+                replayed.report, reference.report,
+                "{name}: binary replay report must be bit-identical to the {other} replay"
+            );
+            assert_eq!(
+                render_report(&replayed.report),
+                render_report(&reference.report),
+                "{name}: rendered text must be byte-identical to the {other} replay"
+            );
+            assert_eq!(replayed.summary, reference.summary, "{name} vs {other}");
+            assert_eq!(replayed.wages, reference.wages, "{name} vs {other}");
+        }
+    }
+}
+
+#[test]
+fn binary_form_is_denser_than_json_and_sniffable() {
+    let trace = Pipeline::new().rounds(12).simulate().expect("simulate");
+    let json = persist::encode(&trace, TraceFormat::Json);
+    let bytes = persist::encode_bytes(&trace, TraceFormat::Binary);
+    assert!(
+        bytes.len() * 4 < json.len(),
+        "binary must be at least 4x denser: {} vs {} bytes",
+        bytes.len(),
+        json.len()
+    );
+    // Content sniffing routes the bytes regardless of any extension.
+    assert!(trace_bin::sniff_binary(&bytes));
+    assert!(!trace_bin::sniff_binary(json.as_bytes()));
+    let sniffed = persist::decode_bytes(&bytes).expect("sniffed decode");
+    assert_eq!(sniffed, trace);
+}
+
+#[test]
+fn format_selection_picks_binary_for_fcb_extension() {
+    use std::path::Path;
+    assert_eq!(
+        TraceFormat::for_path(Path::new("market.fcb")),
+        TraceFormat::Binary
+    );
+    assert_eq!(
+        TraceFormat::for_path(Path::new("market.jsonl")),
+        TraceFormat::Jsonl
+    );
+    assert_eq!(
+        TraceFormat::for_path(Path::new("market.json")),
+        TraceFormat::Json
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any legal trace round-trips exactly through the binary codec,
+    /// re-encodes byte-identically, and audits bit-identically to the
+    /// original — the same contract the JSON formats are held to.
+    #[test]
+    fn random_traces_roundtrip_binary_and_replay_identically(
+        seed in 0u64..1_000_000,
+        n_workers in 0usize..30,
+        n_tasks in 0usize..20,
+        n_subs in 0usize..40,
+    ) {
+        let trace = random_trace(seed, n_workers, n_tasks, n_subs);
+        prop_assert!(trace.validate().is_empty(), "generator must emit valid traces");
+        let bytes = trace_bin::trace_to_bytes(&trace);
+        let back = trace_bin::trace_from_bytes(&bytes);
+        prop_assert!(back.is_ok(), "binary decode: {:?}", back.err());
+        let back = back.unwrap();
+        prop_assert_eq!(&back, &trace, "binary round-trip");
+        prop_assert_eq!(trace_bin::trace_to_bytes(&back), bytes, "binary re-encode");
+
+        let engine = AuditEngine::with_defaults();
+        prop_assert_eq!(engine.run(&back), engine.run(&trace), "binary replayed audit");
+    }
+}
