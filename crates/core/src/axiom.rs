@@ -73,6 +73,14 @@ impl AxiomId {
         }
     }
 
+    /// Resolve an axiom from its table label (the inverse of
+    /// [`AxiomId::label`]). `None` for an unknown label — callers
+    /// decoding persisted reports turn that into a schema error rather
+    /// than a panic.
+    pub fn from_label(label: &str) -> Option<AxiomId> {
+        AxiomId::ALL.into_iter().find(|a| a.label() == label)
+    }
+
     /// The paper's full statement of the axiom.
     pub fn statement(self) -> &'static str {
         match self {

@@ -29,6 +29,10 @@
 //! scenario catalog and random checkpoint seqs).
 
 use crate::axiom::AxiomId;
+use crate::fields::{
+    arr_field, bool_field, i64_field, require, str_field, u32_field, u32_pair, u32_value,
+    u64_field, u64_pair,
+};
 use crate::live::{FindingOrigin, LiveAuditor, LiveFinding};
 use crate::Violation;
 use faircrowd_model::error::FaircrowdError;
@@ -812,115 +816,4 @@ pub fn save_auditor(
     path: impl AsRef<Path>,
 ) -> Result<(), FaircrowdError> {
     save(&auditor.checkpoint(source_lines), path)
-}
-
-// ---- field helpers --------------------------------------------------
-
-fn require<'a>(
-    json: &'a Json,
-    key: &str,
-    ctx: impl std::fmt::Display,
-) -> Result<&'a Json, FaircrowdError> {
-    json.get(key)
-        .ok_or_else(|| FaircrowdError::persist(format!("{ctx}: missing field `{key}`")))
-}
-
-fn u64_field(json: &Json, key: &str, ctx: impl std::fmt::Display) -> Result<u64, FaircrowdError> {
-    let v = require(json, key, &ctx)?;
-    v.as_u64().ok_or_else(|| {
-        FaircrowdError::persist(format!(
-            "{ctx}: field `{key}` should be an unsigned integer, got {}",
-            v.kind()
-        ))
-    })
-}
-
-fn i64_field(json: &Json, key: &str, ctx: impl std::fmt::Display) -> Result<i64, FaircrowdError> {
-    let v = require(json, key, &ctx)?;
-    v.as_i64().ok_or_else(|| {
-        FaircrowdError::persist(format!(
-            "{ctx}: field `{key}` should be an integer, got {}",
-            v.kind()
-        ))
-    })
-}
-
-fn u32_field(json: &Json, key: &str, ctx: impl std::fmt::Display) -> Result<u32, FaircrowdError> {
-    let v = u64_field(json, key, &ctx)?;
-    u32::try_from(v)
-        .map_err(|_| FaircrowdError::persist(format!("{ctx}: field `{key}` overflows an id")))
-}
-
-fn u32_value(json: &Json, ctx: impl std::fmt::Display) -> Result<u32, FaircrowdError> {
-    json.as_u64()
-        .and_then(|v| u32::try_from(v).ok())
-        .ok_or_else(|| FaircrowdError::persist(format!("{ctx}: value should be a 32-bit id")))
-}
-
-fn u64_pair(json: &Json, ctx: impl std::fmt::Display) -> Result<(u64, u64), FaircrowdError> {
-    let arr = json
-        .as_arr()
-        .ok_or_else(|| FaircrowdError::persist(format!("{ctx}: pair is not an array")))?;
-    match arr {
-        [a, b] => Ok((
-            a.as_u64().ok_or_else(|| {
-                FaircrowdError::persist(format!("{ctx}: pair holds a non-integer"))
-            })?,
-            b.as_u64().ok_or_else(|| {
-                FaircrowdError::persist(format!("{ctx}: pair holds a non-integer"))
-            })?,
-        )),
-        _ => Err(FaircrowdError::persist(format!(
-            "{ctx}: pair has {} element(s), expected 2",
-            arr.len()
-        ))),
-    }
-}
-
-fn u32_pair(json: &Json, ctx: impl std::fmt::Display) -> Result<(u32, u32), FaircrowdError> {
-    let (a, b) = u64_pair(json, &ctx)?;
-    match (u32::try_from(a), u32::try_from(b)) {
-        (Ok(a), Ok(b)) => Ok((a, b)),
-        _ => Err(FaircrowdError::persist(format!(
-            "{ctx}: pair member overflows an id"
-        ))),
-    }
-}
-
-fn bool_field(json: &Json, key: &str, ctx: impl std::fmt::Display) -> Result<bool, FaircrowdError> {
-    let v = require(json, key, &ctx)?;
-    v.as_bool().ok_or_else(|| {
-        FaircrowdError::persist(format!(
-            "{ctx}: field `{key}` should be a boolean, got {}",
-            v.kind()
-        ))
-    })
-}
-
-fn str_field<'a>(
-    json: &'a Json,
-    key: &str,
-    ctx: impl std::fmt::Display,
-) -> Result<&'a str, FaircrowdError> {
-    let v = require(json, key, &ctx)?;
-    v.as_str().ok_or_else(|| {
-        FaircrowdError::persist(format!(
-            "{ctx}: field `{key}` should be a string, got {}",
-            v.kind()
-        ))
-    })
-}
-
-fn arr_field<'a>(
-    json: &'a Json,
-    key: &str,
-    ctx: impl std::fmt::Display,
-) -> Result<&'a [Json], FaircrowdError> {
-    let v = require(json, key, &ctx)?;
-    v.as_arr().ok_or_else(|| {
-        FaircrowdError::persist(format!(
-            "{ctx}: field `{key}` should be an array, got {}",
-            v.kind()
-        ))
-    })
 }

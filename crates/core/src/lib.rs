@@ -30,11 +30,13 @@ pub mod axioms;
 pub mod checkpoint;
 pub mod daemon;
 pub mod enforce;
+mod fields;
 pub mod index;
 pub mod live;
 pub mod metrics;
 pub mod persist;
 pub mod report;
+pub mod results;
 
 pub use aggregate::{AxiomAggregate, ReportAggregate, ScoreStats};
 pub use audit::{AuditConfig, AuditEngine, FairnessReport};

@@ -50,6 +50,7 @@ fn main() -> ExitCode {
         Some("watch") => watch_cmd(&args[1..]),
         Some("serve") => serve_cmd(&args[1..]),
         Some("sweep") => sweep(&args[1..]),
+        Some("merge") => merge_cmd(&args[1..]),
         Some("scenarios") => scenarios_cmd(),
         Some("policies") => policies(),
         Some("render") => render_cmd(&args[1..]),
@@ -87,6 +88,8 @@ fn usage() {
          faircrowd serve <DIR> [SERVE-OPTS]       tail every <market>.jsonl (and audit\n                                           \
          every <market>.fcb) in DIR at once\n  \
          faircrowd sweep [SWEEP-OPTS]             parallel grid sweep, aggregate stats\n  \
+         faircrowd merge <part.json>... [--format F]  fold shard part files into the\n                                           \
+         single-process sweep report, byte-identical\n  \
          faircrowd scenarios                      list the named scenario catalog\n  \
          faircrowd policies                       list the TPL platform catalog\n  \
          faircrowd render <policy>                human-readable policy description\n  \
@@ -125,7 +128,12 @@ fn usage() {
          scale | rounds | enforce — `*` for every name, `a..b` or\n                   \
          `a..=b` seed ranges, `+`-stacked enforcements (default `policy=*`)\n  \
          --jobs N         worker threads (default: available cores)\n  \
-         --format F       table | json | csv (default table)\n\n\
+         --format F       table | json | csv (default table)\n  \
+         --shard i/N      run only shard i of an N-way split, appending each finished\n                   \
+         cell to --out FILE (killed shards resume: done cells are\n                   \
+         loaded from the part file and skipped)\n  \
+         --out FILE       (with --shard) the part file; render via `faircrowd merge`\n  \
+         --progress       one stderr line per completed cell (stdout unchanged)\n\n\
          enforcements for --enforce (repeatable) and the enforce axis:\n  \
          parity | floor:N | transparency | grace\n\n\
          assignment policies (registry names):\n  {}\n\n\
@@ -803,7 +811,16 @@ fn serve_cmd(args: &[String]) -> Result<(), FaircrowdError> {
 
 /// The only flags `sweep` reads; anything else is rejected rather than
 /// silently ignored (the grid's axes subsume `run`'s market flags).
-const SWEEP_FLAGS: [&str; 5] = ["--grid", "--jobs", "--format", "--seed", "--rounds"];
+const SWEEP_FLAGS: [&str; 8] = [
+    "--grid",
+    "--jobs",
+    "--format",
+    "--seed",
+    "--rounds",
+    "--shard",
+    "--out",
+    "--progress",
+];
 
 fn sweep(args: &[String]) -> Result<(), FaircrowdError> {
     if let Some(bad) = args
@@ -816,6 +833,21 @@ fn sweep(args: &[String]) -> Result<(), FaircrowdError> {
              --grid 'scenario=spam_campaign;policy=*;enforce=parity')",
             SWEEP_FLAGS.join(" ")
         )));
+    }
+    // A bare positional (usually a grid spec missing its `--grid`) would
+    // otherwise be silently dropped and the default grid swept instead.
+    let mut expects_value = false;
+    for arg in args {
+        if expects_value {
+            expects_value = false;
+        } else if arg.starts_with("--") {
+            expects_value = arg != "--progress";
+        } else {
+            return Err(FaircrowdError::usage(format!(
+                "unexpected argument `{arg}` for `faircrowd sweep`; grid specs go \
+                 via --grid, e.g. --grid 'seed=1..4;enforce=parity'"
+            )));
+        }
     }
     let spec = flag_value(args, "--grid")?.unwrap_or("policy=*");
     let mut grid = SweepGrid::parse(spec)?;
@@ -836,15 +868,126 @@ fn sweep(args: &[String]) -> Result<(), FaircrowdError> {
     }
     let default_jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let jobs = positive_flag(args, "--jobs", default_jobs as u64)? as usize;
+    let progress = args.iter().any(|a| a == "--progress");
+    let shard = flag_value(args, "--shard")?;
+    let out = flag_value(args, "--out")?;
+
+    if let Some(spec) = shard {
+        // Shard mode: results stream to the part file, formatting waits
+        // for `merge`; stdout carries only the shard's tally.
+        let spec = faircrowd::sweep::shard::ShardSpec::parse(spec)?;
+        let Some(out) = out else {
+            return Err(FaircrowdError::usage(
+                "--shard requires --out FILE (the part file this shard appends to)",
+            ));
+        };
+        if flag_value(args, "--format")?.is_some() {
+            return Err(FaircrowdError::usage(
+                "--format does not apply to a shard run: shards write part files; \
+                 render with `faircrowd merge <part>...` once every shard finished",
+            ));
+        }
+        let total = grid.expand()?.len();
+        let progress_line = |cell: usize, outcome: &faircrowd::sweep::CaseOutcome| {
+            eprintln!(
+                "[shard {spec} cell {}/{total}] {}",
+                cell + 1,
+                progress_cell(outcome)
+            );
+        };
+        let hook: faircrowd::sweep::CellHook<'_> = progress.then_some(&progress_line);
+        let run = faircrowd::sweep::shard::run_shard_opts(
+            &grid,
+            spec,
+            std::path::Path::new(out),
+            jobs,
+            true,
+            hook,
+        )?;
+        println!(
+            "shard {spec}: {} of {} grid cell(s); {} ran, {} resumed -> {out}",
+            run.shard_cells, run.total_cells, run.ran, run.resumed
+        );
+        return Ok(());
+    }
+    if out.is_some() {
+        return Err(FaircrowdError::usage(
+            "--out only applies to shard runs; pair it with --shard i/N",
+        ));
+    }
     let format = flag_value(args, "--format")?.unwrap_or("table");
 
-    let result = faircrowd::sweep::run_grid(&grid, jobs)?;
+    let total = grid.expand()?.len();
+    let progress_line = |cell: usize, outcome: &faircrowd::sweep::CaseOutcome| {
+        eprintln!("[cell {}/{total}] {}", cell + 1, progress_cell(outcome));
+    };
+    let hook: faircrowd::sweep::CellHook<'_> = progress.then_some(&progress_line);
+    let result = faircrowd::sweep::run_grid_observed(&grid, jobs, true, hook)?;
     match format {
         "table" => {
             println!(
                 "grid sweep: {} case(s) over {} cell(s), {jobs} job(s)\n",
                 result.cases.len(),
                 result.groups.len()
+            );
+            print!("{}", result.render_table());
+        }
+        "json" => print!("{}", result.to_json()),
+        "csv" => print!("{}", result.to_csv()),
+        other => {
+            return Err(FaircrowdError::usage(format!(
+                "unknown format `{other}`; expected table | json | csv"
+            )))
+        }
+    }
+    Ok(())
+}
+
+/// The per-cell description `--progress` prints after the cell tag.
+fn progress_cell(outcome: &faircrowd::sweep::CaseOutcome) -> String {
+    let case = &outcome.case;
+    format!(
+        "scenario={} policy={} seed={} scale={} rounds={} enforce={}",
+        case.scenario,
+        case.policy_label,
+        case.seed,
+        case.scale,
+        case.rounds,
+        faircrowd::sweep::stack_label(&case.enforcements)
+    )
+}
+
+fn merge_cmd(args: &[String]) -> Result<(), FaircrowdError> {
+    let format = flag_value(args, "--format")?.unwrap_or("table");
+    let mut paths: Vec<std::path::PathBuf> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" => i += 2,
+            flag if flag.starts_with("--") => {
+                return Err(FaircrowdError::usage(format!(
+                    "unknown flag `{flag}` for `faircrowd merge`; supported: --format"
+                )));
+            }
+            path => {
+                paths.push(path.into());
+                i += 1;
+            }
+        }
+    }
+    if paths.is_empty() {
+        return Err(FaircrowdError::usage(
+            "usage: faircrowd merge <part.json>... [--format table|json|csv]",
+        ));
+    }
+    let result = faircrowd::sweep::shard::merge_paths(&paths)?;
+    match format {
+        "table" => {
+            println!(
+                "grid merge: {} case(s) over {} cell(s), {} part(s)\n",
+                result.cases.len(),
+                result.groups.len(),
+                paths.len()
             );
             print!("{}", result.render_table());
         }
@@ -949,6 +1092,55 @@ mod tests {
             assert!(matches!(err, FaircrowdError::Usage { .. }), "{args:?}");
             assert!(err.to_string().contains("--grid"), "{err}");
         }
+    }
+
+    #[test]
+    fn sweep_rejects_a_bare_positional_grid_spec() {
+        // Forgetting `--grid` must not silently sweep the default grid.
+        let err = sweep(&argv(&["seed=1..4;enforce=parity"])).unwrap_err();
+        assert!(matches!(err, FaircrowdError::Usage { .. }), "{err:?}");
+        assert!(
+            err.to_string().contains("seed=1..4;enforce=parity"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("--grid"), "{err}");
+        // Flag values are not positionals.
+        let err = sweep(&argv(&["--jobs", "2", "extra"])).unwrap_err();
+        assert!(err.to_string().contains("`extra`"), "{err}");
+    }
+
+    #[test]
+    fn sweep_shard_flags_validate() {
+        // --shard without --out has nowhere to persist cells.
+        let err = sweep(&argv(&["--shard", "1/2"])).unwrap_err();
+        assert!(matches!(err, FaircrowdError::Usage { .. }), "{err:?}");
+        assert!(err.to_string().contains("--out"), "{err}");
+        // --format belongs to merge, not to a shard run.
+        let err = sweep(&argv(&[
+            "--shard", "1/2", "--out", "p.json", "--format", "json",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("merge"), "{err}");
+        // Malformed shard specs name the expected form.
+        let err = sweep(&argv(&["--shard", "3/2", "--out", "p.json"])).unwrap_err();
+        assert!(err.to_string().contains("i/N"), "{err}");
+        // --out without --shard is not an export flag here.
+        let err = sweep(&argv(&["--out", "p.json"])).unwrap_err();
+        assert!(err.to_string().contains("--shard"), "{err}");
+    }
+
+    #[test]
+    fn merge_rejects_empty_and_unknown_flags() {
+        let err = merge_cmd(&argv(&[])).unwrap_err();
+        assert!(matches!(err, FaircrowdError::Usage { .. }), "{err:?}");
+        assert!(err.to_string().contains("merge <part.json>"), "{err}");
+        let err = merge_cmd(&argv(&["p.json", "--jobs", "2"])).unwrap_err();
+        assert!(err.to_string().contains("--jobs"), "{err}");
+        let err = merge_cmd(&argv(&["p.json", "--format", "yaml"])).unwrap_err();
+        let text = err.to_string();
+        // Either the missing file or the bad format may surface first;
+        // both must be usage-shaped, never a panic.
+        assert!(text.contains("yaml") || text.contains("p.json"), "{text}");
     }
 
     #[test]

@@ -66,6 +66,8 @@
 //! # Ok::<(), faircrowd::FaircrowdError>(())
 //! ```
 
+pub mod shard;
+
 use crate::core::aggregate::{ReportAggregate, ScoreStats};
 use crate::core::report::TextTable;
 use crate::core::{AuditConfig, FairnessReport};
@@ -494,8 +496,25 @@ pub fn run_grid_opts(
     jobs: usize,
     reuse_sim: bool,
 ) -> Result<SweepResult, FaircrowdError> {
+    run_grid_observed(grid, jobs, reuse_sim, None)
+}
+
+/// A per-cell completion observer: called from worker threads, once
+/// per case as it finishes, with the case's grid-expansion index — in
+/// completion order, not grid order. `None` observes nothing.
+pub type CellHook<'a> = Option<&'a (dyn Fn(usize, &CaseOutcome) + Sync)>;
+
+/// [`run_grid_opts`] with a per-cell completion hook (the CLI's
+/// `--progress`). The hook observes; it cannot change any output, so
+/// observed and unobserved sweeps stay byte-identical.
+pub fn run_grid_observed(
+    grid: &SweepGrid,
+    jobs: usize,
+    reuse_sim: bool,
+    on_done: CellHook<'_>,
+) -> Result<SweepResult, FaircrowdError> {
     let cases = grid.expand()?;
-    let outcomes = run_cases(&cases, jobs, reuse_sim)?;
+    let outcomes = run_cases(&cases, jobs, reuse_sim, on_done)?;
     Ok(SweepResult {
         groups: fold_groups(&outcomes, grid.seeds_per_group()),
         cases: outcomes,
@@ -521,6 +540,7 @@ fn run_cases(
     cases: &[SweepCase],
     jobs: usize,
     reuse_sim: bool,
+    on_done: CellHook<'_>,
 ) -> Result<Vec<CaseOutcome>, FaircrowdError> {
     let jobs = jobs.max(1).min(cases.len().max(1));
 
@@ -558,6 +578,9 @@ fn run_cases(
                 } else {
                     case.run()
                 };
+                if let (Some(on_done), Ok(outcome)) = (on_done, &outcome) {
+                    on_done(i, outcome);
+                }
                 *slots[i].lock().expect("result slot poisoned") = Some(outcome);
             });
         }
@@ -955,6 +978,20 @@ mod tests {
         ] {
             assert!(SweepGrid::parse(bad).is_err(), "`{bad}` should not parse");
         }
+    }
+
+    #[test]
+    fn duplicate_axis_error_names_the_axis() {
+        // A duplicated axis used to silently overwrite the earlier
+        // entry; the rejection must say *which* axis was repeated.
+        let err = SweepGrid::parse("seed=0..4;seed=9").unwrap_err();
+        assert!(matches!(err, FaircrowdError::Usage { .. }), "{err:?}");
+        assert!(
+            err.to_string().contains("grid axis `seed` given twice"),
+            "{err}"
+        );
+        let err = SweepGrid::parse("scale=1;rounds=8;scale=2").unwrap_err();
+        assert!(err.to_string().contains("`scale`"), "{err}");
     }
 
     #[test]
