@@ -1,0 +1,110 @@
+//! Writes the strategy-convergence perf baseline (`BENCH_converge.json`).
+//!
+//! For every strategic catalog scenario at marketplace scales 1 / 4 /
+//! 16, measures:
+//!
+//! * **iterations to fixed point** — how many outer simulation passes
+//!   the proportional controller needs before the strategy-state
+//!   residual drops under the default tolerance;
+//! * **wall-clock** — median milliseconds for the whole converge loop;
+//! * **byte-identical replay** — asserted in-binary before a number is
+//!   printed: the converged trace round-trips the binary (`.fcb`)
+//!   codec byte-for-byte, and replaying the decoded trace yields an
+//!   audit report bit-identical to auditing the in-memory original
+//!   (the paper's audit-external-logs workload, applied to a market
+//!   that settled strategically).
+//!
+//! ```text
+//! cargo run --release --bin converge_baseline > BENCH_converge.json
+//! ```
+
+use faircrowd::core::persist::{self, TraceFormat};
+use faircrowd::core::report::render_report;
+use faircrowd::prelude::*;
+use faircrowd::sim::{catalog, converge, ConvergeOptions};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median wall-clock milliseconds of `runs` executions of `f`.
+fn median_ms<F: FnMut()>(runs: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let opts = ConvergeOptions::default();
+    let mut rows = String::new();
+    let mut first = true;
+    for name in catalog::STRATEGIC_NAMES {
+        for scale in [1.0, 4.0, 16.0] {
+            let cfg = catalog::get(name)
+                .expect("strategic catalog name")
+                .at_scale(scale);
+            let converged =
+                converge::run(cfg.clone(), &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
+
+            // Replay gate: the fixed point must survive the binary
+            // codec byte-for-byte and audit identically with no
+            // simulator in the loop.
+            let bytes = persist::encode_bytes(&converged.trace, TraceFormat::Binary);
+            let decoded = persist::decode_bytes(&bytes).expect("decode converged trace");
+            assert_eq!(
+                persist::encode_bytes(&decoded, TraceFormat::Binary),
+                bytes,
+                "{name}@{scale}: .fcb round-trip must be byte-identical"
+            );
+            let direct = Pipeline::new()
+                .replay_owned(converged.trace.clone())
+                .expect("audit converged trace");
+            let replayed = Pipeline::new()
+                .replay_owned(decoded)
+                .expect("audit decoded trace");
+            assert_eq!(
+                render_report(&replayed.report),
+                render_report(&direct.report),
+                "{name}@{scale}: replayed audit must be bit-identical"
+            );
+
+            let ms = median_ms(3, || {
+                black_box(
+                    converge::run(black_box(cfg.clone()), &opts).expect("converge for timing"),
+                );
+            });
+            if !first {
+                rows.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                rows,
+                "    {{\"scenario\": \"{name}\", \"scale\": {scale}, \
+                 \"iterations\": {}, \"converge_ms\": {ms:.1}, \
+                 \"replay_byte_identical\": true}}",
+                converged.iterations
+            );
+        }
+    }
+    println!("{{");
+    println!("  \"bench\": \"strategy_converge\",");
+    println!("  \"unit\": \"ms (median of 3)\",");
+    println!(
+        "  \"note\": \"one row per strategic scenario x marketplace scale; iterations is \
+         the fixed-point count under default ConvergeOptions; replay_byte_identical \
+         asserts the converged trace round-trips the .fcb codec byte-for-byte and \
+         replays to a bit-identical audit report\","
+    );
+    println!("  \"tolerance\": {},", opts.tolerance);
+    println!("  \"max_iterations\": {},", opts.max_iterations);
+    println!("  \"gain\": {},", opts.gain);
+    println!("  \"cells\": [");
+    println!("{rows}");
+    println!("  ]");
+    println!("}}");
+}

@@ -33,6 +33,19 @@ pub enum FaircrowdError {
         /// The names the catalog does know.
         available: Vec<String>,
     },
+    /// A strategy name did not resolve in the strategy registry.
+    UnknownStrategy {
+        /// The name that failed to resolve.
+        name: String,
+        /// The names the registry does know.
+        available: Vec<String>,
+    },
+    /// The strategy-convergence loop failed to reach a fixed point
+    /// (iteration cap exceeded, or the controller state went non-finite).
+    Diverged {
+        /// What failed, with the residual and iteration count.
+        message: String,
+    },
     /// A policy produced an outcome violating the structural feasibility
     /// invariants (slot limits, capacities, qualification, visibility).
     InfeasibleAssignment {
@@ -96,6 +109,13 @@ impl FaircrowdError {
         }
     }
 
+    /// A [`FaircrowdError::Diverged`] from anything displayable.
+    pub fn diverged(message: impl fmt::Display) -> Self {
+        FaircrowdError::Diverged {
+            message: message.to_string(),
+        }
+    }
+
     /// A [`FaircrowdError::Persist`] with no path (in-memory decoding).
     pub fn persist(message: impl fmt::Display) -> Self {
         FaircrowdError::Persist {
@@ -141,6 +161,16 @@ impl fmt::Display for FaircrowdError {
                     "unknown scenario `{name}`; available: {}",
                     available.join(", ")
                 )
+            }
+            FaircrowdError::UnknownStrategy { name, available } => {
+                write!(
+                    f,
+                    "unknown strategy `{name}`; available: {}",
+                    available.join(", ")
+                )
+            }
+            FaircrowdError::Diverged { message } => {
+                write!(f, "strategy convergence failed: {message}")
             }
             FaircrowdError::InfeasibleAssignment { policy, problems } => {
                 write!(

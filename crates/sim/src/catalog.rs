@@ -1,5 +1,7 @@
-//! The named scenario catalog — eight marketplace presets addressable
-//! by string.
+//! The named scenario catalog — marketplace presets addressable by
+//! string, in two families: eight **static** parameterisations and four
+//! **strategic** scenarios (see [`crate::scenarios`]) that only show
+//! their pathology after fixed-point convergence.
 //!
 //! The paper's validation protocol (§4.1) calls for *controlled
 //! experiments* over marketplaces that stress different axioms: spam
@@ -34,8 +36,9 @@ use faircrowd_model::time::SimDuration;
 use faircrowd_pay::scheme::BonusPolicy;
 use faircrowd_quality::spam::WorkerArchetype;
 
-/// Canonical names of the eight catalog scenarios, in presentation order.
-pub const NAMES: [&str; 8] = [
+/// Canonical names of every catalog scenario — the static family
+/// followed by the strategic family — in presentation order.
+pub const NAMES: [&str; 12] = [
     "baseline",
     "spam_campaign",
     "worker_churn",
@@ -44,6 +47,33 @@ pub const NAMES: [&str; 8] = [
     "flash_crowd",
     "budget_starved",
     "transparent_utopia",
+    "reform_rush",
+    "super_turkers",
+    "price_war",
+    "undercut_churn",
+];
+
+/// The static family: scenarios whose pathology is authored into the
+/// configuration. A single simulation pass tells their whole story.
+pub const STATIC_NAMES: [&str; 8] = [
+    "baseline",
+    "spam_campaign",
+    "worker_churn",
+    "skill_skew",
+    "requester_monopoly",
+    "flash_crowd",
+    "budget_starved",
+    "transparent_utopia",
+];
+
+/// The strategic family ([`crate::scenarios`]): scenarios that pin a
+/// non-static strategy and whose pathology *emerges* from fixed-point
+/// iteration ([`crate::converge`]).
+pub const STRATEGIC_NAMES: [&str; 4] = [
+    "reform_rush",
+    "super_turkers",
+    "price_war",
+    "undercut_churn",
 ];
 
 /// One-line description of a catalog scenario (by canonical name), used
@@ -58,6 +88,10 @@ pub fn describe(name: &str) -> Option<&'static str> {
         "flash_crowd" => "late surge campaign over a large crowd, cancel-at-target",
         "budget_starved" => "underfunded rewards, reneged bonuses, undisclosed terms",
         "transparent_utopia" => "fair-by-design: parity policy, grace finish, full disclosure",
+        "reform_rush" => "reputation-temporal workers stratify a two-tier market (strategic)",
+        "super_turkers" => "reservation-wage workers drain the under-priced campaign (strategic)",
+        "price_war" => "requesters undercut rewards over an abundant crowd (strategic)",
+        "undercut_churn" => "requesters bid for labour an opaque platform churns away (strategic)",
         _ => return None,
     };
     Some(text)
@@ -89,6 +123,10 @@ pub fn get(name: &str) -> Result<ScenarioConfig, FaircrowdError> {
         "flash_crowd" => flash_crowd(),
         "budget_starved" => budget_starved(),
         "transparent_utopia" => transparent_utopia(),
+        "reform_rush" => crate::scenarios::s_reform_rush::config(),
+        "super_turkers" => crate::scenarios::s_super_turkers::config(),
+        "price_war" => crate::scenarios::s_price_war::config(),
+        "undercut_churn" => crate::scenarios::s_undercut_churn::config(),
         _ => {
             return Err(FaircrowdError::UnknownScenario {
                 name: name.to_owned(),
@@ -323,6 +361,26 @@ mod tests {
                 assert_eq!(available.len(), NAMES.len());
             }
             other => panic!("wrong result: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn families_partition_the_catalog() {
+        let rebuilt: Vec<&str> = STATIC_NAMES.into_iter().chain(STRATEGIC_NAMES).collect();
+        assert_eq!(rebuilt, NAMES.to_vec());
+        for name in STATIC_NAMES {
+            assert_eq!(
+                get(name).unwrap().strategy,
+                crate::strategy::StrategyChoice::Static,
+                "{name} should be static"
+            );
+        }
+        for name in STRATEGIC_NAMES {
+            assert_ne!(
+                get(name).unwrap().strategy,
+                crate::strategy::StrategyChoice::Static,
+                "{name} should pin a strategic profile"
+            );
         }
     }
 

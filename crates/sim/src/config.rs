@@ -21,6 +21,8 @@ use faircrowd_pay::scheme::{
 use faircrowd_quality::spam::{SpamDetector, WorkerArchetype};
 use serde::{Deserialize, Serialize};
 
+pub use crate::strategy::StrategyChoice;
+
 /// Which assignment policy a scenario runs. An enum (rather than a trait
 /// object) so configurations stay serialisable and benches can sweep it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -357,6 +359,11 @@ pub struct ScenarioConfig {
     pub auto_approve_after: SimDuration,
     /// Detection sweep, if enabled.
     pub detection: Option<DetectionConfig>,
+    /// Agent strategy profile. Defaults to [`StrategyChoice::Static`],
+    /// the pre-strategy behaviour; absent in serialized configs written
+    /// before the strategy layer existed.
+    #[serde(default)]
+    pub strategy: StrategyChoice,
 }
 
 impl ScenarioConfig {
@@ -472,6 +479,7 @@ impl Default for ScenarioConfig {
             decision_delay_rounds: 2,
             auto_approve_after: SimDuration::from_days(3),
             detection: Some(DetectionConfig::default()),
+            strategy: StrategyChoice::Static,
         }
     }
 }

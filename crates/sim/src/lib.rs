@@ -34,16 +34,21 @@
 pub mod agents;
 pub mod catalog;
 pub mod config;
+pub mod converge;
 pub mod gen;
 pub mod platform;
+pub mod scenarios;
 pub mod stats;
+pub mod strategy;
 
 pub use config::{
     ApprovalPolicy, CampaignSpec, CancellationPolicy, DetectionConfig, PaymentSchemeChoice,
     PolicyChoice, ScenarioConfig, WorkerPopulation,
 };
+pub use converge::{ConvergeOptions, Converged, IterationSummary};
 pub use platform::{LiveSetup, RoundDelta, Simulation};
 pub use stats::TraceSummary;
+pub use strategy::{StrategyChoice, StrategyState};
 
 /// Run a scenario to completion and return its trace.
 pub fn run(config: ScenarioConfig) -> faircrowd_model::Trace {

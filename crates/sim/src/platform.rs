@@ -21,6 +21,7 @@
 use crate::agents::{frustration, WorkerState};
 use crate::config::{ApprovalPolicy, CancellationPolicy, ScenarioConfig};
 use crate::gen::{self, Reference};
+use crate::strategy::{RequesterStrategy, StrategyState, TaskOffer, WorkerStrategy};
 use faircrowd_assign::{AssignInput, AssignmentPolicy, TaskView, WorkerView};
 use faircrowd_model::attributes::{AttrValue, DeclaredAttrs};
 use faircrowd_model::contribution::Submission;
@@ -129,6 +130,9 @@ pub struct Simulation {
     cfg: ScenarioConfig,
     rng: StdRng,
     policy: Box<dyn AssignmentPolicy>,
+    worker_strategy: Box<dyn WorkerStrategy>,
+    requester_strategy: Box<dyn RequesterStrategy>,
+    strategy_state: StrategyState,
     now: SimTime,
     workers: Vec<WorkerState>,
     worker_decisions: Vec<DecisionStats>,
@@ -148,10 +152,28 @@ pub struct Simulation {
 }
 
 impl Simulation {
-    /// Build a simulation from a scenario (deterministic in the seed).
+    /// Build a simulation from a scenario (deterministic in the seed),
+    /// with neutral strategy state: strategic agents whose state is
+    /// neutral behave exactly like [`StrategyChoice::Static`] ones, so a
+    /// single un-converged pass over any scenario reproduces the
+    /// pre-strategy simulator bit for bit.
+    ///
+    /// [`StrategyChoice::Static`]: crate::strategy::StrategyChoice::Static
     pub fn new(cfg: ScenarioConfig) -> Self {
+        let state = StrategyState::initial(&cfg);
+        Simulation::with_state(cfg, state)
+    }
+
+    /// Build a simulation whose strategic agents read `state` — the
+    /// entry point of the convergence loop ([`crate::converge`]), which
+    /// re-runs the scenario under controller-updated states until the
+    /// market reaches a fixed point. The state is read-only during the
+    /// run; the trace stays a pure function of `(cfg, state)`.
+    pub fn with_state(cfg: ScenarioConfig, strategy_state: StrategyState) -> Self {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let policy = cfg.policy.build();
+        let worker_strategy = cfg.strategy.worker_strategy();
+        let requester_strategy = cfg.strategy.requester_strategy();
 
         // Workers.
         const REGIONS: [&str; 4] = ["north", "south", "east", "west"];
@@ -225,6 +247,9 @@ impl Simulation {
             cfg,
             rng,
             policy,
+            worker_strategy,
+            requester_strategy,
+            strategy_state,
             now: SimTime::ZERO,
             workers,
             worker_decisions: vec![DecisionStats::default(); n_workers],
@@ -334,6 +359,8 @@ impl Simulation {
             campaigns,
             events,
             true_labels,
+            requester_strategy,
+            strategy_state,
             ..
         } = self;
         for ci in 0..campaigns.len() {
@@ -342,6 +369,15 @@ impl Simulation {
                 continue;
             }
             campaigns[ci].posted = true;
+            // The requester side of the strategy layer: what this
+            // requester actually posts, given the spec reward. Static
+            // (and any neutral-state) strategies return `spec.reward`
+            // unchanged.
+            let posted_reward = requester_strategy.post_reward(
+                strategy_state,
+                campaigns[ci].requester.index(),
+                spec.reward,
+            );
             for _ in 0..spec.n_tasks {
                 let tid = TaskId::new(tasks.len() as u32);
                 let mut skills = SkillVector::with_len(cfg.n_skills);
@@ -370,7 +406,7 @@ impl Simulation {
                     requester: campaigns[ci].requester,
                     campaign: CampaignId::new(ci as u32),
                     skills,
-                    reward: spec.reward,
+                    reward: posted_reward,
                     kind: spec.kind,
                     assignments_wanted: spec.assignments_per_task,
                     est_duration: spec.est_duration,
@@ -471,13 +507,34 @@ impl Simulation {
                 }
             }
         }
-        // Assignments become in-flight work.
+        // Assignments become in-flight work — if the worker takes them.
         for (w, t) in outcome.assignments {
-            let trt = &mut self.tasks[t.index()];
-            if trt.slots_left == 0 || trt.canceled {
-                continue; // stale (defensive; feasibility is checked above)
+            {
+                let trt = &self.tasks[t.index()];
+                if trt.slots_left == 0 || trt.canceled {
+                    continue; // stale (defensive; feasibility is checked above)
+                }
+                // The worker side of the strategy layer: does this
+                // worker take the offer? Declining leaves the slot open
+                // and — critically for the static bit-identity guarantee
+                // — the check itself makes no RNG draws, so scenarios
+                // where every offer clears (static, or neutral state)
+                // leave the random stream untouched.
+                let ws = &self.workers[w.index()];
+                let offer = TaskOffer {
+                    reward: trt.task.reward,
+                    est_duration: trt.task.est_duration,
+                    quality_estimate: ws.worker.computed.quality_estimate,
+                    acceptance_ratio: ws.worker.computed.acceptance_ratio,
+                };
+                if !self
+                    .worker_strategy
+                    .accepts(&self.strategy_state, w.index(), &offer)
+                {
+                    continue;
+                }
             }
-            trt.slots_left -= 1;
+            self.tasks[t.index()].slots_left -= 1;
             self.events
                 .push(self.now, EventKind::TaskAccepted { task: t, worker: w });
             self.events

@@ -1,0 +1,69 @@
+//! Strategic agents iterated to a fixed point: the `super_turkers`
+//! marketplace (§2's elite-worker concentration) re-simulated under the
+//! proportional controller until no agent wants to move, with the
+//! iteration history and the audit of the settled market printed — and
+//! the same config frozen (`static` strategy) for contrast.
+//!
+//! ```sh
+//! cargo run --example strategy_convergence
+//! ```
+
+use faircrowd::prelude::*;
+use faircrowd::sim::{catalog, StrategyChoice};
+
+fn main() -> Result<(), FaircrowdError> {
+    let mut cfg = catalog::get("super_turkers")?;
+    cfg.rounds = 24; // keep the demo quick; the catalog default runs longer
+
+    // The strategic run: simulate → feed realized wages/acceptance back
+    // into per-agent strategy state → re-simulate, until the residual
+    // drops under the tolerance.
+    let converged = Pipeline::new().scenario(cfg.clone()).run_converged()?;
+
+    println!(
+        "super_turkers: {} strategy, {} iterations to a fixed point\n",
+        converged.config.strategy.label(),
+        converged.iterations
+    );
+    println!("iter   residual   retention   approval");
+    for step in &converged.history {
+        println!(
+            "{:>4}   {:>8.6}   {:>8.1}%   {:>7.1}%",
+            step.iteration,
+            step.residual,
+            step.summary.retention * 100.0,
+            step.summary.approval_rate * 100.0,
+        );
+    }
+
+    // The same market with agents frozen at their initial
+    // parameterisation — what every audit in this repo meant before the
+    // strategy layer existed.
+    let frozen = Pipeline::new()
+        .scenario(cfg)
+        .strategy(StrategyChoice::Static)
+        .run()?;
+
+    let settled = &converged.artifacts;
+    println!(
+        "\n              frozen (static)   settled (fixed point)\n\
+         retention     {:>13.1}%   {:>19.1}%\n\
+         fairness      {:>14.2}   {:>20.2}\n\
+         transparency  {:>14.2}   {:>20.2}",
+        frozen.baseline.summary.retention * 100.0,
+        settled.summary.retention * 100.0,
+        frozen.baseline.report.fairness_score(),
+        settled.report.fairness_score(),
+        frozen.baseline.report.transparency_score(),
+        settled.report.transparency_score(),
+    );
+
+    println!(
+        "\nThe audit of the settled market is the honest one: Super-Turkers \
+         redirect effort toward qualification-gated, high-reward campaigns \
+         until their wage expectations match what the platform actually \
+         pays, and the audit above describes that equilibrium — not \
+         the hand-picked round-zero parameterisation."
+    );
+    Ok(())
+}

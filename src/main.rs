@@ -5,6 +5,7 @@
 //! ```text
 //! faircrowd axioms                         print the paper's seven axioms
 //! faircrowd run   [OPTS] [--live] [--enforce E]...  full pipeline incl. enforcement re-audit
+//! faircrowd converge [OPTS]                iterate a strategic market to its fixed point, audit it
 //! faircrowd audit [OPTS | --trace FILE]    audit a simulated market or a trace file
 //! faircrowd export [OPTS] --out FILE       simulate a market and write its trace
 //! faircrowd replay <FILE>                  load a trace file, audit it, report
@@ -21,8 +22,12 @@
 //! assignment policies via the registry
 //! ([`faircrowd::assign::registry`]) and scenarios via the catalog
 //! ([`faircrowd::sim::catalog`]), so the CLI, examples and tests
-//! exercise the same code path. `sweep` runs whole grids
-//! (scenarios × policies × seeds × scales × enforcements) through
+//! exercise the same code path. `converge` iterates a strategic market
+//! (`--strategy`, or a strategic-family scenario) to its fixed point
+//! ([`faircrowd::sim::converge`]) and audits the converged trace.
+//! `sweep` runs whole grids
+//! (scenarios × policies × strategies × seeds × scales × enforcements)
+//! through
 //! [`faircrowd::sweep`] on a worker pool; its aggregate output is
 //! byte-identical whatever `--jobs` says. `export` and
 //! `replay`/`audit --trace` are the two halves of the paper's
@@ -36,6 +41,7 @@ use faircrowd::model::disclosure::DisclosureSet;
 use faircrowd::model::FaircrowdError;
 use faircrowd::prelude::*;
 use faircrowd::sim::catalog as scenarios;
+use faircrowd::sim::{strategy, StrategyChoice};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -44,6 +50,7 @@ fn main() -> ExitCode {
     let result = match command {
         Some("axioms") => axioms(),
         Some("run") => run_cmd(&args[1..], true),
+        Some("converge") => converge_cmd(&args[1..]),
         Some("audit") => run_cmd(&args[1..], false),
         Some("export") => export_cmd(&args[1..]),
         Some("replay") => replay_cmd(&args[1..]),
@@ -80,6 +87,8 @@ fn usage() {
          USAGE:\n  \
          faircrowd axioms                         print the paper's seven axioms\n  \
          faircrowd run   [OPTS] [--live] [--enforce E]...  full pipeline incl. enforcement re-audit\n  \
+         faircrowd converge [OPTS] [CONVERGE-OPTS]  iterate a strategic market to its\n                                           \
+         fixed point, then audit the converged trace\n  \
          faircrowd audit [OPTS | --trace FILE]    audit a simulated market or a trace file\n  \
          faircrowd export [OPTS] --out FILE       simulate a market and write its trace\n  \
          faircrowd replay <FILE>                  load a trace file, audit it, report\n  \
@@ -102,6 +111,9 @@ fn usage() {
          OPTS:\n  \
          --scenario NAME  start from a catalog scenario (default: flag-built market)\n  \
          --policy NAME    assignment policy (default self_selection)\n  \
+         --strategy NAME  agent-strategy profile (default static; strategic profiles\n                   \
+         converge via fixed-point iteration; conflicts with a\n                   \
+         strategic-family --scenario, whose profile is baked in)\n  \
          --seed N         simulation seed (default 42)\n  \
          --rounds N       market rounds (default 48)\n  \
          --workers N      diligent workers (default 30; ignored with --scenario)\n  \
@@ -110,6 +122,10 @@ fn usage() {
          violation at the event that introduced it\n  \
          --out FILE       (export) where to write the trace\n  \
          --trace FILE     (audit) audit a recorded trace instead of simulating\n\n\
+         CONVERGE-OPTS:\n  \
+         --tolerance F    fixed-point residual tolerance (default 0.005)\n  \
+         --max-iters N    iteration cap before a named divergence error (default 40)\n  \
+         --gain F         proportional-controller gain in (0, 1] (default 0.5)\n\n\
          WATCH-OPTS:\n  \
          --once           process the file's current contents and stop (no tailing)\n  \
          --idle-ms N      stop after N ms with no growth (default 1500)\n  \
@@ -124,9 +140,10 @@ fn usage() {
          --once           process current contents and stop (no tailing)\n  \
          --idle-ms N      stop after N ms with no growth on any stream (default 1500)\n\n\
          SWEEP-OPTS:\n  \
-         --grid SPEC      axes as `axis=v1,v2;…` over scenario | policy | seed |\n                   \
-         scale | rounds | enforce — `*` for every name, `a..b` or\n                   \
-         `a..=b` seed ranges, `+`-stacked enforcements (default `policy=*`)\n  \
+         --grid SPEC      axes as `axis=v1,v2;…` over scenario | policy | strategy |\n                   \
+         seed | scale | rounds | enforce — `*` for every name, `a..b`\n                   \
+         or `a..=b` seed ranges, `+`-stacked enforcements (default\n                   \
+         `policy=*`); strategic cells converge before auditing\n  \
          --jobs N         worker threads (default: available cores)\n  \
          --format F       table | json | csv (default table)\n  \
          --shard i/N      run only shard i of an N-way split, appending each finished\n                   \
@@ -137,19 +154,35 @@ fn usage() {
          enforcements for --enforce (repeatable) and the enforce axis:\n  \
          parity | floor:N | transparency | grace\n\n\
          assignment policies (registry names):\n  {}\n\n\
-         scenario catalog (see `faircrowd scenarios` for descriptions):\n  {}",
+         agent strategies for --strategy and the strategy axis:\n  {}\n\n\
+         scenario catalog (see `faircrowd scenarios` for both families):\n  \
+         static:    {}\n  \
+         strategic: {}",
         registry::NAMES.join(" | "),
-        scenarios::NAMES.join(" | ")
+        strategy::NAMES.join(" | "),
+        scenarios::STATIC_NAMES.join(" | "),
+        scenarios::STRATEGIC_NAMES.join(" | ")
     );
 }
 
 fn scenarios_cmd() -> Result<(), FaircrowdError> {
     println!("scenario catalog (faircrowd-sim::catalog):\n");
-    for (name, description) in scenarios::entries() {
-        println!("  {name:<20} {description}");
+    println!("static family — fixed parameterisations, one simulation pass:");
+    for name in scenarios::STATIC_NAMES {
+        println!("  {name:<20} {}", scenarios::describe(name).unwrap_or(""));
+    }
+    println!("\nstrategic family — agents adapt; iterated to a fixed point before auditing:");
+    for name in scenarios::STRATEGIC_NAMES {
+        println!("  {name:<20} {}", scenarios::describe(name).unwrap_or(""));
     }
     println!(
-        "\nuse `faircrowd run --scenario <name>` to audit one, or sweep them all:\n  \
+        "\nagent strategies (--strategy, and the sweep's strategy axis):\n  {}",
+        strategy::NAMES.join(" | ")
+    );
+    println!(
+        "\nuse `faircrowd run --scenario <name>` to audit one, \
+         `faircrowd converge --scenario <name>` to watch a strategic one\n\
+         settle, or sweep them all:\n  \
          faircrowd sweep --grid 'scenario=*;policy=*;seed=0..4' --jobs 8"
     );
     Ok(())
@@ -228,6 +261,21 @@ fn scenario_from_flags(args: &[String]) -> Result<ScenarioConfig, FaircrowdError
     if args.iter().any(|a| a == "--opaque") {
         config.disclosure = DisclosureSet::opaque();
     }
+    if let Some(name) = flag_value(args, "--strategy")? {
+        // Resolve first: an unknown name must list the registry, not
+        // fall through to the scenario's default.
+        let choice = StrategyChoice::by_name(name)?;
+        if config.strategy != StrategyChoice::Static {
+            return Err(FaircrowdError::usage(format!(
+                "--strategy {name} conflicts with --scenario {}: its `{}` profile is part \
+                 of the scenario definition (strategic family; see `faircrowd scenarios`). \
+                 Pick a static-family scenario to override, or drop --strategy",
+                flag_value(args, "--scenario")?.unwrap_or("<flag-built>"),
+                config.strategy.label()
+            )));
+        }
+        config.strategy = choice;
+    }
     Ok(config)
 }
 
@@ -260,9 +308,10 @@ fn pipeline_from_flags(args: &[String], with_enforce: bool) -> Result<Pipeline, 
 /// user didn't replay), and config repairs cannot be applied to a
 /// platform that already ran (so `--enforce` would be silently
 /// dropped).
-const TRACE_CONFLICTS: [&str; 8] = [
+const TRACE_CONFLICTS: [&str; 9] = [
     "--scenario",
     "--policy",
+    "--strategy",
     "--seed",
     "--rounds",
     "--workers",
@@ -343,6 +392,60 @@ fn run_live(args: &[String], pipeline: Pipeline) -> Result<(), FaircrowdError> {
         }
     );
     print!("{}", live.artifacts.render("live"));
+    Ok(())
+}
+
+/// `faircrowd converge`: iterate a strategic market to its fixed point
+/// ([`faircrowd::sim::converge`]), printing one residual line per
+/// iteration, then the same market-plus-report block as `run` — so the
+/// converged audit diffs cleanly against `replay` of the exported
+/// converged trace from the axiom table onward (the CI converge smoke
+/// does exactly that).
+fn converge_cmd(args: &[String]) -> Result<(), FaircrowdError> {
+    if args.iter().any(|a| a == "--trace") {
+        return Err(FaircrowdError::usage(
+            "--trace is only valid with `faircrowd audit`/`replay`: `converge` iterates a \
+             simulator, while a recorded trace is already a finished market",
+        ));
+    }
+    if args.iter().any(|a| a == "--live") {
+        return Err(FaircrowdError::usage(
+            "--live is only valid with `faircrowd run`; `converge` audits the fixed point, \
+             not the iterations on the way there",
+        ));
+    }
+    let defaults = faircrowd::sim::ConvergeOptions::default();
+    let opts = faircrowd::sim::ConvergeOptions {
+        tolerance: parse_flag(args, "--tolerance", defaults.tolerance)?,
+        max_iterations: positive_flag(args, "--max-iters", u64::from(defaults.max_iterations))?
+            .try_into()
+            .map_err(|_| FaircrowdError::usage("--max-iters is too large"))?,
+        gain: parse_flag(args, "--gain", defaults.gain)?,
+    };
+    let pipeline = pipeline_from_flags(args, false)?.converge_options(opts.clone());
+    let config = pipeline.scenario_config();
+    println!(
+        "converging: strategy={}, policy={}, seed={}, rounds={} \
+         (tolerance {}, cap {}, gain {})\n",
+        config.strategy.label(),
+        config.policy.label(),
+        config.seed,
+        config.rounds,
+        opts.tolerance,
+        opts.max_iterations,
+        opts.gain
+    );
+    let run = pipeline.run_converged()?;
+    for it in &run.history {
+        println!(
+            "iteration {:>2}: residual {:.6}  retention {:>5.1}%",
+            it.iteration,
+            it.residual,
+            it.summary.retention * 100.0
+        );
+    }
+    println!("\nfixed point after {} iteration(s)\n", run.iterations);
+    print!("{}", run.artifacts.render("converged"));
     Ok(())
 }
 
@@ -811,12 +914,13 @@ fn serve_cmd(args: &[String]) -> Result<(), FaircrowdError> {
 
 /// The only flags `sweep` reads; anything else is rejected rather than
 /// silently ignored (the grid's axes subsume `run`'s market flags).
-const SWEEP_FLAGS: [&str; 8] = [
+const SWEEP_FLAGS: [&str; 9] = [
     "--grid",
     "--jobs",
     "--format",
     "--seed",
     "--rounds",
+    "--strategy",
     "--shard",
     "--out",
     "--progress",
@@ -864,6 +968,14 @@ fn sweep(args: &[String]) -> Result<(), FaircrowdError> {
             grid.rounds = Some(vec![raw.parse().map_err(|_| {
                 FaircrowdError::usage(format!("invalid value `{raw}` for --rounds"))
             })?]);
+        }
+    }
+    if grid.strategies.is_none() {
+        if let Some(raw) = flag_value(args, "--strategy")? {
+            // Resolve now so a typo lists the registry before any
+            // thread spawns, same as the grid's own axis validation.
+            StrategyChoice::by_name(raw)?;
+            grid.strategies = Some(vec![raw.to_owned()]);
         }
     }
     let default_jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
@@ -947,9 +1059,10 @@ fn sweep(args: &[String]) -> Result<(), FaircrowdError> {
 fn progress_cell(outcome: &faircrowd::sweep::CaseOutcome) -> String {
     let case = &outcome.case;
     format!(
-        "scenario={} policy={} seed={} scale={} rounds={} enforce={}",
+        "scenario={} policy={} strategy={} seed={} scale={} rounds={} enforce={}",
         case.scenario,
         case.policy_label,
+        case.strategy_label,
         case.seed,
         case.scale,
         case.rounds,
@@ -1200,6 +1313,71 @@ mod tests {
             }
             other => panic!("wrong result: {other:?}"),
         }
+    }
+
+    #[test]
+    fn strategy_flag_resolves_conflicts_and_rejects_unknowns() {
+        // Override on a static-family base (including the flag-built
+        // default) is the point of the flag…
+        let config = scenario_from_flags(&argv(&["--strategy", "super_turker"])).unwrap();
+        assert_eq!(config.strategy, StrategyChoice::SuperTurker);
+        // …hyphen spellings canonicalise like policies/scenarios…
+        let config = scenario_from_flags(&argv(&[
+            "--scenario",
+            "baseline",
+            "--strategy",
+            "Super-Turker",
+        ]))
+        .unwrap();
+        assert_eq!(config.strategy, StrategyChoice::SuperTurker);
+        // …a strategic scenario's baked-in profile cannot be overridden…
+        let err = scenario_from_flags(&argv(&[
+            "--scenario",
+            "price_war",
+            "--strategy",
+            "super_turker",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, FaircrowdError::Usage { .. }), "{err:?}");
+        assert!(err.to_string().contains("price_war"), "{err}");
+        assert!(err.to_string().contains("price_undercut"), "{err}");
+        // …and unknown names list the registry instead of falling
+        // through to the default.
+        let err = scenario_from_flags(&argv(&["--strategy", "chaos_monkey"])).unwrap_err();
+        match err {
+            FaircrowdError::UnknownStrategy { available, .. } => {
+                assert_eq!(available.len(), strategy::NAMES.len());
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn converge_cmd_validates_flags_and_runs() {
+        let err = converge_cmd(&argv(&["--trace", "t.json"])).unwrap_err();
+        assert!(matches!(err, FaircrowdError::Usage { .. }), "{err:?}");
+        let err = converge_cmd(&argv(&["--live"])).unwrap_err();
+        assert!(err.to_string().contains("faircrowd run"), "{err}");
+        let err = converge_cmd(&argv(&["--tolerance", "-1", "--rounds", "6"])).unwrap_err();
+        assert!(err.to_string().contains("tolerance"), "{err}");
+        let err = converge_cmd(&argv(&["--max-iters", "0"])).unwrap_err();
+        assert!(
+            err.to_string().contains("expected a positive integer"),
+            "{err}"
+        );
+        // A strategic scenario settles end to end through the verb.
+        converge_cmd(&argv(&["--scenario", "super_turkers", "--rounds", "8"])).unwrap();
+    }
+
+    #[test]
+    fn sweep_accepts_a_strategy_default_flag() {
+        // The flag acts as an axis default, like --seed/--rounds; a
+        // typo errors before any cell runs.
+        let err = sweep(&argv(&["--strategy", "chaos_monkey"])).unwrap_err();
+        assert!(
+            matches!(err, FaircrowdError::UnknownStrategy { .. }),
+            "{err:?}"
+        );
     }
 
     #[test]

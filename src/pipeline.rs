@@ -37,6 +37,8 @@ use crate::core::{metrics, AuditConfig, AuditEngine, AxiomId, FairnessReport, Tr
 use crate::model::trace::GroundTruth;
 use crate::model::{FaircrowdError, Trace};
 use crate::pay::WageStats;
+use crate::sim::converge::{ConvergeOptions, IterationSummary};
+use crate::sim::strategy::{StrategyChoice, StrategyState};
 use crate::sim::{CancellationPolicy, PolicyChoice, ScenarioConfig, Simulation, TraceSummary};
 
 /// A fairness repair the pipeline applies before its second run. Each
@@ -149,6 +151,24 @@ pub struct EnforcedRun {
     pub artifacts: RunArtifacts,
 }
 
+/// What [`Pipeline::run_converged`] returns: the audit of the
+/// fixed-point market, plus the convergence record that produced it.
+#[derive(Debug, Clone)]
+pub struct ConvergedRun {
+    /// The validated scenario that was iterated.
+    pub config: ScenarioConfig,
+    /// Iterations to the fixed point (1 for the `static` strategy).
+    pub iterations: u32,
+    /// Per-iteration residuals and market summaries, in order; the last
+    /// entry describes the converged trace.
+    pub history: Vec<IterationSummary>,
+    /// The strategy state at the fixed point — re-simulating the config
+    /// under this state reproduces [`ConvergedRun::artifacts`]' trace.
+    pub state: StrategyState,
+    /// Trace, summary, audit and wages of the **converged** market.
+    pub artifacts: RunArtifacts,
+}
+
 /// What [`Pipeline::run`] returns.
 #[derive(Debug, Clone)]
 pub struct PipelineResult {
@@ -247,6 +267,7 @@ pub struct Pipeline {
     audit: AuditConfig,
     axioms: Option<Vec<AxiomId>>,
     enforcements: Vec<Enforcement>,
+    converge: ConvergeOptions,
 }
 
 impl Pipeline {
@@ -296,6 +317,27 @@ impl Pipeline {
         Ok(self)
     }
 
+    /// Set the agent strategy profile.
+    pub fn strategy(mut self, choice: StrategyChoice) -> Self {
+        self.scenario.strategy = choice;
+        self
+    }
+
+    /// Set the agent strategy by registry name (`"static"`,
+    /// `"super_turker"`, …); see [`crate::sim::strategy`]. Unknown names
+    /// report [`FaircrowdError::UnknownStrategy`] listing the registry.
+    pub fn strategy_name(mut self, name: &str) -> Result<Self, FaircrowdError> {
+        self.scenario.strategy = StrategyChoice::by_name(name)?;
+        Ok(self)
+    }
+
+    /// Replace the convergence options (tolerance, iteration cap, gain)
+    /// strategic scenarios iterate under.
+    pub fn converge_options(mut self, opts: ConvergeOptions) -> Self {
+        self.converge = opts;
+        self
+    }
+
     /// Set the simulation seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.scenario.seed = seed;
@@ -327,9 +369,19 @@ impl Pipeline {
         self
     }
 
-    /// Simulate one scenario into a validated trace.
-    fn simulate_config(config: &ScenarioConfig) -> Result<Trace, FaircrowdError> {
-        let trace = crate::sim::run(config.clone());
+    /// Simulate one scenario into a validated trace — strategy-aware:
+    /// a static config is a single simulator pass, a strategic one is
+    /// iterated to its fixed point ([`crate::sim::converge`]) and the
+    /// **converged** trace is returned. Every simulation the pipeline
+    /// performs (run, export, sweep cache, enforcement re-runs) funnels
+    /// through here, so "the trace of a scenario" means the same thing
+    /// on every path.
+    fn simulate_config(&self, config: &ScenarioConfig) -> Result<Trace, FaircrowdError> {
+        let trace = if config.strategy == StrategyChoice::Static {
+            crate::sim::run(config.clone())
+        } else {
+            crate::sim::converge::run(config.clone(), &self.converge)?.trace
+        };
         trace.ensure_valid()?;
         Ok(trace)
     }
@@ -342,7 +394,7 @@ impl Pipeline {
     /// would have audited.
     pub fn simulate(&self) -> Result<Trace, FaircrowdError> {
         self.scenario.validate()?;
-        Self::simulate_config(&self.scenario)
+        self.simulate_config(&self.scenario)
     }
 
     /// Audit through a pre-built index (the staged axiom subset, or all
@@ -368,8 +420,42 @@ impl Pipeline {
     /// [`TraceSummary::of`], which is a single event pass of its own.
     pub fn run(self) -> Result<PipelineResult, FaircrowdError> {
         self.scenario.validate()?;
-        let baseline_trace = Self::simulate_config(&self.scenario)?;
+        let baseline_trace = self.simulate_config(&self.scenario)?;
         self.finish(baseline_trace)
+    }
+
+    /// Execute the pipeline's convergence path explicitly: iterate the
+    /// staged scenario to its strategy fixed point and audit the
+    /// converged market, returning the per-iteration history alongside
+    /// the artifacts. Works for any strategy — a `static` scenario
+    /// converges in exactly one iteration to the trace [`Pipeline::run`]
+    /// audits.
+    ///
+    /// Enforcements cannot be staged here: a config repair changes the
+    /// market the strategies converged against, so "repair then
+    /// converge" and "converge then repair" are different claims — stage
+    /// the repair on a plain [`Pipeline::run`] of the strategic scenario
+    /// instead, which converges both the baseline and the repaired
+    /// config.
+    pub fn run_converged(self) -> Result<ConvergedRun, FaircrowdError> {
+        if !self.enforcements.is_empty() {
+            return Err(FaircrowdError::usage(
+                "`converge` reports the fixed point of one market; staged enforcement \
+                 repairs re-simulate a different one — use `run` (which converges \
+                 strategic scenarios on both sides of the enforcement comparison)",
+            ));
+        }
+        self.scenario.validate()?;
+        let converged = crate::sim::converge::run(self.scenario.clone(), &self.converge)?;
+        converged.trace.ensure_valid()?;
+        let artifacts = self.audit_artifacts(converged.trace);
+        Ok(ConvergedRun {
+            config: self.scenario,
+            iterations: converged.iterations,
+            history: converged.history,
+            state: converged.state,
+            artifacts,
+        })
     }
 
     /// Execute the pipeline against a **pre-simulated** baseline trace,
@@ -431,7 +517,7 @@ impl Pipeline {
             enforcement.apply(&mut repaired);
         }
         repaired.validate()?;
-        let trace = Self::simulate_config(&repaired)?;
+        let trace = self.simulate_config(&repaired)?;
         Ok(self.audit_artifacts(trace))
     }
 
@@ -454,6 +540,12 @@ impl Pipeline {
             return Err(FaircrowdError::usage(
                 "live auditing watches one run as it happens; enforcement repairs \
                  re-simulate a different market — use `run` without --live to compare them",
+            ));
+        }
+        if self.scenario.strategy != StrategyChoice::Static {
+            return Err(FaircrowdError::usage(
+                "live auditing single-passes one market, but a strategic scenario is \
+                 only meaningful at its fixed point — use `converge` to iterate it",
             ));
         }
         self.scenario.validate()?;
@@ -560,7 +652,7 @@ impl Pipeline {
                 enforcement.apply(&mut repaired);
             }
             repaired.validate()?;
-            let trace = Self::simulate_config(&repaired)?;
+            let trace = self.simulate_config(&repaired)?;
             let ix = baseline_ix.rebuilt_for(&trace);
             let report = self.audit_indexed(&ix);
             let wages = metrics::wage_stats(&ix);
@@ -723,6 +815,69 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, FaircrowdError::Usage { .. }), "{err}");
         assert!(err.to_string().contains("--live"), "{err}");
+    }
+
+    #[test]
+    fn run_converged_on_static_matches_run_in_one_iteration() {
+        let pipeline = Pipeline::new().seed(5).rounds(10);
+        let converged = pipeline.clone().run_converged().unwrap();
+        assert_eq!(converged.iterations, 1);
+        let run = pipeline.run().unwrap();
+        assert_eq!(converged.artifacts.trace, run.baseline.trace);
+        assert_eq!(converged.artifacts.report, run.baseline.report);
+        assert_eq!(converged.artifacts.wages, run.baseline.wages);
+    }
+
+    #[test]
+    fn strategic_scenarios_converge_on_every_pipeline_path() {
+        // run(), simulate() and run_converged() must all agree on what
+        // "the trace of a strategic scenario" is: the converged one.
+        let pipeline = Pipeline::new()
+            .scenario_name("super_turkers")
+            .unwrap()
+            .configure(|c| c.rounds = 12);
+        let converged = pipeline.clone().run_converged().unwrap();
+        assert!(converged.iterations >= 2, "strategic market must iterate");
+        assert_eq!(converged.history.len() as u32, converged.iterations);
+        assert_eq!(pipeline.simulate().unwrap(), converged.artifacts.trace);
+        let run = pipeline.clone().run().unwrap();
+        assert_eq!(run.baseline.trace, converged.artifacts.trace);
+        assert_eq!(run.baseline.report, converged.artifacts.report);
+    }
+
+    #[test]
+    fn run_converged_rejects_staged_enforcements() {
+        let err = Pipeline::new()
+            .rounds(8)
+            .enforce(Enforcement::GraceFinish)
+            .run_converged()
+            .unwrap_err();
+        assert!(matches!(err, FaircrowdError::Usage { .. }), "{err}");
+        assert!(err.to_string().contains("converge"), "{err}");
+    }
+
+    #[test]
+    fn run_live_rejects_strategic_scenarios() {
+        let err = Pipeline::new()
+            .scenario_name("price_war")
+            .unwrap()
+            .configure(|c| c.rounds = 8)
+            .run_live(|_| {})
+            .unwrap_err();
+        assert!(matches!(err, FaircrowdError::Usage { .. }), "{err}");
+        assert!(err.to_string().contains("converge"), "{err}");
+    }
+
+    #[test]
+    fn unknown_strategy_names_error_cleanly() {
+        let err = Pipeline::new().strategy_name("greedy").unwrap_err();
+        match &err {
+            FaircrowdError::UnknownStrategy { name, available } => {
+                assert_eq!(name, "greedy");
+                assert!(available.contains(&"super_turker".to_owned()));
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
     }
 
     #[test]

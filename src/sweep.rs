@@ -5,8 +5,9 @@
 //! retention for transparency — is taken across assignment policies,
 //! seeds and marketplace scales before any conclusion is drawn. This
 //! module executes that matrix. A [`SweepGrid`] names the axes
-//! (scenarios × policies × seeds × scales × rounds × enforcement
-//! stacks), [`SweepGrid::expand`] takes their Cartesian product into
+//! (scenarios × policies × strategies × seeds × scales × rounds ×
+//! enforcement stacks), [`SweepGrid::expand`] takes their Cartesian
+//! product into
 //! concrete [`SweepCase`]s, and [`run_grid`] drives every case through
 //! the [`Pipeline`] on a `std::thread::scope` worker
 //! pool, folding the resulting reports into per-cell aggregates
@@ -28,7 +29,8 @@
 //!
 //! With PR 3's `TraceIndex` making audits cheap, **simulation is the
 //! dominant cost of a sweep cell** — so the engine caches simulated
-//! baseline traces by `(scenario, policy, seed, scale, rounds)`. Cases
+//! baseline traces by `(scenario, policy, strategy, seed, scale,
+//! rounds)`. Cases
 //! that differ only on the `enforce` axis are the same platform run
 //! audited under different repairs: instead of each re-running the
 //! simulator, they draw on one keyed [`OnceLock`]-guarded slot,
@@ -49,11 +51,14 @@
 //! ```
 //!
 //! `policy=*` means every registry policy, `scenario=*` every catalog
-//! scenario; `seed` accepts half-open `a..b` and inclusive `a..=b`
-//! ranges (reversed bounds are rejected as typos); `enforce` stacks
-//! repairs with `+` (`none` for the empty stack). Omitted axes default
-//! to a single point: the `baseline` scenario, its own policy and round
-//! count, seed 42, scale 1, no enforcement.
+//! scenario, `strategy=*` every agent-strategy profile (strategic
+//! cells are iterated to their fixed point before auditing; see
+//! `faircrowd_sim::converge`); `seed` accepts half-open `a..b` and
+//! inclusive `a..=b` ranges (reversed bounds are rejected as typos);
+//! `enforce` stacks repairs with `+` (`none` for the empty stack).
+//! Omitted axes default to a single point: the `baseline` scenario,
+//! its own policy, strategy and round count, seed 42, scale 1, no
+//! enforcement.
 //!
 //! ```
 //! use faircrowd::sweep::{self, SweepGrid};
@@ -74,7 +79,7 @@ use crate::core::{AuditConfig, FairnessReport};
 use crate::model::{FaircrowdError, Trace};
 use crate::pay::WageStats;
 use crate::pipeline::{Enforcement, Pipeline};
-use crate::sim::{catalog, PolicyChoice, TraceSummary};
+use crate::sim::{catalog, strategy, PolicyChoice, StrategyChoice, TraceSummary};
 use faircrowd_assign::registry;
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -103,6 +108,10 @@ pub struct SweepGrid {
     /// Enforcement stacks; the empty stack audits without repair
     /// (default: `[[]]`).
     pub enforcements: Option<Vec<Vec<Enforcement>>>,
+    /// Strategy-registry names overriding each scenario's own strategy
+    /// (default: keep the scenario's strategy). Strategic cells are
+    /// iterated to their fixed point by the pipeline before auditing.
+    pub strategies: Option<Vec<String>>,
 }
 
 impl SweepGrid {
@@ -133,10 +142,14 @@ impl SweepGrid {
                 "scale" => replace_axis(&mut grid.scales, parse_scales(values)?),
                 "rounds" => replace_axis(&mut grid.rounds, parse_list(values, key)?),
                 "enforce" => replace_axis(&mut grid.enforcements, parse_enforce_axis(values)?),
+                "strategy" => replace_axis(
+                    &mut grid.strategies,
+                    parse_star_list(values, &strategy::NAMES),
+                ),
                 _ => {
                     return Err(FaircrowdError::usage(format!(
                         "unknown grid axis `{key}`; valid axes: \
-                         scenario | policy | seed | scale | rounds | enforce"
+                         scenario | policy | seed | scale | rounds | enforce | strategy"
                     )))
                 }
             };
@@ -177,20 +190,37 @@ impl SweepGrid {
                     .collect::<Result<_, FaircrowdError>>()?,
             };
             let rounds_axis = self.rounds.clone().unwrap_or_else(|| vec![base.rounds]);
+            // (strategy override, display label) pairs for this scenario.
+            let strategies: Vec<(Option<String>, String)> = match &self.strategies {
+                None => vec![(None, base.strategy.label().to_owned())],
+                Some(names) => names
+                    .iter()
+                    .map(|n| {
+                        Ok((
+                            Some(n.clone()),
+                            StrategyChoice::by_name(n)?.label().to_owned(),
+                        ))
+                    })
+                    .collect::<Result<_, FaircrowdError>>()?,
+            };
             for (policy, policy_label) in &policies {
-                for &scale in &scales {
-                    for &rounds in &rounds_axis {
-                        for stack in &stacks {
-                            for &seed in &seeds {
-                                cases.push(SweepCase {
-                                    scenario: scenario.clone(),
-                                    policy: policy.clone(),
-                                    policy_label: policy_label.clone(),
-                                    seed,
-                                    scale,
-                                    rounds,
-                                    enforcements: stack.clone(),
-                                });
+                for (strategy, strategy_label) in &strategies {
+                    for &scale in &scales {
+                        for &rounds in &rounds_axis {
+                            for stack in &stacks {
+                                for &seed in &seeds {
+                                    cases.push(SweepCase {
+                                        scenario: scenario.clone(),
+                                        policy: policy.clone(),
+                                        policy_label: policy_label.clone(),
+                                        strategy: strategy.clone(),
+                                        strategy_label: strategy_label.clone(),
+                                        seed,
+                                        scale,
+                                        rounds,
+                                        enforcements: stack.clone(),
+                                    });
+                                }
                             }
                         }
                     }
@@ -336,6 +366,11 @@ pub struct SweepCase {
     pub policy: Option<String>,
     /// Display label of the effective policy.
     pub policy_label: String,
+    /// Strategy override (strategy-registry name), `None` to keep the
+    /// scenario's.
+    pub strategy: Option<String>,
+    /// Display label of the effective strategy.
+    pub strategy_label: String,
     /// Simulation seed.
     pub seed: u64,
     /// Marketplace scale factor.
@@ -365,6 +400,9 @@ impl SweepCase {
         });
         if let Some(name) = &self.policy {
             pipeline = pipeline.policy_name(name)?;
+        }
+        if let Some(name) = &self.strategy {
+            pipeline = pipeline.strategy_name(name)?;
         }
         for enforcement in &self.enforcements {
             pipeline = pipeline.enforce(enforcement.clone());
@@ -415,10 +453,11 @@ impl SweepCase {
     /// enforcement repairs re-simulate a *different* config in the
     /// second pipeline pass, but the baseline run they are compared
     /// against is shared across the whole stack axis.
-    fn sim_key(&self) -> (String, Option<String>, u64, u64, u32) {
+    fn sim_key(&self) -> (String, Option<String>, Option<String>, u64, u64, u32) {
         (
             self.scenario.clone(),
             self.policy.clone(),
+            self.strategy.clone(),
             self.seed,
             self.scale.to_bits(),
             self.rounds,
@@ -448,6 +487,8 @@ pub struct GroupSummary {
     pub scenario: String,
     /// Effective policy label.
     pub policy: String,
+    /// Effective strategy label.
+    pub strategy: String,
     /// Scale factor.
     pub scale: f64,
     /// Market rounds.
@@ -618,6 +659,7 @@ fn fold_groups(outcomes: &[CaseOutcome], seeds_per_group: usize) -> Vec<GroupSum
             GroupSummary {
                 scenario: first.scenario.clone(),
                 policy: first.policy_label.clone(),
+                strategy: first.strategy_label.clone(),
                 scale: first.scale,
                 rounds: first.rounds,
                 enforce: stack_label(&first.enforcements),
@@ -637,6 +679,7 @@ impl SweepResult {
         let mut table = TextTable::new([
             "scenario",
             "policy",
+            "strategy",
             "scale",
             "rounds",
             "enforce",
@@ -665,6 +708,7 @@ impl SweepResult {
             table.row([
                 g.scenario.clone(),
                 g.policy.clone(),
+                g.strategy.clone(),
                 format!("{}", g.scale),
                 g.rounds.to_string(),
                 g.enforce.clone(),
@@ -698,11 +742,12 @@ impl SweepResult {
             out.push_str("\n    {");
             let _ = write!(
                 out,
-                "\"scenario\": {}, \"policy\": {}, \"scale\": {}, \"rounds\": {}, \
-                 \"enforce\": {}, \"seeds\": [{}], \"runs\": {}, \"all_hold_runs\": {}, \
-                 \"total_violations\": {},",
+                "\"scenario\": {}, \"policy\": {}, \"strategy\": {}, \"scale\": {}, \
+                 \"rounds\": {}, \"enforce\": {}, \"seeds\": [{}], \"runs\": {}, \
+                 \"all_hold_runs\": {}, \"total_violations\": {},",
                 json_str(&g.scenario),
                 json_str(&g.policy),
+                json_str(&g.strategy),
                 json_f64(g.scale),
                 g.rounds,
                 json_str(&g.enforce),
@@ -771,11 +816,13 @@ impl SweepResult {
             };
             let _ = write!(
                 out,
-                "\n    {{\"scenario\": {}, \"policy\": {}, \"seed\": {}, \"scale\": {}, \
-                 \"rounds\": {}, \"enforce\": {}, \"fairness\": {}, \"transparency\": {}, \
-                 \"overall\": {}, \"violations\": {}, \"retention\": {}, \"wages\": {}}}",
+                "\n    {{\"scenario\": {}, \"policy\": {}, \"strategy\": {}, \"seed\": {}, \
+                 \"scale\": {}, \"rounds\": {}, \"enforce\": {}, \"fairness\": {}, \
+                 \"transparency\": {}, \"overall\": {}, \"violations\": {}, \
+                 \"retention\": {}, \"wages\": {}}}",
                 json_str(&c.case.scenario),
                 json_str(&c.case.policy_label),
+                json_str(&c.case.strategy_label),
                 c.case.seed,
                 json_f64(c.case.scale),
                 c.case.rounds,
@@ -796,7 +843,7 @@ impl SweepResult {
     /// cell). Deterministic for the same grid regardless of `jobs`.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "scenario,policy,scale,rounds,enforce,runs,\
+            "scenario,policy,strategy,scale,rounds,enforce,runs,\
              fairness_mean,fairness_min,fairness_max,\
              transparency_mean,transparency_min,transparency_max,\
              overall_mean,overall_min,overall_max,\
@@ -810,9 +857,10 @@ impl SweepResult {
         for g in &self.groups {
             let _ = write!(
                 out,
-                "{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{}",
                 csv_field(&g.scenario),
                 csv_field(&g.policy),
+                csv_field(&g.strategy),
                 json_f64(g.scale),
                 g.rounds,
                 csv_field(&g.enforce),
@@ -950,7 +998,7 @@ mod tests {
 
     #[test]
     fn star_expands_to_full_registries() {
-        let grid = SweepGrid::parse("policy=*;scenario=*").unwrap();
+        let grid = SweepGrid::parse("policy=*;scenario=*;strategy=*").unwrap();
         assert_eq!(
             grid.policies.as_deref().unwrap().len(),
             registry::NAMES.len()
@@ -958,6 +1006,10 @@ mod tests {
         assert_eq!(
             grid.scenarios.as_deref().unwrap().len(),
             catalog::NAMES.len()
+        );
+        assert_eq!(
+            grid.strategies.as_deref().unwrap().len(),
+            strategy::NAMES.len()
         );
     }
 
@@ -1032,6 +1084,55 @@ mod tests {
             grid.expand(),
             Err(FaircrowdError::UnknownPolicy { .. })
         ));
+        let grid = SweepGrid::parse("strategy=chaos_monkey").unwrap();
+        assert!(matches!(
+            grid.expand(),
+            Err(FaircrowdError::UnknownStrategy { .. })
+        ));
+    }
+
+    #[test]
+    fn strategy_axis_expands_and_defaults_to_the_scenario() {
+        // No strategy axis: legacy scenarios keep `static`, strategic
+        // scenarios keep their own profile.
+        let cases = SweepGrid::parse("scenario=baseline,super_turkers;rounds=6")
+            .unwrap()
+            .expand()
+            .unwrap();
+        assert_eq!(cases.len(), 2);
+        assert!(cases[0].strategy.is_none());
+        assert_eq!(cases[0].strategy_label, "static");
+        assert_eq!(cases[1].strategy_label, "super_turker");
+        // Explicit axis: every value overrides, nested outside scale.
+        let cases = SweepGrid::parse("strategy=static,price_undercut;scale=1,2")
+            .unwrap()
+            .expand()
+            .unwrap();
+        assert_eq!(cases.len(), 4);
+        assert_eq!(cases[0].strategy.as_deref(), Some("static"));
+        assert_eq!(cases[2].strategy.as_deref(), Some("price_undercut"));
+        assert_eq!(cases[2].strategy_label, "price_undercut");
+    }
+
+    #[test]
+    fn strategy_axis_runs_converged_cells() {
+        // A strategic override on a legacy scenario converges inside the
+        // sweep and differs from the static cell, while the static cell
+        // matches a plain (axis-free) sweep bit-for-bit.
+        let grid =
+            SweepGrid::parse("scenario=baseline;rounds=8;strategy=static,super_turker").unwrap();
+        let result = run_grid(&grid, 2).unwrap();
+        assert_eq!(result.groups.len(), 2);
+        assert_eq!(result.groups[0].strategy, "static");
+        assert_eq!(result.groups[1].strategy, "super_turker");
+        let plain = run_grid(&SweepGrid::parse("scenario=baseline;rounds=8").unwrap(), 1).unwrap();
+        assert_eq!(
+            result.cases[0].report.overall_score(),
+            plain.cases[0].report.overall_score(),
+            "static override is the plain run"
+        );
+        assert!(result.to_json().contains("\"strategy\": \"super_turker\""));
+        assert!(result.to_csv().starts_with("scenario,policy,strategy,"));
     }
 
     #[test]
@@ -1106,6 +1207,8 @@ mod tests {
             scenario: "baseline".into(),
             policy: None,
             policy_label: "self-selection".into(),
+            strategy: None,
+            strategy_label: "static".into(),
             seed,
             scale: 1.0,
             rounds: 8,

@@ -63,8 +63,10 @@ use std::sync::Mutex;
 
 /// Schema name of a sweep part file.
 pub const SCHEMA: &str = "faircrowd-sweep-part";
-/// Current (and only) schema version.
-pub const VERSION: u64 = 1;
+/// Current schema version. v2 added the `strategy`/`strategy_label`
+/// case fields alongside the strategy sweep axis; v1 parts predate
+/// them and are rejected rather than guessed at.
+pub const VERSION: u64 = 2;
 
 /// Which shard of how many — the CLI's `--shard i/N`, 1-based.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -597,6 +599,17 @@ fn case_to_json(case: &SweepCase) -> Json {
             },
         ),
         ("policy_label".to_owned(), Json::str(&*case.policy_label)),
+        (
+            "strategy".to_owned(),
+            match &case.strategy {
+                Some(s) => Json::str(&**s),
+                None => Json::Null,
+            },
+        ),
+        (
+            "strategy_label".to_owned(),
+            Json::str(&*case.strategy_label),
+        ),
         ("seed".to_owned(), Json::uint(case.seed)),
         ("scale".to_owned(), Json::float(case.scale)),
         ("rounds".to_owned(), Json::uint(u64::from(case.rounds))),
@@ -630,6 +643,14 @@ fn case_from_json(json: &Json, ctx: impl std::fmt::Display) -> Result<SweepCase,
             ))
         })?),
     };
+    let strategy = match field("strategy")? {
+        Json::Null => None,
+        other => Some(other.as_str().map(str::to_owned).ok_or_else(|| {
+            FaircrowdError::persist(format!(
+                "{ctx}: case field `strategy` should be a string or null"
+            ))
+        })?),
+    };
     let enforcements = field("enforce")?
         .as_arr()
         .ok_or_else(|| {
@@ -647,6 +668,8 @@ fn case_from_json(json: &Json, ctx: impl std::fmt::Display) -> Result<SweepCase,
         scenario: str_of("scenario")?,
         policy,
         policy_label: str_of("policy_label")?,
+        strategy,
+        strategy_label: str_of("strategy_label")?,
         seed: field("seed")?.as_u64().ok_or_else(|| {
             FaircrowdError::persist(format!("{ctx}: case field `seed` should be an integer"))
         })?,
