@@ -179,18 +179,21 @@ mod tests {
                     skills: skills.clone(),
                     quality: 0.95,
                     capacity: 4,
+                    group: None,
                 },
                 WorkerView {
                     id: WorkerId::new(1),
                     skills: skills.clone(),
                     quality: 0.6,
                     capacity: 4,
+                    group: None,
                 },
                 WorkerView {
                     id: WorkerId::new(2),
                     skills,
                     quality: 0.6,
                     capacity: 4,
+                    group: None,
                 },
             ],
         }

@@ -101,6 +101,7 @@ mod tests {
                     skills: SkillVector::with_len(0),
                     quality: 0.8,
                     capacity,
+                    group: None,
                 })
                 .collect(),
         }

@@ -21,18 +21,23 @@
 //! * [`online_matching`] — Ho–Vaughan-style online assignment (cited as \[8\]);
 //! * [`worker_centric`] — optimal matching on worker preference;
 //! * [`kos`] — Karger–Oh–Shah (l,r)-regular allocation (cited as \[11\]);
+//! * [`budget_diverse`] — budget- and diversity-constrained selection
+//!   over declared worker groups (Goel–Faltings);
+//! * [`fair_delivery`] — fair-allocation utility balancing (Basık et al.);
 //! * [`fair`] — enforcement wrappers (exposure parity, exposure floor)
 //!   that repair a base policy's Axiom-1 violations;
 //! * [`hungarian`] — exact max-weight bipartite matching substrate.
 //!
 //! The [`registry`] maps string names (`"round_robin"`, `"kos"`, …) to
-//! policy instances so CLIs, benches and sweeps select any of the eight
+//! policy instances so CLIs, benches and sweeps select any of the ten
 //! policies by name.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget_diverse;
 pub mod fair;
+pub mod fair_delivery;
 pub mod hungarian;
 pub mod kos;
 pub mod mcmf;
@@ -44,7 +49,9 @@ pub mod round_robin;
 pub mod self_selection;
 pub mod worker_centric;
 
+pub use budget_diverse::{select_budget_diverse, BudgetDiverse, Candidate};
 pub use fair::{ExposureFloor, ExposureParity};
+pub use fair_delivery::FairDelivery;
 pub use kos::KosAllocation;
 pub use online_matching::OnlineMatching;
 pub use policy::{

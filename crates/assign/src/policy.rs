@@ -44,6 +44,12 @@ pub struct WorkerView {
     pub quality: f64,
     /// Tasks this worker can still take this round.
     pub capacity: u32,
+    /// Demographic group along the platform's declared diversity axis
+    /// (e.g. the simulator's `region` attribute), `None` when unknown.
+    /// Diversity-constrained policies quota over this; plain policies
+    /// ignore it.
+    #[serde(default)]
+    pub group: Option<String>,
 }
 
 impl WorkerView {
@@ -270,24 +276,28 @@ pub mod fixtures {
                     skills: sv(&[1, 1]),
                     quality: 0.95,
                     capacity: 2,
+                    group: Some("north".into()),
                 },
                 WorkerView {
                     id: WorkerId::new(1),
                     skills: sv(&[1, 0]),
                     quality: 0.8,
                     capacity: 1,
+                    group: Some("south".into()),
                 },
                 WorkerView {
                     id: WorkerId::new(2),
                     skills: sv(&[0, 1]),
                     quality: 0.6,
                     capacity: 1,
+                    group: Some("north".into()),
                 },
                 WorkerView {
                     id: WorkerId::new(3),
                     skills: sv(&[0, 0]),
                     quality: 0.4,
                     capacity: 1,
+                    group: Some("south".into()),
                 },
             ],
         }

@@ -18,14 +18,15 @@
 use crate::fair::{ExposureFloor, ExposureParity};
 use crate::policy::AssignmentPolicy;
 use crate::{
-    KosAllocation, OnlineMatching, RequesterCentric, RoundRobin, SelfSelection, WorkerCentric,
+    BudgetDiverse, FairDelivery, KosAllocation, OnlineMatching, RequesterCentric, RoundRobin,
+    SelfSelection, WorkerCentric,
 };
 use faircrowd_model::error::FaircrowdError;
 
-/// Canonical names of the eight registered policies, in presentation
+/// Canonical names of the ten registered policies, in presentation
 /// order. Wrapper entries (`parity`, `floor`) enforce over a
 /// requester-centric base with the documented default parameters.
-pub const NAMES: [&str; 8] = [
+pub const NAMES: [&str; 10] = [
     "self_selection",
     "round_robin",
     "requester_centric",
@@ -34,6 +35,8 @@ pub const NAMES: [&str; 8] = [
     "kos",
     "parity",
     "floor",
+    "budget_diverse",
+    "fair_delivery",
 ];
 
 /// Default `(l, r)` for the `kos` registry entry: 3 workers per task,
@@ -43,12 +46,11 @@ pub const DEFAULT_KOS: (u32, u32) = (3, 5);
 /// Default minimum exposure for the `floor` registry entry.
 pub const DEFAULT_FLOOR: usize = 8;
 
-/// Lowercase and map `-` to `_` so CLI spellings resolve. Public so
-/// other name-keyed tables (e.g. the simulator's `PolicyChoice`) accept
+/// The shared canonicalisation rule every registry resolves through
+/// (lowercase, `-` → `_`) — re-exported so other name-keyed tables
+/// (e.g. the simulator's `PolicyChoice`, the scenario catalog) accept
 /// exactly the same spellings.
-pub fn canonical(name: &str) -> String {
-    name.trim().to_ascii_lowercase().replace('-', "_")
-}
+pub use faircrowd_model::names::canonical;
 
 /// Instantiate a policy by (canonicalised) name.
 ///
@@ -70,6 +72,8 @@ pub fn by_name(name: &str) -> Result<Box<dyn AssignmentPolicy>, FaircrowdError> 
             base: RequesterCentric,
             min_exposure: DEFAULT_FLOOR,
         }),
+        "budget_diverse" => Box::new(BudgetDiverse::default()),
+        "fair_delivery" => Box::new(FairDelivery::default()),
         _ => {
             return Err(FaircrowdError::UnknownPolicy {
                 name: name.to_owned(),
@@ -108,6 +112,19 @@ mod tests {
             by_name(" Self_Selection ").unwrap().name(),
             "self-selection"
         );
+    }
+
+    #[test]
+    fn new_policy_names_round_trip_every_spelling() {
+        for (name, report) in [
+            ("budget_diverse", "budget-diverse"),
+            ("budget-diverse", "budget-diverse"),
+            (" Budget_Diverse ", "budget-diverse"),
+            ("fair_delivery", "fair-delivery"),
+            ("FAIR-DELIVERY", "fair-delivery"),
+        ] {
+            assert_eq!(by_name(name).unwrap().name(), report, "spelling {name:?}");
+        }
     }
 
     #[test]

@@ -4,9 +4,11 @@
 //! *add* exposure.
 
 use faircrowd_assign::{
-    AssignInput, AssignmentPolicy, ExposureFloor, ExposureParity, KosAllocation, OnlineMatching,
-    RequesterCentric, RoundRobin, SelfSelection, TaskView, WorkerCentric, WorkerView,
+    select_budget_diverse, AssignInput, AssignmentPolicy, BudgetDiverse, Candidate, ExposureFloor,
+    ExposureParity, FairDelivery, KosAllocation, OnlineMatching, RequesterCentric, RoundRobin,
+    SelfSelection, TaskView, WorkerCentric, WorkerView,
 };
+use faircrowd_model::error::FaircrowdError;
 use faircrowd_model::ids::{RequesterId, TaskId, WorkerId};
 use faircrowd_model::money::Credits;
 use faircrowd_model::skills::SkillVector;
@@ -28,6 +30,7 @@ fn market_strategy() -> impl Strategy<Value = AssignInput> {
         prop::collection::vec(prop::bool::ANY, SKILLS),
         0.0f64..1.0, // quality
         1u32..4,     // capacity
+        0usize..3,   // group index
     );
     (
         prop::collection::vec(task, 0..12),
@@ -49,11 +52,12 @@ fn market_strategy() -> impl Strategy<Value = AssignInput> {
             workers: workers
                 .into_iter()
                 .enumerate()
-                .map(|(i, (skills, quality, capacity))| WorkerView {
+                .map(|(i, (skills, quality, capacity, group))| WorkerView {
                     id: WorkerId::new(i as u32),
                     skills: SkillVector::from_bools(skills),
                     quality,
                     capacity,
+                    group: Some(["east", "west", "none-of-the-above"][group].to_owned()),
                 })
                 .collect(),
         })
@@ -72,7 +76,41 @@ fn all_policies() -> Vec<Box<dyn AssignmentPolicy>> {
             base: OnlineMatching,
             min_exposure: 3,
         }),
+        Box::new(BudgetDiverse::default()),
+        Box::new(FairDelivery::default()),
     ]
+}
+
+fn candidates_strategy() -> impl Strategy<Value = Vec<Candidate>> {
+    prop::collection::vec(
+        (
+            0.0f64..1.0, // quality
+            1i64..50,    // cost cents
+            0usize..4,   // group index (3 = ungrouped)
+        ),
+        0..14,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (quality, cents, g))| Candidate {
+                index: i,
+                quality,
+                cost: Credits::from_cents(cents),
+                group: ["a", "b", "c"].get(g).map(|s| (*s).to_owned()),
+            })
+            .collect()
+    })
+}
+
+fn quota_strategy() -> impl Strategy<Value = std::collections::BTreeMap<String, usize>> {
+    // (vendored proptest has no btree_map combinator; collect a vec)
+    prop::collection::vec((0usize..3, 0usize..5), 0..3).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(g, quota)| (["a", "b", "c"][g].to_owned(), quota))
+            .collect()
+    })
 }
 
 proptest! {
@@ -155,6 +193,44 @@ proptest! {
                     .unwrap_or(false);
                 prop_assert_eq!(visible, w.qualifies(t));
             }
+        }
+    }
+
+    #[test]
+    fn budget_diverse_selection_never_exceeds_budget_and_meets_feasible_quotas(
+        candidates in candidates_strategy(),
+        quota in quota_strategy(),
+        slots in 0usize..10,
+        budget_cents in 0i64..200,
+    ) {
+        let budget = Credits::from_cents(budget_cents);
+        // Never a panic: either a selection honouring every constraint,
+        // or a named infeasibility error.
+        match select_budget_diverse(&candidates, slots, budget, &quota) {
+            Ok(picks) => {
+                prop_assert!(picks.len() <= slots);
+                let mut seen = std::collections::BTreeSet::new();
+                let mut spent = Credits::ZERO;
+                let mut per_group: std::collections::BTreeMap<&str, usize> = Default::default();
+                for &i in &picks {
+                    prop_assert!(seen.insert(i), "duplicate pick {i}");
+                    let c = &candidates[i];
+                    spent += c.cost;
+                    if let Some(g) = &c.group {
+                        *per_group.entry(g.as_str()).or_insert(0) += 1;
+                    }
+                }
+                prop_assert!(spent <= budget, "spent {spent:?} over budget {budget:?}");
+                for (g, min) in &quota {
+                    let got = per_group.get(g.as_str()).copied().unwrap_or(0);
+                    prop_assert!(got >= *min, "group {g} quota {min} unmet ({got})");
+                }
+            }
+            Err(FaircrowdError::InfeasibleAssignment { policy, problems }) => {
+                prop_assert_eq!(policy, "budget-diverse");
+                prop_assert!(!problems.is_empty());
+            }
+            Err(other) => prop_assert!(false, "unexpected error kind: {other}"),
         }
     }
 

@@ -38,6 +38,7 @@ fn market(n_workers: u32, n_tasks: u32, seed: u64) -> AssignInput {
                 skills: skills(&mut rng),
                 quality: rng.gen_range(0.3..1.0),
                 capacity: rng.gen_range(1..4),
+                group: Some(["north", "south", "east", "west"][i as usize % 4].to_owned()),
             })
             .collect(),
     }

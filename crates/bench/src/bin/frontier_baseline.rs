@@ -1,0 +1,167 @@
+//! Writes the policy-frontier perf baseline (`BENCH_frontier.json`).
+//!
+//! Runs the quality/fairness Pareto analysis
+//! ([`faircrowd::frontier`]) over the **whole 12-scenario catalog** at
+//! scales 1 and 4 — a policy × aggregator × enforcement contrast per
+//! scenario — and asserts the subsystem's claims in-binary before a
+//! number is printed:
+//!
+//! * **the frontier exists and is sound** — at each scale the Pareto
+//!   set is non-empty, no point dominates a frontier member, every
+//!   measured off-frontier point is dominated by someone, and
+//!   unmeasured points never sit on the frontier;
+//! * **coverage** — frontier rows span ≥ 2 distinct scenarios (the
+//!   catalog's trade-offs differ, so one scenario must not monopolise
+//!   the chart);
+//! * **determinism** — the analysis renders byte-identical tables and
+//!   JSON for `jobs = 1` and the host's core count.
+//!
+//! ```text
+//! cargo run --release --bin frontier_baseline > BENCH_frontier.json
+//! ```
+
+use faircrowd::frontier::{run_frontier, FrontierResult};
+use faircrowd::FaircrowdError;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The catalog-wide contrast grid at one scale: every scenario, three
+/// policies spanning the assignment spectrum (self-selection →
+/// requester-centric → inference-aware), the plain vs
+/// parity-constrained aggregator contrast, and the none vs parity
+/// enforcement contrast. Strategic scenarios converge before auditing.
+fn grid_spec(scale: u32) -> String {
+    format!(
+        "scenario=*;policy=self_selection,round_robin,kos;\
+         aggregator=majority,parity_constrained;enforce=none,parity;\
+         seed=0;scale={scale}"
+    )
+}
+
+/// Median wall-clock milliseconds of `runs` executions of `f`.
+fn median_ms<F: FnMut()>(runs: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Assert the frontier invariants the module promises, plus the bench's
+/// own coverage floor (≥ 2 scenarios on the frontier).
+fn assert_sound(result: &FrontierResult, what: &str) {
+    let frontier = result.frontier();
+    assert!(!frontier.is_empty(), "{what}: empty Pareto frontier");
+    for f in &frontier {
+        assert!(f.measured(), "{what}: unmeasured point on the frontier");
+        assert!(
+            !result.points.iter().any(|p| p.dominates(f)),
+            "{what}: frontier member {}/{}/{} is dominated",
+            f.scenario,
+            f.policy,
+            f.aggregator
+        );
+    }
+    for p in result
+        .points
+        .iter()
+        .filter(|p| p.measured() && !p.on_frontier)
+    {
+        assert!(
+            result.points.iter().any(|q| q.dominates(p)),
+            "{what}: off-frontier point {}/{}/{} is undominated",
+            p.scenario,
+            p.policy,
+            p.aggregator
+        );
+    }
+    let scenarios: BTreeSet<&str> = frontier.iter().map(|p| p.scenario.as_str()).collect();
+    assert!(
+        scenarios.len() >= 2,
+        "acceptance: frontier rows must span ≥ 2 scenarios (got {scenarios:?})"
+    );
+}
+
+fn main() -> Result<(), FaircrowdError> {
+    let jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut scale_rows = String::new();
+
+    for (si, scale) in [1u32, 4].into_iter().enumerate() {
+        let grid = faircrowd::frontier::frontier_grid(&grid_spec(scale))?;
+        let cells = grid.expand()?.len();
+        let result = run_frontier(&grid, jobs)?;
+        assert_sound(&result, &format!("scale {scale}"));
+
+        // Determinism: the serial analysis must render the same bytes.
+        let serial = run_frontier(&grid, 1)?;
+        assert_eq!(
+            serial.render_table(),
+            result.render_table(),
+            "scale {scale}: table differs between --jobs 1 and --jobs {jobs}"
+        );
+        assert_eq!(
+            serial.to_json(),
+            result.to_json(),
+            "scale {scale}: json differs between --jobs 1 and --jobs {jobs}"
+        );
+
+        let wall_ms = median_ms(3, || {
+            black_box(run_frontier(black_box(&grid), jobs).expect("frontier run"));
+        });
+
+        let mut frontier_rows = String::new();
+        for (fi, p) in result.frontier().into_iter().enumerate() {
+            if fi > 0 {
+                frontier_rows.push_str(",\n");
+            }
+            let _ = write!(
+                frontier_rows,
+                "        {{\"scenario\": \"{}\", \"policy\": \"{}\", \"aggregator\": \"{}\", \
+                 \"enforce\": \"{}\", \"quality\": {:.4}, \"wage_gini\": {:.4}, \
+                 \"violations\": {}}}",
+                p.scenario,
+                p.policy,
+                p.aggregator,
+                p.enforce,
+                p.quality.expect("frontier members are measured"),
+                p.wage_gini.expect("frontier members are measured"),
+                p.violations
+            );
+        }
+
+        if si > 0 {
+            scale_rows.push_str(",\n");
+        }
+        let _ = write!(
+            scale_rows,
+            "    {{\"scale\": {scale}, \"cells\": {cells}, \"points\": {}, \
+             \"frontier_size\": {}, \"wall_ms\": {wall_ms:.1}, \
+             \"deterministic_across_jobs\": true,\n      \"frontier\": [\n\
+             {frontier_rows}\n      ]}}",
+            result.points.len(),
+            result.frontier().len()
+        );
+    }
+
+    println!("{{");
+    println!("  \"bench\": \"policy_frontier\",");
+    println!("  \"unit\": \"ms (median)\",");
+    println!("  \"host_jobs\": {jobs},");
+    println!(
+        "  \"note\": \"12-scenario catalog x 3 policies x 2 aggregators x 2 enforcement \
+         stacks per scale; frontier rows are the Pareto-dominant cells (quality up, \
+         wage-gini down, violations down); soundness, >=2-scenario coverage and \
+         jobs-independence asserted in-binary before printing\","
+    );
+    println!("  \"scales\": [");
+    println!("{scale_rows}");
+    println!("  ]");
+    println!("}}");
+    Ok(())
+}

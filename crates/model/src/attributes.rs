@@ -119,6 +119,19 @@ impl DeclaredAttrs {
         self.attrs.iter().map(|(k, v)| (k.as_str(), v))
     }
 
+    /// The worker's group along one declared axis: the attribute's
+    /// value rendered as a stable grouping key, or `None` when the
+    /// attribute is absent. Text values key by their raw contents
+    /// (no quotes); other types key by their display form. Diversity-
+    /// constrained selection and demographic-parity aggregation both
+    /// partition workers by this key.
+    pub fn group_key(&self, attr: &str) -> Option<String> {
+        self.get(attr).map(|v| match v {
+            AttrValue::Text(s) => s.clone(),
+            other => other.to_string(),
+        })
+    }
+
     /// Mean per-key similarity over the union of keys (missing keys count
     /// as similarity 0). Returns 1.0 when both sets are empty.
     pub fn similarity(&self, other: &DeclaredAttrs) -> f64 {
@@ -284,6 +297,16 @@ mod tests {
         assert_eq!(a.get("k"), Some(&AttrValue::Bool(true)));
         let keys: Vec<&str> = a.iter().map(|(k, _)| k).collect();
         assert_eq!(keys, vec!["k"]);
+    }
+
+    #[test]
+    fn group_key_partitions_on_raw_text() {
+        let a = DeclaredAttrs::new()
+            .with("region", AttrValue::Text("south".into()))
+            .with("age", AttrValue::Int(30));
+        assert_eq!(a.group_key("region").as_deref(), Some("south"));
+        assert_eq!(a.group_key("age").as_deref(), Some("30"));
+        assert_eq!(a.group_key("country"), None);
     }
 
     #[test]

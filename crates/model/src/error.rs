@@ -40,6 +40,14 @@ pub enum FaircrowdError {
         /// The names the registry does know.
         available: Vec<String>,
     },
+    /// An aggregator name did not resolve in the label-aggregator
+    /// registry.
+    UnknownAggregator {
+        /// The name that failed to resolve.
+        name: String,
+        /// The names the registry does know.
+        available: Vec<String>,
+    },
     /// The strategy-convergence loop failed to reach a fixed point
     /// (iteration cap exceeded, or the controller state went non-finite).
     Diverged {
@@ -166,6 +174,13 @@ impl fmt::Display for FaircrowdError {
                 write!(
                     f,
                     "unknown strategy `{name}`; available: {}",
+                    available.join(", ")
+                )
+            }
+            FaircrowdError::UnknownAggregator { name, available } => {
+                write!(
+                    f,
+                    "unknown aggregator `{name}`; available: {}",
                     available.join(", ")
                 )
             }

@@ -32,6 +32,7 @@ pub mod event;
 pub mod ids;
 pub mod json;
 pub mod money;
+pub mod names;
 pub mod ranking;
 pub mod requester;
 pub mod similarity;

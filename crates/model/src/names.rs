@@ -1,0 +1,45 @@
+//! Registry-name canonicalisation, shared by every string-keyed
+//! registry in the workspace.
+//!
+//! Four registries resolve user-supplied names — assignment policies
+//! ([`faircrowd-assign`]'s `registry`), scenario presets (the simulator
+//! catalog), agent strategies, and label aggregators — and all of them
+//! must accept the same spellings: `Round-Robin`, `round_robin` and
+//! `  ROUND_ROBIN ` are one name. [`canonical`] is that single rule;
+//! registries match on its output so a spelling accepted by one lookup
+//! is accepted by all of them.
+//!
+//! [`faircrowd-assign`]: https://docs.rs/faircrowd-assign
+
+/// Canonical form of a registry name: trimmed, ASCII-lowercased, with
+/// hyphens folded to underscores.
+///
+/// ```
+/// use faircrowd_model::names::canonical;
+///
+/// assert_eq!(canonical("Round-Robin"), "round_robin");
+/// assert_eq!(canonical("  kos "), "kos");
+/// assert_eq!(canonical("PARITY_CONSTRAINED"), "parity_constrained");
+/// ```
+pub fn canonical(name: &str) -> String {
+    name.trim().to_ascii_lowercase().replace('-', "_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_folds_case_hyphens_and_whitespace() {
+        // Pins the exact behaviour every registry match arm assumes.
+        assert_eq!(canonical("round_robin"), "round_robin");
+        assert_eq!(canonical("Round-Robin"), "round_robin");
+        assert_eq!(canonical(" ROUND-ROBIN\t"), "round_robin");
+        assert_eq!(canonical("budget-diverse"), "budget_diverse");
+        assert_eq!(canonical(""), "");
+        // Interior whitespace is not folded — only the ends are trimmed.
+        assert_eq!(canonical("round robin"), "round robin");
+        // Non-ASCII case is left alone (registry names are ASCII).
+        assert_eq!(canonical("É"), "É");
+    }
+}

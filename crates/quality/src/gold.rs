@@ -74,6 +74,23 @@ impl GoldSet {
         self.truth.is_empty()
     }
 
+    /// Score an inferred consensus against the gold truth: of all gold
+    /// tasks, how many carry the correct consensus label. Undecided gold
+    /// tasks (absent from `labels`) count as answered-but-wrong, so the
+    /// score penalises lost coverage — the currency the parity-constrained
+    /// aggregator pays in.
+    pub fn score_labels(&self, labels: &BTreeMap<TaskId, u8>) -> GoldScore {
+        let correct = self
+            .truth
+            .iter()
+            .filter(|(task, truth)| labels.get(task) == Some(truth))
+            .count();
+        GoldScore {
+            answered: self.truth.len(),
+            correct,
+        }
+    }
+
     /// Score every worker who answered at least one gold question.
     pub fn score_workers(&self, answers: &AnswerSet) -> BTreeMap<WorkerId, GoldScore> {
         let mut scores: BTreeMap<WorkerId, GoldScore> = BTreeMap::new();
@@ -153,6 +170,20 @@ mod tests {
         s.record(w(2), t(0), 0); // 0/1 correct but below min_answered
         let flagged = g.flag_workers(&s, 0.6, 2);
         assert_eq!(flagged, vec![w(1)]);
+    }
+
+    #[test]
+    fn consensus_scoring_penalises_missing_labels() {
+        let g = gold3();
+        // Correct on t0, wrong on t1, undecided on t2.
+        let labels = BTreeMap::from([(t(0), 1), (t(1), 1)]);
+        let score = g.score_labels(&labels);
+        assert_eq!(score.answered, 3);
+        assert_eq!(score.correct, 1);
+        // Empty gold set: vacuous perfect accuracy.
+        let empty = GoldSet::new().score_labels(&labels);
+        assert_eq!(empty.answered, 0);
+        assert_eq!(empty.accuracy(), 1.0);
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //! substrate behind that axiom:
 //!
 //! * [`answers`] — the answer matrix shared by every algorithm;
+//! * [`aggregate`] — the string-keyed aggregator registry (`majority`,
+//!   `weighted_majority`, `parity_constrained`) the sweep and frontier
+//!   engines select consensus methods from;
 //! * [`majority`] — (weighted) majority-vote aggregation;
 //! * [`dawid_skene`] — EM over worker confusion matrices (Dawid–Skene
 //!   style truth inference), the classic quality-estimation algorithm;
@@ -23,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod answers;
 pub mod dawid_skene;
 pub mod gold;
@@ -31,6 +35,9 @@ pub mod majority;
 pub mod metrics;
 pub mod spam;
 
+pub use aggregate::{
+    parity_constrained_vote, parity_gap, AggregateContext, AggregatorChoice, DEFAULT_PARITY_GAP,
+};
 pub use answers::{Answer, AnswerSet};
 pub use dawid_skene::{DawidSkene, DawidSkeneResult};
 pub use gold::GoldSet;

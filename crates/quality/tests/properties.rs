@@ -2,6 +2,7 @@
 //! bounded, permutation-invariant, and degrade sensibly.
 
 use faircrowd_model::ids::{TaskId, WorkerId};
+use faircrowd_quality::aggregate::{parity_constrained_vote, parity_gap, AggregatorChoice, NAMES};
 use faircrowd_quality::answers::AnswerSet;
 use faircrowd_quality::dawid_skene::DawidSkene;
 use faircrowd_quality::kos;
@@ -9,6 +10,22 @@ use faircrowd_quality::majority::{agreement_rates, majority_vote};
 use faircrowd_quality::metrics::roc_auc;
 use faircrowd_quality::spam::SpamDetector;
 use proptest::prelude::*;
+
+fn groups_strategy() -> impl Strategy<Value = std::collections::BTreeMap<WorkerId, String>> {
+    // Eight workers (matching answers_strategy), each declaring one of
+    // three groups or none.
+    prop::collection::vec(0usize..4, 8).prop_map(|picks| {
+        picks
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, g)| {
+                ["north", "south", "east"]
+                    .get(g)
+                    .map(|name| (WorkerId::new(i as u32), (*name).to_owned()))
+            })
+            .collect()
+    })
+}
 
 fn answers_strategy() -> impl Strategy<Value = AnswerSet> {
     prop::collection::vec((0u32..8, 0u32..12, 0u8..2), 0..80).prop_map(|rows| {
@@ -41,6 +58,48 @@ proptest! {
             prop_assert!(*label < 2);
             prop_assert!(answers.by_task().contains_key(task));
         }
+    }
+
+    #[test]
+    fn parity_constrained_vote_satisfies_the_gap_bound(
+        answers in answers_strategy(),
+        groups in groups_strategy(),
+        max_gap in 0.0f64..0.5,
+    ) {
+        let consensus = parity_constrained_vote(&answers, &groups, max_gap);
+        let gap = parity_gap(&answers, &groups, &consensus);
+        prop_assert!(
+            gap <= max_gap + 1e-9,
+            "gap {gap} exceeds bound {max_gap} on {} decided tasks",
+            consensus.len()
+        );
+        // Constrained consensus only ever withdraws majority decisions,
+        // never invents new ones.
+        let unconstrained = majority_vote(&answers);
+        for (task, label) in &consensus {
+            prop_assert_eq!(unconstrained.get(task), Some(label));
+        }
+    }
+
+    #[test]
+    fn aggregator_registry_round_trips_every_spelling(
+        which in 0usize..NAMES.len(),
+        upper in prop::bool::ANY,
+        hyphen in prop::bool::ANY,
+    ) {
+        let mut spelling = NAMES[which].to_owned();
+        if hyphen {
+            spelling = spelling.replace('_', "-");
+        }
+        if upper {
+            spelling = spelling.to_uppercase();
+        }
+        let choice = AggregatorChoice::by_name(&spelling).unwrap();
+        prop_assert_eq!(
+            AggregatorChoice::by_name(NAMES[which]).unwrap(),
+            choice.clone()
+        );
+        prop_assert_eq!(choice.label().replace('-', "_"), NAMES[which]);
     }
 
     #[test]

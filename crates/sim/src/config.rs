@@ -7,8 +7,8 @@
 //! and the detection sweep. Experiments are written as config deltas.
 
 use faircrowd_assign::{
-    AssignmentPolicy, ExposureFloor, ExposureParity, KosAllocation, OnlineMatching,
-    RequesterCentric, RoundRobin, SelfSelection, WorkerCentric,
+    AssignmentPolicy, BudgetDiverse, ExposureFloor, ExposureParity, FairDelivery, KosAllocation,
+    OnlineMatching, RequesterCentric, RoundRobin, SelfSelection, WorkerCentric,
 };
 use faircrowd_model::disclosure::DisclosureSet;
 use faircrowd_model::error::FaircrowdError;
@@ -48,6 +48,10 @@ pub enum PolicyChoice {
     ParityOver(Box<PolicyChoice>),
     /// Minimum-exposure floor over a base policy.
     FloorOver(Box<PolicyChoice>, usize),
+    /// Budget- and diversity-constrained selection (Goel–Faltings).
+    BudgetDiverse,
+    /// Fair-allocation utility balancing (Basık et al.).
+    FairDelivery,
 }
 
 impl PolicyChoice {
@@ -67,6 +71,8 @@ impl PolicyChoice {
                 base: DynPolicy(base.build()),
                 min_exposure: *min,
             }),
+            PolicyChoice::BudgetDiverse => Box::new(BudgetDiverse::default()),
+            PolicyChoice::FairDelivery => Box::new(FairDelivery::default()),
         }
     }
 
@@ -95,6 +101,8 @@ impl PolicyChoice {
                 Box::new(PolicyChoice::RequesterCentric),
                 registry::DEFAULT_FLOOR,
             ),
+            "budget_diverse" => PolicyChoice::BudgetDiverse,
+            "fair_delivery" => PolicyChoice::FairDelivery,
             _ => {
                 return Err(FaircrowdError::UnknownPolicy {
                     name: name.to_owned(),
@@ -116,6 +124,8 @@ impl PolicyChoice {
             PolicyChoice::Kos { l, r } => format!("kos({l},{r})"),
             PolicyChoice::ParityOver(base) => format!("parity[{}]", base.label()),
             PolicyChoice::FloorOver(base, min) => format!("floor{min}[{}]", base.label()),
+            PolicyChoice::BudgetDiverse => "budget-diverse".into(),
+            PolicyChoice::FairDelivery => "fair-delivery".into(),
         }
     }
 }
@@ -499,6 +509,8 @@ mod tests {
             PolicyChoice::Kos { l: 3, r: 5 },
             PolicyChoice::ParityOver(Box::new(PolicyChoice::RequesterCentric)),
             PolicyChoice::FloorOver(Box::new(PolicyChoice::OnlineGreedy), 4),
+            PolicyChoice::BudgetDiverse,
+            PolicyChoice::FairDelivery,
         ];
         for c in choices {
             let p = c.build();

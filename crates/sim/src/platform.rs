@@ -485,6 +485,7 @@ impl Simulation {
                 skills: w.worker.skills.clone(),
                 quality: w.worker.computed.quality_estimate,
                 capacity: w.capacity_per_round,
+                group: w.worker.declared.group_key("region"),
             })
             .collect();
         if tasks.is_empty() || workers.is_empty() {

@@ -68,10 +68,12 @@ pub use faircrowd_pay as pay;
 pub use faircrowd_quality as quality;
 pub use faircrowd_sim as sim;
 
+pub mod frontier;
 pub mod pipeline;
 pub mod sweep;
 
 pub use faircrowd_model::FaircrowdError;
+pub use frontier::{FrontierPoint, FrontierResult};
 pub use pipeline::{Enforcement, LiveRunArtifacts, Pipeline, PipelineResult};
 pub use sweep::{SweepGrid, SweepResult};
 

@@ -12,6 +12,7 @@
 //! faircrowd watch <FILE.jsonl> [--once]    tail a (growing) JSONL trace, stream violations
 //! faircrowd serve <DIR> [--checkpoint-dir D]  audit every <market>.jsonl in DIR at once
 //! faircrowd sweep [--grid G] [--jobs N] [--format F]   parallel grid sweep
+//! faircrowd frontier [--grid G] [--jobs N] [--format F]  quality/fairness Pareto frontier
 //! faircrowd scenarios                      list the named scenario catalog
 //! faircrowd policies                       list the TPL platform catalog
 //! faircrowd render <policy>                human-readable policy description
@@ -26,10 +27,13 @@
 //! (`--strategy`, or a strategic-family scenario) to its fixed point
 //! ([`faircrowd::sim::converge`]) and audits the converged trace.
 //! `sweep` runs whole grids
-//! (scenarios × policies × strategies × seeds × scales × enforcements)
-//! through
+//! (scenarios × policies × strategies × seeds × scales × enforcements ×
+//! aggregators) through
 //! [`faircrowd::sweep`] on a worker pool; its aggregate output is
-//! byte-identical whatever `--jobs` says. `export` and
+//! byte-identical whatever `--jobs` says. `frontier` runs the same
+//! machinery over a policy × aggregator × enforcement grid and extracts
+//! the quality/fairness Pareto-dominant set
+//! ([`faircrowd::frontier`]). `export` and
 //! `replay`/`audit --trace` are the two halves of the paper's
 //! audit-external-logs workload: a trace written once replays to a
 //! bit-identical audit report with no simulator in the loop
@@ -57,6 +61,7 @@ fn main() -> ExitCode {
         Some("watch") => watch_cmd(&args[1..]),
         Some("serve") => serve_cmd(&args[1..]),
         Some("sweep") => sweep(&args[1..]),
+        Some("frontier") => frontier_cmd(&args[1..]),
         Some("merge") => merge_cmd(&args[1..]),
         Some("scenarios") => scenarios_cmd(),
         Some("policies") => policies(),
@@ -82,7 +87,15 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    println!(
+    println!("{}", usage_text());
+}
+
+/// The full `--help` text. A function (not an inline `println!`) so the
+/// tests can assert that every registry — policies, strategies,
+/// scenarios, aggregators — is listed verbatim: the help must never
+/// fall behind a grown registry.
+fn usage_text() -> String {
+    format!(
         "faircrowd — fairness and transparency auditing for crowdsourcing\n\n\
          USAGE:\n  \
          faircrowd axioms                         print the paper's seven axioms\n  \
@@ -97,6 +110,9 @@ fn usage() {
          faircrowd serve <DIR> [SERVE-OPTS]       tail every <market>.jsonl (and audit\n                                           \
          every <market>.fcb) in DIR at once\n  \
          faircrowd sweep [SWEEP-OPTS]             parallel grid sweep, aggregate stats\n  \
+         faircrowd frontier [FRONTIER-OPTS]       sweep a policy × aggregator × enforce\n                                           \
+         grid, chart the quality/fairness\n                                           \
+         Pareto-dominant set\n  \
          faircrowd merge <part.json>... [--format F]  fold shard part files into the\n                                           \
          single-process sweep report, byte-identical\n  \
          faircrowd scenarios                      list the named scenario catalog\n  \
@@ -141,9 +157,9 @@ fn usage() {
          --idle-ms N      stop after N ms with no growth on any stream (default 1500)\n\n\
          SWEEP-OPTS:\n  \
          --grid SPEC      axes as `axis=v1,v2;…` over scenario | policy | strategy |\n                   \
-         seed | scale | rounds | enforce — `*` for every name, `a..b`\n                   \
-         or `a..=b` seed ranges, `+`-stacked enforcements (default\n                   \
-         `policy=*`); strategic cells converge before auditing\n  \
+         seed | scale | rounds | enforce | aggregator — `*` for every\n                   \
+         name, `a..b` or `a..=b` seed ranges, `+`-stacked enforcements\n                   \
+         (default `policy=*`); strategic cells converge before auditing\n  \
          --jobs N         worker threads (default: available cores)\n  \
          --format F       table | json | csv (default table)\n  \
          --shard i/N      run only shard i of an N-way split, appending each finished\n                   \
@@ -151,18 +167,27 @@ fn usage() {
          loaded from the part file and skipped)\n  \
          --out FILE       (with --shard) the part file; render via `faircrowd merge`\n  \
          --progress       one stderr line per completed cell (stdout unchanged)\n\n\
+         FRONTIER-OPTS:\n  \
+         --grid SPEC      same grammar as sweep; axes left unset default to the\n                   \
+         frontier contrast — every policy, every aggregator,\n                   \
+         enforce=none,parity (a plain sweep defaults each to one point)\n  \
+         --jobs N         worker threads (default: available cores)\n  \
+         --format F       table | json (default table; `*` marks Pareto members)\n  \
+         --progress       one stderr line per completed cell (stdout unchanged)\n\n\
          enforcements for --enforce (repeatable) and the enforce axis:\n  \
          parity | floor:N | transparency | grace\n\n\
          assignment policies (registry names):\n  {}\n\n\
          agent strategies for --strategy and the strategy axis:\n  {}\n\n\
+         consensus aggregators for the aggregator axis:\n  {}\n\n\
          scenario catalog (see `faircrowd scenarios` for both families):\n  \
          static:    {}\n  \
          strategic: {}",
         registry::NAMES.join(" | "),
         strategy::NAMES.join(" | "),
+        faircrowd::quality::aggregate::NAMES.join(" | "),
         scenarios::STATIC_NAMES.join(" | "),
         scenarios::STRATEGIC_NAMES.join(" | ")
-    );
+    )
 }
 
 fn scenarios_cmd() -> Result<(), FaircrowdError> {
@@ -1059,15 +1084,77 @@ fn sweep(args: &[String]) -> Result<(), FaircrowdError> {
 fn progress_cell(outcome: &faircrowd::sweep::CaseOutcome) -> String {
     let case = &outcome.case;
     format!(
-        "scenario={} policy={} strategy={} seed={} scale={} rounds={} enforce={}",
+        "scenario={} policy={} strategy={} seed={} scale={} rounds={} enforce={} aggregator={}",
         case.scenario,
         case.policy_label,
         case.strategy_label,
         case.seed,
         case.scale,
         case.rounds,
-        faircrowd::sweep::stack_label(&case.enforcements)
+        faircrowd::sweep::stack_label(&case.enforcements),
+        case.aggregator_label
     )
+}
+
+/// The only flags `frontier` reads; like `sweep`, anything else is
+/// rejected rather than silently ignored.
+const FRONTIER_FLAGS: [&str; 4] = ["--grid", "--jobs", "--format", "--progress"];
+
+fn frontier_cmd(args: &[String]) -> Result<(), FaircrowdError> {
+    if let Some(bad) = args
+        .iter()
+        .find(|a| a.starts_with("--") && !FRONTIER_FLAGS.contains(&a.as_str()))
+    {
+        return Err(FaircrowdError::usage(format!(
+            "unknown flag `{bad}` for `faircrowd frontier`; supported: {} \
+             (policy, aggregator and enforcement are grid axes, e.g. \
+             --grid 'policy=*;aggregator=*;enforce=none,parity')",
+            FRONTIER_FLAGS.join(" ")
+        )));
+    }
+    let mut expects_value = false;
+    for arg in args {
+        if expects_value {
+            expects_value = false;
+        } else if arg.starts_with("--") {
+            expects_value = arg != "--progress";
+        } else {
+            return Err(FaircrowdError::usage(format!(
+                "unexpected argument `{arg}` for `faircrowd frontier`; grid specs go \
+                 via --grid, e.g. --grid 'policy=*;aggregator=*'"
+            )));
+        }
+    }
+    let spec = flag_value(args, "--grid")?.unwrap_or("");
+    let grid = faircrowd::frontier::frontier_grid(spec)?;
+    let default_jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let jobs = positive_flag(args, "--jobs", default_jobs as u64)? as usize;
+    let progress = args.iter().any(|a| a == "--progress");
+    let format = flag_value(args, "--format")?.unwrap_or("table");
+
+    let total = grid.expand()?.len();
+    let progress_line = |cell: usize, outcome: &faircrowd::sweep::CaseOutcome| {
+        eprintln!("[cell {}/{total}] {}", cell + 1, progress_cell(outcome));
+    };
+    let hook: faircrowd::sweep::CellHook<'_> = progress.then_some(&progress_line);
+    let result = faircrowd::frontier::run_frontier_observed(&grid, jobs, hook)?;
+    match format {
+        "table" => {
+            println!(
+                "policy frontier: {} point(s), {} on the Pareto frontier, {jobs} job(s)\n",
+                result.points.len(),
+                result.frontier().len()
+            );
+            print!("{}", result.render_table());
+        }
+        "json" => print!("{}", result.to_json()),
+        other => {
+            return Err(FaircrowdError::usage(format!(
+                "unknown format `{other}` for `faircrowd frontier`; expected table | json"
+            )))
+        }
+    }
+    Ok(())
 }
 
 fn merge_cmd(args: &[String]) -> Result<(), FaircrowdError> {
@@ -1176,6 +1263,72 @@ mod tests {
             pipeline_from_flags(&args, false),
             Err(FaircrowdError::UnknownPolicy { .. })
         ));
+    }
+
+    #[test]
+    fn help_lists_every_registry_name() {
+        // The help text is derived from the registries, so growing any
+        // registry grows the help with it; this pins the wiring.
+        let help = usage_text();
+        for name in registry::NAMES {
+            assert!(help.contains(name), "policy `{name}` missing from help");
+        }
+        for name in strategy::NAMES {
+            assert!(help.contains(name), "strategy `{name}` missing from help");
+        }
+        for name in faircrowd::quality::aggregate::NAMES {
+            assert!(help.contains(name), "aggregator `{name}` missing from help");
+        }
+        for name in scenarios::STATIC_NAMES
+            .iter()
+            .chain(scenarios::STRATEGIC_NAMES.iter())
+        {
+            assert!(help.contains(name), "scenario `{name}` missing from help");
+        }
+        assert!(help.contains("faircrowd frontier"));
+        assert!(help.contains("| aggregator"));
+    }
+
+    #[test]
+    fn unknown_names_report_their_registry() {
+        // Unknown-name errors list the registry they searched, so the
+        // user never has to guess the spelling.
+        let Err(policy_err) = registry::by_name("magic") else {
+            panic!("`magic` resolved to a policy");
+        };
+        let policy_err = policy_err.to_string();
+        for name in registry::NAMES {
+            assert!(policy_err.contains(name), "{policy_err}");
+        }
+        let agg_err = faircrowd::quality::AggregatorChoice::by_name("magic")
+            .unwrap_err()
+            .to_string();
+        for name in faircrowd::quality::aggregate::NAMES {
+            assert!(agg_err.contains(name), "{agg_err}");
+        }
+        let strat_err = StrategyChoice::by_name("magic").unwrap_err().to_string();
+        for name in strategy::NAMES {
+            assert!(strat_err.contains(name), "{strat_err}");
+        }
+    }
+
+    #[test]
+    fn frontier_rejects_flags_and_positionals_it_would_ignore() {
+        for args in [
+            argv(&["--shard", "0/2"]),
+            argv(&["--out", "part.json"]),
+            argv(&["--seed", "7"]),
+        ] {
+            let err = frontier_cmd(&args).unwrap_err();
+            assert!(matches!(err, FaircrowdError::Usage { .. }), "{args:?}");
+            assert!(err.to_string().contains("--grid"), "{err}");
+        }
+        let err = frontier_cmd(&argv(&["policy=kos"])).unwrap_err();
+        assert!(err.to_string().contains("`policy=kos`"), "{err}");
+        let err = frontier_cmd(&argv(&["--grid", "orbit=1"])).unwrap_err();
+        assert!(err.to_string().contains("orbit"), "{err}");
+        let err = frontier_cmd(&argv(&["--grid", "rounds=6", "--format", "csv"])).unwrap_err();
+        assert!(err.to_string().contains("table | json"), "{err}");
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! seeds and marketplace scales before any conclusion is drawn. This
 //! module executes that matrix. A [`SweepGrid`] names the axes
 //! (scenarios × policies × strategies × seeds × scales × rounds ×
-//! enforcement stacks), [`SweepGrid::expand`] takes their Cartesian
-//! product into
+//! enforcement stacks × aggregators), [`SweepGrid::expand`] takes their
+//! Cartesian product into
 //! concrete [`SweepCase`]s, and [`run_grid`] drives every case through
 //! the [`Pipeline`] on a `std::thread::scope` worker
 //! pool, folding the resulting reports into per-cell aggregates
@@ -53,12 +53,19 @@
 //! `policy=*` means every registry policy, `scenario=*` every catalog
 //! scenario, `strategy=*` every agent-strategy profile (strategic
 //! cells are iterated to their fixed point before auditing; see
-//! `faircrowd_sim::converge`); `seed` accepts half-open `a..b` and
+//! `faircrowd_sim::converge`), `aggregator=*` every registered
+//! consensus aggregator (see [`faircrowd_quality::aggregate`]); `seed`
+//! accepts half-open `a..b` and
 //! inclusive `a..=b` ranges (reversed bounds are rejected as typos);
 //! `enforce` stacks repairs with `+` (`none` for the empty stack).
 //! Omitted axes default to a single point: the `baseline` scenario,
 //! its own policy, strategy and round count, seed 42, scale 1, no
-//! enforcement.
+//! enforcement, majority-vote aggregation.
+//!
+//! Aggregation is **post-simulation**: the `aggregator` axis rescores
+//! one trace's answer matrix, so it never forks the simulation cache —
+//! cells differing only on the aggregator share a baseline exactly as
+//! `enforce`-only siblings do.
 //!
 //! ```
 //! use faircrowd::sweep::{self, SweepGrid};
@@ -79,8 +86,11 @@ use crate::core::{AuditConfig, FairnessReport};
 use crate::model::{FaircrowdError, Trace};
 use crate::pay::WageStats;
 use crate::pipeline::{Enforcement, Pipeline};
+use crate::quality::aggregate::{AggregateContext, AggregatorChoice};
+use crate::quality::{majority_vote, AnswerSet, GoldSet};
 use crate::sim::{catalog, strategy, PolicyChoice, StrategyChoice, TraceSummary};
 use faircrowd_assign::registry;
+use faircrowd_model::contribution::Contribution;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -112,6 +122,10 @@ pub struct SweepGrid {
     /// (default: keep the scenario's strategy). Strategic cells are
     /// iterated to their fixed point by the pipeline before auditing.
     pub strategies: Option<Vec<String>>,
+    /// Aggregator-registry names the consensus-quality column is scored
+    /// under (default: `["majority"]`). Post-simulation: never forks
+    /// the simulation cache.
+    pub aggregators: Option<Vec<String>>,
 }
 
 impl SweepGrid {
@@ -146,10 +160,15 @@ impl SweepGrid {
                     &mut grid.strategies,
                     parse_star_list(values, &strategy::NAMES),
                 ),
+                "aggregator" => replace_axis(
+                    &mut grid.aggregators,
+                    parse_star_list(values, &crate::quality::aggregate::NAMES),
+                ),
                 _ => {
                     return Err(FaircrowdError::usage(format!(
                         "unknown grid axis `{key}`; valid axes: \
-                         scenario | policy | seed | scale | rounds | enforce | strategy"
+                         scenario | policy | seed | scale | rounds | enforce | strategy \
+                         | aggregator"
                     )))
                 }
             };
@@ -177,6 +196,14 @@ impl SweepGrid {
             .enforcements
             .clone()
             .unwrap_or_else(|| vec![Vec::new()]);
+        // (aggregator override, display label) pairs; scenario-free.
+        let aggregators: Vec<(Option<String>, String)> = match &self.aggregators {
+            None => vec![(None, AggregatorChoice::Majority.label())],
+            Some(names) => names
+                .iter()
+                .map(|n| Ok((Some(n.clone()), AggregatorChoice::by_name(n)?.label())))
+                .collect::<Result<_, FaircrowdError>>()?,
+        };
 
         let mut cases = Vec::new();
         for scenario in &scenarios {
@@ -208,18 +235,22 @@ impl SweepGrid {
                     for &scale in &scales {
                         for &rounds in &rounds_axis {
                             for stack in &stacks {
-                                for &seed in &seeds {
-                                    cases.push(SweepCase {
-                                        scenario: scenario.clone(),
-                                        policy: policy.clone(),
-                                        policy_label: policy_label.clone(),
-                                        strategy: strategy.clone(),
-                                        strategy_label: strategy_label.clone(),
-                                        seed,
-                                        scale,
-                                        rounds,
-                                        enforcements: stack.clone(),
-                                    });
+                                for (aggregator, aggregator_label) in &aggregators {
+                                    for &seed in &seeds {
+                                        cases.push(SweepCase {
+                                            scenario: scenario.clone(),
+                                            policy: policy.clone(),
+                                            policy_label: policy_label.clone(),
+                                            strategy: strategy.clone(),
+                                            strategy_label: strategy_label.clone(),
+                                            seed,
+                                            scale,
+                                            rounds,
+                                            enforcements: stack.clone(),
+                                            aggregator: aggregator.clone(),
+                                            aggregator_label: aggregator_label.clone(),
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -379,6 +410,11 @@ pub struct SweepCase {
     pub rounds: u32,
     /// Enforcement stack applied before the second audit pass.
     pub enforcements: Vec<Enforcement>,
+    /// Aggregator override (aggregator-registry name), `None` for
+    /// majority vote. Post-simulation, so absent from the sim key.
+    pub aggregator: Option<String>,
+    /// Display label of the effective aggregator.
+    pub aggregator_label: String,
 }
 
 impl SweepCase {
@@ -410,11 +446,21 @@ impl SweepCase {
         Ok(pipeline)
     }
 
+    /// The consensus aggregator this case scores label quality under.
+    pub fn aggregator_choice(&self) -> Result<AggregatorChoice, FaircrowdError> {
+        match &self.aggregator {
+            None => Ok(AggregatorChoice::Majority),
+            Some(name) => AggregatorChoice::by_name(name),
+        }
+    }
+
     /// Run the case: simulate, audit (and repair + re-audit when the
     /// stack is non-empty), keeping the final report and summary.
     pub fn run(&self) -> Result<CaseOutcome, FaircrowdError> {
+        let aggregator = self.aggregator_choice()?;
         let result = self.pipeline()?.run()?;
-        Ok(self.outcome_of(result))
+        let consensus = consensus_accuracy(result.trace(), &aggregator);
+        Ok(self.outcome_of(result, consensus))
     }
 
     /// Run the case with its baseline trace supplied lazily (the
@@ -430,8 +476,10 @@ impl SweepCase {
         &self,
         baseline: impl FnOnce() -> Result<Trace, FaircrowdError>,
     ) -> Result<CaseOutcome, FaircrowdError> {
+        let aggregator = self.aggregator_choice()?;
         let artifacts = self.pipeline()?.run_final_with_baseline(baseline)?;
         Ok(CaseOutcome {
+            consensus: consensus_accuracy(&artifacts.trace, &aggregator),
             report: artifacts.report,
             summary: artifacts.summary,
             wages: artifacts.wages,
@@ -439,11 +487,16 @@ impl SweepCase {
         })
     }
 
-    fn outcome_of(&self, result: crate::pipeline::PipelineResult) -> CaseOutcome {
+    fn outcome_of(
+        &self,
+        result: crate::pipeline::PipelineResult,
+        consensus: Option<f64>,
+    ) -> CaseOutcome {
         CaseOutcome {
             report: result.report().clone(),
             summary: result.summary().clone(),
             wages: result.wages(),
+            consensus,
             case: self.clone(),
         }
     }
@@ -465,6 +518,66 @@ impl SweepCase {
     }
 }
 
+/// Consensus quality of a finished trace under an aggregator: the
+/// inferred labels' accuracy against the **full** labeling ground
+/// truth, with undecided tasks counting as wrong — an aggregator that
+/// buys demographic parity by withdrawing coverage pays for it here,
+/// which is exactly the trade-off the policy frontier charts. Worker
+/// weights are peer-agreement rates (platform-observable; no ground
+/// truth leaks into inference) and parity groups come from each
+/// worker's declared `region` attribute. `None` when the run had no
+/// labeling ground truth to score against.
+pub fn consensus_accuracy(trace: &Trace, aggregator: &AggregatorChoice) -> Option<f64> {
+    let truth = &trace.ground_truth.true_labels;
+    if truth.is_empty() {
+        return None;
+    }
+    let mut classes = 2u8;
+    for s in &trace.submissions {
+        if let Contribution::Label(l) = s.contribution {
+            classes = classes.max(l.saturating_add(1));
+        }
+    }
+    for &l in truth.values() {
+        classes = classes.max(l.saturating_add(1));
+    }
+    let mut answers = AnswerSet::new(classes);
+    for s in &trace.submissions {
+        if let Contribution::Label(l) = s.contribution {
+            answers.record(s.worker, s.task, l);
+        }
+    }
+    // Reliability weights: each worker's agreement with the plain
+    // majority consensus over decided tasks — platform-observable, no
+    // ground truth leaking into inference.
+    let majority = majority_vote(&answers);
+    let mut agreement: std::collections::BTreeMap<_, (usize, usize)> = Default::default();
+    for a in answers.answers() {
+        if let Some(&label) = majority.get(&a.task) {
+            let e = agreement.entry(a.worker).or_insert((0, 0));
+            e.0 += usize::from(a.label == label);
+            e.1 += 1;
+        }
+    }
+    let ctx = AggregateContext {
+        weights: agreement
+            .into_iter()
+            .map(|(w, (hit, total))| (w, hit as f64 / total as f64))
+            .collect(),
+        groups: trace
+            .workers
+            .iter()
+            .filter_map(|w| w.declared.group_key("region").map(|g| (w.id, g)))
+            .collect(),
+    };
+    let labels = aggregator.aggregate(&answers, &ctx);
+    let mut gold = GoldSet::new();
+    for (&task, &label) in truth {
+        gold.insert(task, label);
+    }
+    Some(gold.score_labels(&labels).accuracy())
+}
+
 /// What one executed case contributes to the aggregates.
 #[derive(Debug, Clone)]
 pub struct CaseOutcome {
@@ -478,6 +591,11 @@ pub struct CaseOutcome {
     /// worker invested time. Absent wages are **skipped** by the cell
     /// fold, never averaged in as gini-0/jain-1 "perfect fairness".
     pub wages: Option<WageStats>,
+    /// Consensus accuracy under the case's aggregator
+    /// ([`consensus_accuracy`]); `None` when the run carried no
+    /// labeling ground truth. Like wages, absent values are skipped by
+    /// the cell fold.
+    pub consensus: Option<f64>,
 }
 
 /// One grid cell's aggregate across its seeds.
@@ -495,6 +613,8 @@ pub struct GroupSummary {
     pub rounds: u32,
     /// Enforcement-stack label (`"none"` when empty).
     pub enforce: String,
+    /// Effective aggregator label.
+    pub aggregator: String,
     /// The seeds folded into this cell, ascending.
     pub seeds: Vec<u64>,
     /// Axiom/score aggregate across the seeds.
@@ -508,6 +628,10 @@ pub struct GroupSummary {
     pub wage_mean: ScoreStats,
     /// Wage Gini coefficient across the same seeds.
     pub wage_gini: ScoreStats,
+    /// Consensus accuracy under the cell's aggregator, across the seeds
+    /// **that had labeling ground truth**; `n == 0` means none did (the
+    /// column exports as `null`/empty, never as a fabricated score).
+    pub consensus: ScoreStats,
 }
 
 /// The result of running a grid: per-case outcomes (grid order) and
@@ -655,6 +779,9 @@ fn fold_groups(outcomes: &[CaseOutcome], seeds_per_group: usize) -> Vec<GroupSum
             let wages: Vec<&WageStats> = by_seed.iter().filter_map(|o| o.wages.as_ref()).collect();
             let wage_of =
                 |f: fn(&WageStats) -> f64| -> Vec<f64> { wages.iter().map(|w| f(w)).collect() };
+            // Same skip rule as wages: runs without labeling ground
+            // truth contribute no consensus score.
+            let consensus: Vec<f64> = by_seed.iter().filter_map(|o| o.consensus).collect();
             let first = &chunk[0].case;
             GroupSummary {
                 scenario: first.scenario.clone(),
@@ -663,11 +790,13 @@ fn fold_groups(outcomes: &[CaseOutcome], seeds_per_group: usize) -> Vec<GroupSum
                 scale: first.scale,
                 rounds: first.rounds,
                 enforce: stack_label(&first.enforcements),
+                aggregator: first.aggregator_label.clone(),
                 seeds: by_seed.iter().map(|o| o.case.seed).collect(),
                 aggregate: ReportAggregate::of(&reports),
                 retention: ScoreStats::of(&retention),
                 wage_mean: ScoreStats::of(&wage_of(|w| w.mean)),
                 wage_gini: ScoreStats::of(&wage_of(|w| w.gini)),
+                consensus: ScoreStats::of(&consensus),
             }
         })
         .collect()
@@ -683,6 +812,7 @@ impl SweepResult {
             "scale",
             "rounds",
             "enforce",
+            "aggregator",
             "seeds",
             "fairness",
             "transparency",
@@ -692,11 +822,13 @@ impl SweepResult {
             "retention",
             "wage/h",
             "wage-gini",
+            "consensus",
         ])
         .numeric();
         for g in &self.groups {
             // A cell with no wage distribution shows "-", not a
-            // fabricated perfectly-fair 0.000.
+            // fabricated perfectly-fair 0.000; same for a cell with no
+            // labeling ground truth to score consensus against.
             let (wage, gini) = if g.wage_mean.n == 0 {
                 ("-".to_owned(), "-".to_owned())
             } else {
@@ -705,6 +837,11 @@ impl SweepResult {
                     format!("{:.3}", g.wage_gini.mean),
                 )
             };
+            let consensus = if g.consensus.n == 0 {
+                "-".to_owned()
+            } else {
+                format!("{:.3}", g.consensus.mean)
+            };
             table.row([
                 g.scenario.clone(),
                 g.policy.clone(),
@@ -712,6 +849,7 @@ impl SweepResult {
                 format!("{}", g.scale),
                 g.rounds.to_string(),
                 g.enforce.clone(),
+                g.aggregator.clone(),
                 g.seeds.len().to_string(),
                 format!("{:.3}", g.aggregate.fairness.mean),
                 format!("{:.3}", g.aggregate.transparency.mean),
@@ -724,6 +862,7 @@ impl SweepResult {
                 format!("{:.1}%", g.retention.mean * 100.0),
                 wage,
                 gini,
+                consensus,
             ]);
         }
         table.render()
@@ -743,7 +882,8 @@ impl SweepResult {
             let _ = write!(
                 out,
                 "\"scenario\": {}, \"policy\": {}, \"strategy\": {}, \"scale\": {}, \
-                 \"rounds\": {}, \"enforce\": {}, \"seeds\": [{}], \"runs\": {}, \
+                 \"rounds\": {}, \"enforce\": {}, \"aggregator\": {}, \"seeds\": [{}], \
+                 \"runs\": {}, \
                  \"all_hold_runs\": {}, \"total_violations\": {},",
                 json_str(&g.scenario),
                 json_str(&g.policy),
@@ -751,6 +891,7 @@ impl SweepResult {
                 json_f64(g.scale),
                 g.rounds,
                 json_str(&g.enforce),
+                json_str(&g.aggregator),
                 g.seeds
                     .iter()
                     .map(u64::to_string)
@@ -778,6 +919,17 @@ impl SweepResult {
                     g.wage_mean.n,
                     json_stats(&g.wage_mean),
                     json_stats(&g.wage_gini),
+                );
+            }
+            // Same rule for cells with no labeling ground truth.
+            if g.consensus.n == 0 {
+                out.push_str(" \"consensus\": null,");
+            } else {
+                let _ = write!(
+                    out,
+                    " \"consensus\": {{\"runs\": {}, \"accuracy\": {}}},",
+                    g.consensus.n,
+                    json_stats(&g.consensus),
                 );
             }
             out.push_str(" \"axioms\": [");
@@ -814,12 +966,17 @@ impl SweepResult {
                     json_f64(w.jain)
                 ),
             };
+            let consensus = match c.consensus {
+                None => "null".to_owned(),
+                Some(a) => json_f64(a),
+            };
             let _ = write!(
                 out,
                 "\n    {{\"scenario\": {}, \"policy\": {}, \"strategy\": {}, \"seed\": {}, \
-                 \"scale\": {}, \"rounds\": {}, \"enforce\": {}, \"fairness\": {}, \
+                 \"scale\": {}, \"rounds\": {}, \"enforce\": {}, \"aggregator\": {}, \
+                 \"fairness\": {}, \
                  \"transparency\": {}, \"overall\": {}, \"violations\": {}, \
-                 \"retention\": {}, \"wages\": {}}}",
+                 \"retention\": {}, \"wages\": {}, \"consensus\": {}}}",
                 json_str(&c.case.scenario),
                 json_str(&c.case.policy_label),
                 json_str(&c.case.strategy_label),
@@ -827,12 +984,14 @@ impl SweepResult {
                 json_f64(c.case.scale),
                 c.case.rounds,
                 json_str(&stack_label(&c.case.enforcements)),
+                json_str(&c.case.aggregator_label),
                 json_f64(c.report.fairness_score()),
                 json_f64(c.report.transparency_score()),
                 json_f64(c.report.overall_score()),
                 c.report.total_violations(),
                 json_f64(c.summary.retention),
                 wages,
+                consensus,
             );
         }
         out.push_str("\n  ]\n}\n");
@@ -843,12 +1002,13 @@ impl SweepResult {
     /// cell). Deterministic for the same grid regardless of `jobs`.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "scenario,policy,strategy,scale,rounds,enforce,runs,\
+            "scenario,policy,strategy,scale,rounds,enforce,aggregator,runs,\
              fairness_mean,fairness_min,fairness_max,\
              transparency_mean,transparency_min,transparency_max,\
              overall_mean,overall_min,overall_max,\
              retention_mean,total_violations,all_hold_runs,\
-             wage_runs,wage_hourly_mean,wage_gini_mean",
+             wage_runs,wage_hourly_mean,wage_gini_mean,\
+             consensus_runs,consensus_mean",
         );
         for id in crate::core::AxiomId::ALL {
             let _ = write!(out, ",{}_pass_rate", id.label());
@@ -857,13 +1017,14 @@ impl SweepResult {
         for g in &self.groups {
             let _ = write!(
                 out,
-                "{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{}",
                 csv_field(&g.scenario),
                 csv_field(&g.policy),
                 csv_field(&g.strategy),
                 json_f64(g.scale),
                 g.rounds,
                 csv_field(&g.enforce),
+                csv_field(&g.aggregator),
                 g.aggregate.runs,
             );
             for stats in [
@@ -898,6 +1059,13 @@ impl SweepResult {
                     json_f64(g.wage_mean.mean),
                     json_f64(g.wage_gini.mean)
                 );
+            }
+            // Consensus columns stay empty when no run had labeling
+            // ground truth to score against.
+            if g.consensus.n == 0 {
+                out.push_str(",0,");
+            } else {
+                let _ = write!(out, ",{},{}", g.consensus.n, json_f64(g.consensus.mean));
             }
             for id in crate::core::AxiomId::ALL {
                 match g.aggregate.axiom(id) {
@@ -998,7 +1166,7 @@ mod tests {
 
     #[test]
     fn star_expands_to_full_registries() {
-        let grid = SweepGrid::parse("policy=*;scenario=*;strategy=*").unwrap();
+        let grid = SweepGrid::parse("policy=*;scenario=*;strategy=*;aggregator=*").unwrap();
         assert_eq!(
             grid.policies.as_deref().unwrap().len(),
             registry::NAMES.len()
@@ -1010,6 +1178,10 @@ mod tests {
         assert_eq!(
             grid.strategies.as_deref().unwrap().len(),
             strategy::NAMES.len()
+        );
+        assert_eq!(
+            grid.aggregators.as_deref().unwrap().len(),
+            crate::quality::aggregate::NAMES.len()
         );
     }
 
@@ -1089,6 +1261,70 @@ mod tests {
             grid.expand(),
             Err(FaircrowdError::UnknownStrategy { .. })
         ));
+        let grid = SweepGrid::parse("aggregator=median").unwrap();
+        assert!(matches!(
+            grid.expand(),
+            Err(FaircrowdError::UnknownAggregator { .. })
+        ));
+    }
+
+    #[test]
+    fn aggregator_axis_expands_between_enforce_and_seeds() {
+        let grid = SweepGrid::parse(
+            "rounds=6;enforce=none,grace;aggregator=majority,parity_constrained;seed=1,2",
+        )
+        .unwrap();
+        let cases = grid.expand().unwrap();
+        // 2 stacks × 2 aggregators × 2 seeds, seeds innermost.
+        assert_eq!(cases.len(), 8);
+        assert_eq!(cases[0].aggregator_label, "majority");
+        assert_eq!(cases[0].seed, 1);
+        assert_eq!(cases[1].seed, 2);
+        assert_eq!(cases[2].aggregator.as_deref(), Some("parity_constrained"));
+        assert_eq!(cases[2].aggregator_label, "parity-constrained");
+        assert!(cases[3].enforcements.is_empty());
+        assert_eq!(cases[4].enforcements.len(), 1, "stack outside aggregator");
+    }
+
+    #[test]
+    fn aggregator_axis_shares_the_simulation_key() {
+        // Cells differing only on the aggregator rescore one trace:
+        // they must share a sim-cache slot (the axis is post-sim).
+        let grid = SweepGrid::parse("rounds=6;aggregator=majority,weighted_majority").unwrap();
+        let cases = grid.expand().unwrap();
+        assert_eq!(cases.len(), 2);
+        assert_eq!(cases[0].sim_key(), cases[1].sim_key());
+    }
+
+    #[test]
+    fn aggregator_axis_scores_consensus_per_cell() {
+        let grid = SweepGrid::parse(
+            "scenario=baseline;rounds=8;aggregator=majority,weighted_majority,parity_constrained",
+        )
+        .unwrap();
+        let result = run_grid(&grid, 2).unwrap();
+        assert_eq!(result.groups.len(), 3);
+        for g in &result.groups {
+            assert_eq!(g.consensus.n, 1, "baseline has labeling ground truth");
+            assert!(
+                (0.0..=1.0).contains(&g.consensus.mean),
+                "{}",
+                g.consensus.mean
+            );
+        }
+        assert_eq!(result.groups[0].aggregator, "majority");
+        assert_eq!(result.groups[2].aggregator, "parity-constrained");
+        // Exports carry the axis.
+        assert!(result
+            .to_json()
+            .contains("\"aggregator\": \"weighted-majority\""));
+        assert!(result
+            .to_csv()
+            .starts_with("scenario,policy,strategy,scale,rounds,enforce,aggregator,"));
+        assert!(result.render_table().contains("parity-constrained"));
+        // The cached sweep equals the uncached one with the axis too.
+        let uncached = run_grid_opts(&grid, 1, false).unwrap();
+        assert_eq!(result.to_json(), uncached.to_json());
     }
 
     #[test]
@@ -1213,6 +1449,8 @@ mod tests {
             scale: 1.0,
             rounds: 8,
             enforcements: Vec::new(),
+            aggregator: None,
+            aggregator_label: "majority".into(),
         };
         let empty_trace = crate::model::Trace::default();
         let report = crate::core::AuditEngine::with_defaults().run(&empty_trace);
@@ -1221,6 +1459,7 @@ mod tests {
             report: report.clone(),
             summary: TraceSummary::of(&empty_trace),
             wages,
+            consensus: None,
         };
         let paid =
             WageStats::from_wages(&[Credits::from_dollars(2), Credits::from_dollars(6)]).unwrap();

@@ -64,9 +64,11 @@ use std::sync::Mutex;
 /// Schema name of a sweep part file.
 pub const SCHEMA: &str = "faircrowd-sweep-part";
 /// Current schema version. v2 added the `strategy`/`strategy_label`
-/// case fields alongside the strategy sweep axis; v1 parts predate
-/// them and are rejected rather than guessed at.
-pub const VERSION: u64 = 2;
+/// case fields alongside the strategy sweep axis; v3 added the
+/// `aggregator`/`aggregator_label` case fields and the per-cell
+/// `consensus` score alongside the aggregator axis. Earlier versions
+/// are rejected rather than guessed at.
+pub const VERSION: u64 = 3;
 
 /// Which shard of how many — the CLI's `--shard i/N`, 1-based.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -614,6 +616,17 @@ fn case_to_json(case: &SweepCase) -> Json {
         ("scale".to_owned(), Json::float(case.scale)),
         ("rounds".to_owned(), Json::uint(u64::from(case.rounds))),
         (
+            "aggregator".to_owned(),
+            match &case.aggregator {
+                Some(a) => Json::str(&**a),
+                None => Json::Null,
+            },
+        ),
+        (
+            "aggregator_label".to_owned(),
+            Json::str(&*case.aggregator_label),
+        ),
+        (
             "enforce".to_owned(),
             Json::Arr(
                 case.enforcements
@@ -651,6 +664,14 @@ fn case_from_json(json: &Json, ctx: impl std::fmt::Display) -> Result<SweepCase,
             ))
         })?),
     };
+    let aggregator = match field("aggregator")? {
+        Json::Null => None,
+        other => Some(other.as_str().map(str::to_owned).ok_or_else(|| {
+            FaircrowdError::persist(format!(
+                "{ctx}: case field `aggregator` should be a string or null"
+            ))
+        })?),
+    };
     let enforcements = field("enforce")?
         .as_arr()
         .ok_or_else(|| {
@@ -685,6 +706,8 @@ fn case_from_json(json: &Json, ctx: impl std::fmt::Display) -> Result<SweepCase,
                 ))
             })?,
         enforcements,
+        aggregator,
+        aggregator_label: str_of("aggregator_label")?,
     })
 }
 
@@ -701,6 +724,13 @@ fn cell_to_json(cell: usize, outcome: &CaseOutcome) -> Json {
             "wages".to_owned(),
             match &outcome.wages {
                 Some(w) => results::wages_to_json(w),
+                None => Json::Null,
+            },
+        ),
+        (
+            "consensus".to_owned(),
+            match outcome.consensus {
+                Some(a) => Json::float(a),
                 None => Json::Null,
             },
         ),
@@ -726,6 +756,14 @@ fn cell_from_json(
         Json::Null => None,
         other => Some(results::wages_from_json(other, &ctx)?),
     };
+    let consensus = match field("consensus")? {
+        Json::Null => None,
+        other => Some(other.as_f64().ok_or_else(|| {
+            FaircrowdError::persist(format!(
+                "{ctx}: record field `consensus` should be a number or null"
+            ))
+        })?),
+    };
     Ok((
         cell,
         CaseOutcome {
@@ -733,6 +771,7 @@ fn cell_from_json(
             report: results::report_from_json(field("report")?, &ctx)?,
             summary: TraceSummary::from_json(field("summary")?, &ctx)?,
             wages,
+            consensus,
         },
     ))
 }
@@ -876,6 +915,35 @@ mod tests {
         assert_eq!(resumed.ran, 1);
         let merged = merge_paths(&[&p2, &p1]).unwrap();
         assert_eq!(merged.to_json(), single.to_json());
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+    }
+
+    #[test]
+    fn aggregator_grids_shard_and_merge_byte_identical() {
+        // The aggregator axis rides the part codec (schema v3): a
+        // sharded sweep over it must fold back byte-identical, and the
+        // axis must not split sim-key clusters across shards.
+        let grid =
+            SweepGrid::parse("rounds=6;seed=1,2;aggregator=majority,parity_constrained").unwrap();
+        let cases = grid.expand().unwrap();
+        let shard_of = partition(&cases, 2);
+        for (i, case) in cases.iter().enumerate() {
+            for (j, other) in cases.iter().enumerate() {
+                if case.sim_key() == other.sim_key() {
+                    assert_eq!(shard_of[i], shard_of[j], "cluster split at {i}/{j}");
+                }
+            }
+        }
+        let single = run_grid(&grid, 2).unwrap();
+        let (p1, p2) = (temp_path("agg1"), temp_path("agg2"));
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+        run_shard(&grid, ShardSpec { index: 1, count: 2 }, &p1, 2).unwrap();
+        run_shard(&grid, ShardSpec { index: 2, count: 2 }, &p2, 2).unwrap();
+        let merged = merge_paths(&[&p1, &p2]).unwrap();
+        assert_eq!(merged.to_json(), single.to_json());
+        assert_eq!(merged.render_table(), single.render_table());
         std::fs::remove_file(&p1).ok();
         std::fs::remove_file(&p2).ok();
     }
